@@ -1,0 +1,66 @@
+"""Benchmarks for the extension experiments (beyond the paper's tables).
+
+* Privacy-utility frontier: DP vs GeoDP at calibrated equal-epsilon budgets.
+* Membership inference: DP noise must measurably reduce attack advantage.
+"""
+
+from repro.experiments import (
+    format_concentration,
+    format_mia,
+    format_privacy_utility,
+    run_concentration,
+    run_mia,
+    run_privacy_utility,
+)
+
+
+def test_privacy_utility_frontier(benchmark, bench_scale, report):
+    result = benchmark.pedantic(
+        run_privacy_utility, args=(bench_scale,), kwargs={"rng": 0}, rounds=1, iterations=1
+    )
+    report("privacy_utility", format_privacy_utility(result))
+
+    rows = result["rows"]
+    # Calibration sanity: larger budgets need less noise.
+    sigmas = [r["sigma"] for r in sorted(rows, key=lambda r: r["epsilon"])]
+    assert sigmas == sorted(sigmas, reverse=True)
+    # Utility grows (weakly) along the frontier for both methods.
+    accs_dp = [r["dp"] for r in sorted(rows, key=lambda r: r["epsilon"])]
+    assert accs_dp[-1] >= accs_dp[0] - 0.05
+    # GeoDP is competitive at every budget.
+    for r in rows:
+        assert r["geodp"] >= r["dp"] - 0.1
+
+
+def test_membership_inference(benchmark, bench_scale, report):
+    result = benchmark.pedantic(
+        run_mia, args=(bench_scale,), kwargs={"rng": 0}, rounds=1, iterations=1
+    )
+    report("mia", format_mia(result))
+
+    by_label = {r["label"]: r for r in result["rows"]}
+    plain = next(v for k, v in by_label.items() if k.startswith("SGD"))
+    dp = next(v for k, v in by_label.items() if k.startswith("DP-SGD"))
+    geo = next(v for k, v in by_label.items() if k.startswith("GeoDP"))
+
+    # DP noise must measurably shrink the attacker's advantage.
+    assert dp["advantage"] < plain["advantage"]
+    assert geo["advantage"] < plain["advantage"]
+    # GeoDP's utility at the same sigma is at least DP's (within noise).
+    assert geo["accuracy"] >= dp["accuracy"] - 0.1
+
+
+def test_direction_concentration(benchmark, bench_scale, report):
+    result = benchmark.pedantic(
+        run_concentration, args=(bench_scale,), kwargs={"rng": 0}, rounds=1, iterations=1
+    )
+    report("concentration", format_concentration(result))
+
+    uniform_r = result["uniform"]["resultant_length"]
+    rows = result["rows"]
+    assert rows, "no batch sizes produced enough groups"
+    # Theorem 3's premise: real gradient directions concentrate far above
+    # the uniform baseline, and batch averaging concentrates them further.
+    for r in rows:
+        assert r["resultant_length"] > 2 * uniform_r
+    assert rows[-1]["resultant_length"] >= rows[0]["resultant_length"] - 0.05

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 1: GeoDP vs DP MSEs across noise multipliers."""
+
+from repro.experiments import format_fig1, run_fig1
+
+
+def test_fig1(benchmark, bench_scale, report):
+    result = benchmark.pedantic(
+        run_fig1, args=(bench_scale,), kwargs={"rng": 0}, rounds=1, iterations=1
+    )
+    report("fig1", format_fig1(result))
+
+    # Qualitative shape of Figure 1: GeoDP better preserves directions,
+    # DP better preserves raw gradient values.
+    for row in result["rows"]:
+        assert row["geo_theta"] < row["dp_theta"], f"direction win fails at {row}"
+        assert row["dp_g"] < row["geo_g"], f"gradient win fails at {row}"

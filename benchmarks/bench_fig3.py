@@ -1,0 +1,35 @@
+"""Benchmark regenerating Figure 3: MSE sweeps over sigma, dimension, batch."""
+
+from repro.experiments import format_fig3, run_fig3
+
+
+def test_fig3(benchmark, bench_scale, report):
+    result = benchmark.pedantic(
+        run_fig3, args=(bench_scale,), kwargs={"rng": 0}, rounds=1, iterations=1
+    )
+    report("fig3", format_fig3(result))
+
+    # Shape 1: GeoDP's direction MSE is monotone in beta at every sweep point.
+    for panel in result["panels"].values():
+        by_x = {}
+        for row in panel["rows"]:
+            by_x.setdefault(row["x"], {})[row["beta"]] = row["geo_theta"]
+        for per_beta in by_x.values():
+            betas = sorted(per_beta)
+            values = [per_beta[b] for b in betas]
+            assert values == sorted(values)
+
+    # Shape 2: at the smallest beta GeoDP wins directions everywhere
+    # (Fig 3 c/f/i after beta tuning).
+    smallest = min(result["betas"])
+    for panel in result["panels"].values():
+        for row in panel["rows"]:
+            if row["beta"] == smallest:
+                assert row["geo_theta"] < row["dp_theta"]
+
+    # Shape 3: larger batches shrink GeoDP's direction MSE (Fig 3 g-i).
+    batch_rows = [
+        r for r in result["panels"]["batch"]["rows"] if r["beta"] == smallest
+    ]
+    batch_rows.sort(key=lambda r: r["x"])
+    assert batch_rows[-1]["geo_theta"] < batch_rows[0]["geo_theta"]

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 4: bounding-factor effectiveness."""
+
+from repro.experiments import format_fig4, run_fig4
+from repro.experiments.fig4 import crossover_beta
+
+
+def test_fig4(benchmark, bench_scale, report):
+    result = benchmark.pedantic(
+        run_fig4, args=(bench_scale,), kwargs={"rng": 0}, rounds=1, iterations=1
+    )
+    report("fig4", format_fig4(result))
+
+    # Lemma 1 / Figure 4's claim: for every dimension there exists a beta at
+    # which GeoDP beats DP on BOTH direction and gradient MSE.
+    for dim in result["dims"]:
+        assert crossover_beta(result, dim) is not None, f"no double win at d={dim}"
+
+    # The crossover beta shrinks (weakly) as dimensionality grows.
+    dims = sorted(result["dims"])
+    betas = [crossover_beta(result, d) for d in dims]
+    assert betas[-1] <= betas[0]

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 6: perturbation runtime grid."""
+
+from repro.experiments import format_fig6, run_fig6
+
+
+def test_fig6(benchmark, bench_scale, report):
+    result = benchmark.pedantic(
+        run_fig6, args=(bench_scale,), kwargs={"rng": 0}, rounds=1, iterations=1
+    )
+    report("fig6", format_fig6(result))
+
+    rows = result["rows"]
+    # GeoDP pays a conversion overhead: it should essentially never be
+    # meaningfully faster than DP at the same geometry.
+    for r in rows:
+        assert r["geodp_seconds"] > 0.5 * r["dp_seconds"]
+
+    # Dimensionality increases runtime for both schemes (paper's dominant factor).
+    dims = sorted({r["dim"] for r in rows})
+    if len(dims) > 1:
+        def mean_time(dim, key):
+            sel = [r[key] for r in rows if r["dim"] == dim]
+            return sum(sel) / len(sel)
+
+        assert mean_time(dims[-1], "geodp_seconds") > mean_time(dims[0], "geodp_seconds")
+        assert mean_time(dims[-1], "dp_seconds") > mean_time(dims[0], "dp_seconds")

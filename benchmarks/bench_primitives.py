@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These are proper repeated-timing benchmarks (not one-shot experiment
+drivers): spherical conversion, the two perturbation primitives, per-sample
+gradient computation, and the RDP accountant.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import perturb_dp_batch, perturb_geodp_batch
+from repro.data import make_mnist_like
+from repro.geometry import to_cartesian_batch, to_spherical_batch
+from repro.models import build_cnn
+from repro.privacy import RdpAccountant
+
+
+@pytest.fixture(scope="module")
+def grads():
+    return np.random.default_rng(0).normal(size=(64, 5000)) * 0.01
+
+
+def test_spherical_conversion(benchmark, grads):
+    benchmark(to_spherical_batch, grads)
+
+
+def test_cartesian_conversion(benchmark, grads):
+    r, theta = to_spherical_batch(grads)
+    benchmark(to_cartesian_batch, r, theta)
+
+
+def test_round_trip_preserves(benchmark, grads):
+    def round_trip():
+        r, theta = to_spherical_batch(grads)
+        return to_cartesian_batch(r, theta)
+
+    out = benchmark(round_trip)
+    assert np.allclose(out, grads, atol=1e-9)
+
+
+def test_perturb_dp(benchmark, grads):
+    rng = np.random.default_rng(1)
+    benchmark(perturb_dp_batch, grads, 0.1, 1.0, 1024, rng)
+
+
+def test_perturb_geodp(benchmark, grads):
+    rng = np.random.default_rng(1)
+    benchmark(perturb_geodp_batch, grads, 0.1, 1.0, 1024, 0.1, rng)
+
+
+def test_per_sample_gradients_cnn(benchmark):
+    data = make_mnist_like(32, rng=0, size=16)
+    model = build_cnn((1, 16, 16), channels=(4, 8), rng=0)
+    benchmark(model.loss_and_per_sample_gradients, data.x, data.y)
+
+
+def test_rdp_accounting_1000_steps(benchmark):
+    def account():
+        acc = RdpAccountant()
+        acc.step(1.0, 0.01, num_steps=1000)
+        return acc.get_epsilon(1e-5)
+
+    eps = benchmark(account)
+    assert eps > 0

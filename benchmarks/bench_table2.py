@@ -1,0 +1,46 @@
+"""Benchmark regenerating Table II: CNN on MNIST-like accuracy grid."""
+
+from repro.experiments import format_table2, run_table2
+
+
+def _acc(result, label_prefix, sigma):
+    for row in result["rows"]:
+        if row["label"].startswith(label_prefix):
+            return row["accuracies"][sigma]
+    raise KeyError(label_prefix)
+
+
+def test_table2(benchmark, bench_scale, report):
+    result = benchmark.pedantic(
+        run_table2, args=(bench_scale,), kwargs={"rng": 0}, rounds=1, iterations=1
+    )
+    report("table2", format_table2(result))
+
+    sigma_low = min(result["sigmas"])  # the friendlier noise level
+    rows = {r["label"]: r["accuracies"] for r in result["rows"]}
+
+    # Shape 1: the noise-free reference upper-bounds (within noise) everything.
+    best_private = max(acc[sigma_low] for acc in rows.values())
+    assert result["noise_free"] >= best_private - 0.15
+
+    # Shape 2: GeoDP with the good beta at the large batch is at least
+    # competitive with plain DP at the same batch (the headline of Table II).
+    geo_labels = [l for l in rows if l.startswith("GeoDP (B=") and "beta=0.1" in l]
+    dp_labels = [l for l in rows if l.startswith("DP (B=")]
+    geo_best = max(rows[l][sigma_low] for l in geo_labels)
+    dp_best = max(rows[l][sigma_low] for l in dp_labels)
+    assert geo_best >= dp_best - 0.08
+
+    # Shape 3: the bad beta hurts GeoDP relative to the good beta
+    # (Table II's 96.47% -> 60.31% collapse, directionally).
+    bad_label = next(l for l in rows if "beta=0.5" in l)
+    good_same_batch = next(
+        l for l in geo_labels if l.split(",")[0] == bad_label.split(",")[0]
+    )
+    assert rows[bad_label][sigma_low] <= rows[good_same_batch][sigma_low] + 0.05
+
+    # Shape 4: every accuracy is a valid probability and the grid is complete.
+    assert len(result["rows"]) == 15
+    for acc in rows.values():
+        for sigma in result["sigmas"]:
+            assert 0.0 <= acc[sigma] <= 1.0

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Table III: ResNet on CIFAR-like accuracy grid."""
+
+from repro.experiments import format_table3, run_table3
+
+
+def test_table3(benchmark, bench_scale, report):
+    result = benchmark.pedantic(
+        run_table3, args=(bench_scale,), kwargs={"rng": 0}, rounds=1, iterations=1
+    )
+    report("table3", format_table3(result))
+
+    rows = {r["label"]: r["accuracies"] for r in result["rows"]}
+    sigma_low = min(result["sigmas"])
+
+    # Complete 15-row grid with valid accuracies.
+    assert len(result["rows"]) == 15
+    for acc in rows.values():
+        for sigma in result["sigmas"]:
+            assert 0.0 <= acc[sigma] <= 1.0
+
+    # GeoDP (good beta, large batch) is competitive with DP at the small
+    # multipliers of Table III.
+    geo_labels = [l for l in rows if l.startswith("GeoDP (B=") and "beta=0.1" in l]
+    dp_labels = [l for l in rows if l.startswith("DP (B=")]
+    geo_best = max(rows[l][sigma_low] for l in geo_labels)
+    dp_best = max(rows[l][sigma_low] for l in dp_labels)
+    assert geo_best >= dp_best - 0.1
+
+    # Noise-free reference bounds the private runs (within tolerance).
+    assert result["noise_free"] >= geo_best - 0.15

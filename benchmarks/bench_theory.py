@@ -1,0 +1,16 @@
+"""Benchmark validating the paper's theory section numerically."""
+
+from repro.experiments import format_theory_validation, run_theory_validation
+
+
+def test_theory_validation(benchmark, bench_scale, report):
+    result = benchmark.pedantic(
+        run_theory_validation,
+        args=(bench_scale,),
+        kwargs={"rng": 0},
+        rounds=1,
+        iterations=1,
+    )
+    report("theory_validation", format_theory_validation(result))
+    for row in result["rows"]:
+        assert row["holds"], f"theory claim failed: {row['claim']} ({row['value']})"

@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark suite.
+
+The benchmarks regenerate every table and figure of the paper's evaluation.
+``REPRO_BENCH_SCALE`` selects the parameter preset (``smoke`` by default,
+``ci`` or ``paper`` for longer runs); each bench prints the regenerated
+table through ``capsys.disabled()`` so it is visible in the normal
+``pytest benchmarks/ --benchmark-only`` output, and writes it to
+``results/<name>.txt`` for the record.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Experiment scale for this benchmark session."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+    if scale not in ("smoke", "ci", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be smoke/ci/paper, got {scale!r}")
+    return scale
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print a regenerated table to the live terminal and archive it."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _report

@@ -1,0 +1,85 @@
+"""Checkpointing a private training run and resuming it.
+
+Long DP training runs need restartable state: the model parameters, the
+training history, and — crucially — the privacy spent so far, so the
+resumed run keeps accounting from where it left off rather than resetting
+epsilon to zero.
+
+Usage::
+
+    python examples/checkpointing.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import DpSgdOptimizer, RdpAccountant, Trainer
+from repro.data import make_mnist_like, train_test_split
+from repro.models import build_logistic_regression
+from repro.utils import load_checkpoint, load_history, save_checkpoint, save_history
+
+SIGMA, CLIP, BATCH = 1.0, 0.1, 128
+PHASE_ITERS = 100
+
+
+def make_trainer(model, accountant, train, test, sample_rate, seed):
+    optimizer = DpSgdOptimizer(
+        4.0, CLIP, SIGMA, rng=seed, accountant=accountant, sample_rate=sample_rate
+    )
+    return Trainer(model, optimizer, train, test_data=test, batch_size=BATCH, rng=seed)
+
+
+def main():
+    data = make_mnist_like(2000, rng=0, size=16)
+    train, test = train_test_split(data, rng=0)
+    sample_rate = BATCH / len(train)
+    workdir = Path(tempfile.mkdtemp(prefix="repro_ckpt_"))
+
+    # ---- Phase 1: train, then checkpoint everything. -----------------------
+    model = build_logistic_regression((1, 16, 16), rng=0)
+    accountant = RdpAccountant()
+    history = make_trainer(model, accountant, train, test, sample_rate, seed=1).train(
+        PHASE_ITERS, eval_every=PHASE_ITERS
+    )
+    save_checkpoint(
+        workdir / "model.npz",
+        model,
+        metadata={
+            "iterations": history.iterations,
+            "noise_multiplier": SIGMA,
+            "accountant_steps": accountant.total_steps,
+            "sample_rate": sample_rate,
+        },
+    )
+    save_history(workdir / "history.json", history)
+    print(
+        f"phase 1: acc {history.final_accuracy:.3f}, "
+        f"epsilon {accountant.get_epsilon(1e-5):.3f} "
+        f"-> checkpointed to {workdir}"
+    )
+
+    # ---- Phase 2: fresh process simulation — restore and continue. ---------
+    restored = build_logistic_regression((1, 16, 16), rng=99)  # different init
+    _, meta = load_checkpoint(workdir / "model.npz", restored)
+    old_history = load_history(workdir / "history.json")
+
+    resumed_accountant = RdpAccountant()
+    resumed_accountant.step(  # replay the privacy already spent
+        meta["noise_multiplier"], meta["sample_rate"], num_steps=meta["accountant_steps"]
+    )
+    trainer = make_trainer(restored, resumed_accountant, train, test, sample_rate, seed=2)
+    more = trainer.train(PHASE_ITERS, eval_every=PHASE_ITERS)
+
+    total_iters = old_history.iterations + more.iterations
+    print(
+        f"phase 2: acc {more.final_accuracy:.3f} after {total_iters} total "
+        f"iterations, cumulative epsilon {resumed_accountant.get_epsilon(1e-5):.3f}"
+    )
+    print(
+        "\nThe resumed accountant includes phase 1's steps, so the reported "
+        "epsilon covers the whole training history."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Direction-preservation study: why GeoDP exists (paper Figures 1 and 4).
+
+Perturbs a batch of synthetic training gradients with classic DP and with
+GeoDP at several bounding factors, then reports the MSE of the perturbed
+*directions* (Definition 4) and of the perturbed gradients themselves.
+The table shows the paper's headline geometry result: a small enough beta
+makes GeoDP better on BOTH metrics, while beta = 1 in high dimension loses.
+
+Usage::
+
+    python examples/direction_preservation.py
+"""
+
+import numpy as np
+
+from repro.core import clip_gradients, perturb_dp_batch, perturb_geodp_batch
+from repro.data import synthetic_gradient_batch
+from repro.geometry import direction_mse, gradient_mse, to_spherical_batch
+from repro.utils import format_table
+
+
+def main():
+    dim, batch_size, sigma, clip_norm = 2000, 2048, 1.0, 0.1
+    rng = np.random.default_rng(0)
+
+    grads = clip_gradients(synthetic_gradient_batch(200, dim, rng), clip_norm)
+    _, theta_true = to_spherical_batch(grads)
+
+    dp = perturb_dp_batch(grads, clip_norm, sigma, batch_size, rng, clip=False)
+    _, theta_dp = to_spherical_batch(dp)
+    dp_theta = direction_mse(theta_dp, theta_true)
+    dp_g = gradient_mse(dp, grads)
+
+    rows = [["DP", "-", dp_theta, dp_g, "-"]]
+    for beta in (1.0, 0.1, 0.03, 0.01, 0.003):
+        geo = perturb_geodp_batch(
+            grads, clip_norm, sigma, batch_size, beta, rng, clip=False
+        )
+        _, theta_geo = to_spherical_batch(geo)
+        geo_theta = direction_mse(theta_geo, theta_true)
+        geo_g = gradient_mse(geo, grads)
+        wins = "yes" if (geo_theta < dp_theta and geo_g < dp_g) else "no"
+        rows.append(["GeoDP", beta, geo_theta, geo_g, wins])
+
+    print(
+        format_table(
+            ["scheme", "beta", "MSE(direction)", "MSE(gradient)", "beats DP on both"],
+            rows,
+            title=f"d={dim}, B={batch_size}, sigma={sigma}, C={clip_norm}",
+        )
+    )
+    print(
+        "\nLemma 1 in action: shrinking beta always produces a setting where "
+        "GeoDP preserves the descent direction better than classic DP."
+    )
+
+
+if __name__ == "__main__":
+    main()

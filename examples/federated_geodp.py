@@ -1,0 +1,74 @@
+"""Federated learning with GeoDP clients (the paper's future-work direction).
+
+Uses :class:`repro.core.FederatedTrainer`: each client holds a private
+shard of the MNIST-like data, computes per-sample gradients locally,
+privatises the averaged gradient with GeoDP (or classic DP) before sending
+it to the server, and the server averages the privatised client updates.
+Each client carries its own RDP accountant, so per-client (epsilon, delta)
+is reported at the end.
+
+Usage::
+
+    python examples/federated_geodp.py
+"""
+
+import numpy as np
+
+from repro.core import FederatedTrainer
+from repro.data import make_mnist_like, train_test_split
+from repro.models import build_logistic_regression
+from repro.utils import format_table
+
+NUM_CLIENTS = 5
+ROUNDS = 80
+SIGMA = 1.0
+
+
+def run_federation(scheme, shards, test, seed=0):
+    model = build_logistic_regression((1, 16, 16), rng=0)
+    trainer = FederatedTrainer(
+        model,
+        shards,
+        scheme=scheme,
+        learning_rate=4.0,
+        clipping=0.1,
+        noise_multiplier=SIGMA,
+        local_batch_size=64,
+        beta=0.1,
+        rng=seed,
+    )
+    trainer.train(ROUNDS)
+    accuracy = model.accuracy(test.x, test.y)
+    worst_eps = max(trainer.client_epsilons(1e-5))
+    return accuracy, worst_eps
+
+
+def main():
+    data = make_mnist_like(2000, rng=0, size=16)
+    train, test = train_test_split(data, rng=0)
+    bounds = np.linspace(0, len(train), NUM_CLIENTS + 1).astype(int)
+    shards = [train.subset(np.arange(lo, hi)) for lo, hi in zip(bounds, bounds[1:])]
+
+    rows = []
+    for label, scheme in [
+        ("federated SGD (no privacy)", "none"),
+        ("federated DP-SGD", "dp"),
+        ("federated GeoDP (beta=0.1)", "geodp"),
+    ]:
+        accuracy, worst_eps = run_federation(scheme, shards, test)
+        rows.append([label, accuracy, worst_eps if scheme != "none" else "-"])
+
+    print(
+        format_table(
+            ["aggregation", "test accuracy", "worst client epsilon"],
+            rows,
+            title=(
+                f"{NUM_CLIENTS} clients x {ROUNDS} rounds, sigma={SIGMA}, "
+                f"C=0.1, delta=1e-5"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

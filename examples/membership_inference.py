@@ -1,0 +1,73 @@
+"""Membership-inference evaluation: measuring what DP actually buys.
+
+The paper motivates DP-SGD with membership-inference attacks (§I).  This
+example trains the same model four ways — plain SGD, DP-SGD at two noise
+levels, and GeoDP — then attacks each with the loss-threshold MIA and
+reports test accuracy next to the attacker's membership advantage.  The
+trade-off the paper optimises is exactly this pair: GeoDP aims to keep the
+advantage low (same DP guarantee) while giving up less accuracy.
+
+Usage::
+
+    python examples/membership_inference.py
+"""
+
+from repro import DpSgdOptimizer, GeoDpSgdOptimizer, SgdOptimizer, Trainer
+from repro.attacks import LossThresholdAttack, membership_advantage
+from repro.data import make_mnist_like, train_test_split
+from repro.models import build_logistic_regression
+from repro.utils import format_table
+
+ITERS = 400
+BATCH = 32
+CLIP = 0.1
+
+
+def evaluate(name, optimizer, members, non_members):
+    model = build_logistic_regression((1, 16, 16), rng=0)
+    Trainer(model, optimizer, members, batch_size=BATCH, rng=1).train(ITERS)
+    attack = LossThresholdAttack().fit(model, non_members)
+    advantage = membership_advantage(
+        attack.score(model, members.x, members.y),
+        attack.score(model, non_members.x, non_members.y),
+    )
+    accuracy = model.accuracy(non_members.x, non_members.y)
+    return [name, accuracy, advantage]
+
+
+def main():
+    data = make_mnist_like(300, rng=0, size=16)
+    members, non_members = train_test_split(data, test_fraction=0.5, rng=0)
+
+    rows = [
+        evaluate("SGD (no privacy)", SgdOptimizer(2.0), members, non_members),
+        evaluate(
+            "DP-SGD sigma=1", DpSgdOptimizer(2.0, CLIP, 1.0, rng=2), members, non_members
+        ),
+        evaluate(
+            "DP-SGD sigma=5", DpSgdOptimizer(2.0, CLIP, 5.0, rng=2), members, non_members
+        ),
+        evaluate(
+            "GeoDP sigma=5, beta=0.1",
+            GeoDpSgdOptimizer(
+                2.0, CLIP, 5.0, beta=0.1, rng=2, sensitivity_mode="per_angle"
+            ),
+            members,
+            non_members,
+        ),
+    ]
+    print(
+        format_table(
+            ["training", "held-out accuracy", "MIA advantage"],
+            rows,
+            title=f"Loss-threshold membership inference ({ITERS} iterations)",
+        )
+    )
+    print(
+        "\nAdvantage 0 = attacker no better than chance. DP noise suppresses"
+        "\nthe membership signal; GeoDP keeps it suppressed at better utility."
+    )
+
+
+if __name__ == "__main__":
+    main()

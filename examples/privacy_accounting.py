@@ -1,0 +1,86 @@
+"""Privacy accounting walkthrough.
+
+Shows the full accounting toolchain the library provides:
+
+1. calibrating Gaussian noise for a one-shot release (classic vs analytic),
+2. tracking a DP-SGD training run with the RDP accountant,
+3. comparing against naive (advanced-composition) accounting,
+4. GeoDP's extra delta' from the bounded direction region (Lemma 2).
+
+Usage::
+
+    python examples/privacy_accounting.py
+"""
+
+from repro.geometry import delta_prime_upper_bound
+from repro.privacy import (
+    GaussianAccountant,
+    RdpAccountant,
+    analytic_gaussian_sigma,
+    classic_gaussian_sigma,
+    gaussian_epsilon,
+)
+from repro.utils import format_table
+
+
+def main():
+    delta = 1e-5
+
+    # 1. One-shot calibration: analytic is strictly tighter.
+    rows = []
+    for eps in (0.3, 0.8):
+        rows.append(
+            [
+                eps,
+                classic_gaussian_sigma(eps, delta),
+                analytic_gaussian_sigma(eps, delta),
+            ]
+        )
+    print(
+        format_table(
+            ["target epsilon", "classic sigma", "analytic sigma"],
+            rows,
+            title=f"Gaussian calibration at delta={delta}",
+        )
+    )
+
+    # 2. A DP-SGD run: 60 epochs on N=60000 at B=600 (q=0.01), sigma=1.0.
+    accountant = RdpAccountant()
+    epochs, steps_per_epoch, q, sigma = 60, 100, 0.01, 1.0
+    rows = []
+    for epoch in (1, 10, 30, 60):
+        target_steps = epoch * steps_per_epoch
+        while accountant.total_steps < target_steps:
+            accountant.step(sigma, q)
+        rows.append([epoch, accountant.total_steps, accountant.get_epsilon(delta)])
+    print()
+    print(
+        format_table(
+            ["epoch", "steps", "epsilon (RDP)"],
+            rows,
+            title=f"DP-SGD accounting: q={q}, sigma={sigma}, delta={delta}",
+        )
+    )
+
+    # 3. Naive accounting of the same run (ignoring subsampling) explodes.
+    naive = GaussianAccountant(noise_multiplier=sigma)
+    naive.step(num_steps=epochs * steps_per_epoch)
+    print(
+        f"\nNaive advanced composition for the same run: "
+        f"epsilon = {naive.get_epsilon(delta):.1f} "
+        f"(vs RDP {accountant.get_epsilon(delta):.2f})"
+    )
+
+    # 4. GeoDP's direction relaxation.
+    print("\nGeoDP delta' bounds (Lemma 2):")
+    for beta in (0.9, 0.5, 0.1):
+        spent = accountant.get_privacy_spent(delta, delta_prime=delta_prime_upper_bound(beta))
+        print(f"  beta={beta}: {spent}")
+    print(
+        "\nNote: one release per iteration, same sigma => GeoDP's epsilon "
+        "matches DP-SGD's; only delta grows by delta' (Theorem 5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

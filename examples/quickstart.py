@@ -1,0 +1,61 @@
+"""Quickstart: train a differentially private logistic regression with GeoDP.
+
+Runs in under a minute on a laptop CPU.  Trains the same model three ways —
+noise-free SGD, classic DP-SGD and GeoDP-SGD — and reports test accuracy and
+the (epsilon, delta) spent.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import DpSgdOptimizer, GeoDpSgdOptimizer, RdpAccountant, SgdOptimizer, Trainer
+from repro.data import make_mnist_like, train_test_split
+from repro.models import build_logistic_regression
+from repro.utils import format_table
+
+
+def train_one(name, optimizer, train, test, iterations=150, batch_size=256):
+    model = build_logistic_regression((1, 16, 16), rng=0)
+    trainer = Trainer(
+        model, optimizer, train, test_data=test, batch_size=batch_size, rng=1
+    )
+    history = trainer.train(iterations, eval_every=iterations)
+    return [name, history.final_loss, history.final_accuracy]
+
+
+def main():
+    # Procedural MNIST substitute (offline stand-in for the real dataset).
+    data = make_mnist_like(2000, rng=0, size=16)
+    train, test = train_test_split(data, rng=0)
+
+    sigma, clip, lr = 1.0, 0.1, 4.0
+    sample_rate = 256 / len(train)
+    accountant = RdpAccountant()
+
+    rows = [
+        train_one("SGD (no noise)", SgdOptimizer(lr), train, test),
+        train_one(
+            f"DP-SGD (sigma={sigma})",
+            DpSgdOptimizer(
+                lr, clip, sigma, rng=2, accountant=accountant, sample_rate=sample_rate
+            ),
+            train,
+            test,
+        ),
+        train_one(
+            f"GeoDP-SGD (sigma={sigma}, beta=0.1)",
+            GeoDpSgdOptimizer(
+                lr, clip, sigma, beta=0.1, rng=2, sensitivity_mode="per_angle"
+            ),
+            train,
+            test,
+        ),
+    ]
+    print(format_table(["method", "final loss", "test accuracy"], rows))
+    print(f"\nDP-SGD privacy spent: {accountant.get_privacy_spent(delta=1e-5)}")
+    print("GeoDP spends the same Gaussian budget plus delta' <= 1 - beta (Lemma 2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Private text classification with GeoDP (second modality).
+
+A fastText-style bag-of-embeddings classifier on the synthetic topic
+dataset, trained non-privately, with DP-SGD, and with GeoDP-SGD.  Shows
+that the geometric perturbation is model-agnostic: the per-sample gradient
+of the embedding table clips and perturbs exactly like a dense layer's.
+
+Usage::
+
+    python examples/text_classification.py
+"""
+
+from repro import DpSgdOptimizer, GeoDpSgdOptimizer, SgdOptimizer, Trainer
+from repro.data import make_text_like, train_test_split
+from repro.models import build_text_classifier
+from repro.utils import format_table
+
+VOCAB, CLASSES = 64, 4
+ITERS, BATCH = 200, 64
+SIGMA, CLIP = 1.0, 0.1
+
+
+def run(name, optimizer, train, test):
+    model = build_text_classifier(VOCAB, CLASSES, embedding_dim=16, rng=0)
+    trainer = Trainer(model, optimizer, train, test_data=test, batch_size=BATCH, rng=1)
+    history = trainer.train(ITERS, eval_every=ITERS)
+    return [name, history.final_loss, history.final_accuracy]
+
+
+def main():
+    data = make_text_like(1500, rng=0, num_classes=CLASSES, vocab_size=VOCAB)
+    train, test = train_test_split(data, rng=0)
+
+    rows = [
+        run("SGD (no noise)", SgdOptimizer(2.0), train, test),
+        run(
+            f"DP-SGD (sigma={SIGMA:g})",
+            DpSgdOptimizer(2.0, CLIP, SIGMA, rng=2),
+            train,
+            test,
+        ),
+        run(
+            f"GeoDP-SGD (sigma={SIGMA:g}, beta=0.1)",
+            GeoDpSgdOptimizer(
+                2.0, CLIP, SIGMA, beta=0.1, rng=2, sensitivity_mode="per_angle"
+            ),
+            train,
+            test,
+        ),
+    ]
+    print(
+        format_table(
+            ["method", "final loss", "test accuracy"],
+            rows,
+            title=f"Topic classification: {CLASSES} classes, vocab {VOCAB}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

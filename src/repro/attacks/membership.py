@@ -1,0 +1,174 @@
+"""Black-box membership-inference attacks and their evaluation metrics.
+
+Attack API: ``fit`` on reference data, then ``score(model, x, y)`` returns a
+membership score per sample (higher = more likely a training member).
+Evaluation compares scores on true members vs non-members.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "LossThresholdAttack",
+    "ShadowModelAttack",
+    "membership_advantage",
+    "attack_roc",
+]
+
+
+class LossThresholdAttack:
+    """Yeom et al. loss-threshold membership inference.
+
+    The attacker guesses "member" when the target model's loss on a sample
+    is below a threshold.  ``fit`` chooses the threshold as the mean loss on
+    known non-member (reference) data — the classic calibration — or the
+    midpoint between member/non-member means when both are supplied.
+    """
+
+    def __init__(self):
+        self.threshold: float | None = None
+
+    def fit(self, model, reference, member_data=None) -> "LossThresholdAttack":
+        """Calibrate the threshold on reference (non-member) data."""
+        x, y = reference.x, reference.y
+        ref_losses = model.loss.per_sample(model.forward(x, train=False), y)
+        if member_data is not None:
+            m_losses = model.loss.per_sample(
+                model.forward(member_data.x, train=False), member_data.y
+            )
+            self.threshold = float((np.mean(ref_losses) + np.mean(m_losses)) / 2)
+        else:
+            self.threshold = float(np.mean(ref_losses))
+        return self
+
+    def score(self, model, x, y) -> np.ndarray:
+        """Membership scores: negative per-sample loss (higher = member-like)."""
+        losses = model.loss.per_sample(model.forward(x, train=False), y)
+        return -losses
+
+    def predict(self, model, x, y) -> np.ndarray:
+        """Hard member/non-member decisions using the fitted threshold."""
+        if self.threshold is None:
+            raise RuntimeError("call fit() before predict()")
+        losses = model.loss.per_sample(model.forward(x, train=False), y)
+        return losses < self.threshold
+
+
+class ShadowModelAttack:
+    """Simplified shadow-model attack (Shokri et al.).
+
+    Trains ``num_shadows`` copies of a model architecture on disjoint shards
+    of attacker-controlled data, collects (confidence-vector, member?) pairs
+    from each shadow's in/out split, and fits a logistic regression attack
+    model on features of the confidence vector (max prob, entropy, true-class
+    prob, loss).
+    """
+
+    def __init__(self, model_builder, num_shadows: int = 3, *, train_steps: int = 60,
+                 learning_rate: float = 1.0, batch_size: int = 32, rng=None):
+        if num_shadows < 1:
+            raise ValueError(f"num_shadows must be >= 1, got {num_shadows}")
+        self.model_builder = model_builder
+        self.num_shadows = num_shadows
+        self.train_steps = train_steps
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.rng = as_rng(rng)
+        self._attack_weights: np.ndarray | None = None
+
+    @staticmethod
+    def _features(model, x, y) -> np.ndarray:
+        """Attack features from the target's output distribution."""
+        from repro.nn.functional import softmax
+
+        logits = model.forward(x, train=False)
+        probs = softmax(logits, axis=1)
+        true_prob = probs[np.arange(len(y)), np.asarray(y, dtype=np.int64)]
+        max_prob = probs.max(axis=1)
+        entropy = -np.sum(probs * np.log(probs + 1e-12), axis=1)
+        loss = -np.log(true_prob + 1e-12)
+        ones = np.ones_like(loss)
+        return np.column_stack([true_prob, max_prob, entropy, loss, ones])
+
+    def fit(self, shadow_data) -> "ShadowModelAttack":
+        """Train shadows on disjoint halves and fit the attack model."""
+        from repro.core.sgd import SgdOptimizer
+        from repro.core.trainer import Trainer
+
+        n = len(shadow_data)
+        per_shadow = n // self.num_shadows
+        if per_shadow < 2 * self.batch_size:
+            raise ValueError(
+                f"shadow_data too small: {n} samples for {self.num_shadows} shadows"
+            )
+        feats, labels = [], []
+        for s in range(self.num_shadows):
+            shard = shadow_data.subset(
+                np.arange(s * per_shadow, (s + 1) * per_shadow)
+            )
+            half = len(shard) // 2
+            members = shard.subset(np.arange(half))
+            non_members = shard.subset(np.arange(half, len(shard)))
+            model = self.model_builder()
+            Trainer(
+                model,
+                SgdOptimizer(self.learning_rate),
+                members,
+                batch_size=min(self.batch_size, len(members)),
+                rng=self.rng,
+            ).train(self.train_steps)
+            feats.append(self._features(model, members.x, members.y))
+            labels.append(np.ones(len(members)))
+            feats.append(self._features(model, non_members.x, non_members.y))
+            labels.append(np.zeros(len(non_members)))
+
+        features = np.concatenate(feats)
+        targets = np.concatenate(labels)
+        # Standardise (keep bias column intact) then fit logistic regression
+        # by plain gradient descent.
+        mean = features.mean(axis=0)
+        std = features.std(axis=0)
+        std[std == 0] = 1.0
+        mean[-1], std[-1] = 0.0, 1.0
+        self._norm = (mean, std)
+        z = (features - mean) / std
+        w = np.zeros(z.shape[1])
+        for _ in range(500):
+            p = 1.0 / (1.0 + np.exp(-(z @ w)))
+            w -= 0.5 * z.T @ (p - targets) / len(targets)
+        self._attack_weights = w
+        return self
+
+    def score(self, model, x, y) -> np.ndarray:
+        """Membership probability from the fitted attack model."""
+        if self._attack_weights is None:
+            raise RuntimeError("call fit() before score()")
+        mean, std = self._norm
+        z = (self._features(model, x, y) - mean) / std
+        return 1.0 / (1.0 + np.exp(-(z @ self._attack_weights)))
+
+
+def membership_advantage(member_scores, non_member_scores) -> float:
+    """Yeom et al. membership advantage: ``max_t (TPR(t) - FPR(t))`` in [0, 1].
+
+    0 means the attack is no better than chance; 1 is perfect separation.
+    """
+    fpr, tpr = attack_roc(member_scores, non_member_scores)
+    return float(np.max(tpr - fpr))
+
+
+def attack_roc(member_scores, non_member_scores) -> tuple[np.ndarray, np.ndarray]:
+    """ROC curve (FPR, TPR) of a score-based membership attack."""
+    member_scores = np.asarray(member_scores, dtype=np.float64)
+    non_member_scores = np.asarray(non_member_scores, dtype=np.float64)
+    if member_scores.size == 0 or non_member_scores.size == 0:
+        raise ValueError("both score arrays must be non-empty")
+    thresholds = np.unique(np.concatenate([member_scores, non_member_scores]))
+    # Evaluate "score >= t" for each threshold, descending.
+    thresholds = thresholds[::-1]
+    tpr = np.array([(member_scores >= t).mean() for t in thresholds])
+    fpr = np.array([(non_member_scores >= t).mean() for t in thresholds])
+    return np.concatenate([[0.0], fpr, [1.0]]), np.concatenate([[0.0], tpr, [1.0]])

@@ -1,0 +1,142 @@
+"""Classic DP-SGD optimizer (Abadi et al. 2016; paper Eq. 8).
+
+Per iteration: clip each per-sample gradient to norm ``C``, sum, add
+``N(0, sigma^2 C^2 I)``, divide by ``B``, and take an SGD step.  Privacy is
+tracked by an optional :class:`~repro.privacy.accountant.RdpAccountant`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.privacy.clipping import ClippingStrategy, FlatClipping
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_matrix, check_positive
+
+__all__ = ["DpSgdOptimizer"]
+
+
+class DpSgdOptimizer:
+    """Differentially private SGD on flat parameter vectors.
+
+    Parameters
+    ----------
+    learning_rate:
+        Step size ``eta``.
+    clipping:
+        Either a clipping threshold ``C`` (float — flat clipping, Eq. 6) or
+        any :class:`~repro.privacy.clipping.ClippingStrategy`.
+    noise_multiplier:
+        Noise multiplier ``sigma``; the per-coordinate noise std of the
+        summed gradient is ``sigma * sensitivity``.
+    accountant / sample_rate:
+        When both are given, every :meth:`step` records one subsampled
+        Gaussian release with the accountant.
+    lot_size:
+        Fixed denominator for the average.  Required for Poisson sampling
+        (where the realised batch size is data-dependent, so dividing by it
+        would break the sensitivity analysis); also used with gradient
+        accumulation.  ``None`` (default) divides by the actual batch size,
+        correct for fixed-size batches.
+    """
+
+    #: Trainer uses this to decide which gradient API to call.
+    requires_per_sample = True
+
+    def __init__(
+        self,
+        learning_rate: float,
+        clipping: float | ClippingStrategy,
+        noise_multiplier: float,
+        rng=None,
+        *,
+        accountant=None,
+        sample_rate: float | None = None,
+        lot_size: int | None = None,
+        momentum: float = 0.0,
+    ):
+        self.learning_rate = check_positive("learning_rate", learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: np.ndarray | None = None
+        if isinstance(clipping, (int, float)):
+            clipping = FlatClipping(float(clipping))
+        self.clipping = clipping
+        self.noise_multiplier = check_positive(
+            "noise_multiplier", noise_multiplier, strict=False
+        )
+        self.rng = as_rng(rng)
+        self.accountant = accountant
+        self.sample_rate = sample_rate
+        if accountant is not None and sample_rate is None:
+            raise ValueError("sample_rate is required when an accountant is attached")
+        if lot_size is not None and lot_size < 1:
+            raise ValueError(f"lot_size must be >= 1, got {lot_size}")
+        self.lot_size = lot_size
+        #: Noisy averaged gradient of the most recent step (for diagnostics).
+        self.last_noisy_gradient: np.ndarray | None = None
+
+    def clipped_sum(self, per_sample_grads) -> np.ndarray:
+        """Clip per-sample gradients and sum them (the accumulation unit)."""
+        grads = check_matrix("per_sample_grads", per_sample_grads)
+        if grads.shape[0] == 0:
+            return np.zeros(grads.shape[1])
+        return self.clipping.clip(grads).sum(axis=0)
+
+    def noisy_gradient_presummed(self, clipped_sum: np.ndarray, count: int) -> np.ndarray:
+        """Noise an already clipped-and-summed gradient (Eq. 8 aggregation).
+
+        ``count`` is the number of samples in the sum; ignored when a fixed
+        ``lot_size`` is configured.
+        """
+        denominator = self.lot_size if self.lot_size is not None else count
+        if denominator < 1:
+            raise ValueError(
+                "empty batch with no lot_size: set lot_size for Poisson sampling"
+            )
+        scale = self.noise_multiplier * self.clipping.sensitivity()
+        noise = (
+            self.rng.normal(0.0, scale, size=clipped_sum.shape) if scale > 0 else 0.0
+        )
+        return (clipped_sum + noise) / denominator
+
+    def noisy_gradient(self, per_sample_grads) -> np.ndarray:
+        """Clip, aggregate and noise per-sample gradients into one update direction."""
+        grads = check_matrix("per_sample_grads", per_sample_grads)
+        return self.noisy_gradient_presummed(self.clipped_sum(grads), grads.shape[0])
+
+    def _descend(self, params: np.ndarray, noisy: np.ndarray) -> np.ndarray:
+        """Apply the (optionally momentum-accelerated) descent step.
+
+        Momentum is applied to the already-noised gradient, so the privacy
+        analysis is unchanged (post-processing of the DP release).
+        """
+        if self.momentum == 0.0:
+            return params - self.learning_rate * noisy
+        if self._velocity is None:
+            self._velocity = np.zeros_like(params)
+        self._velocity = self.momentum * self._velocity + noisy
+        return params - self.learning_rate * self._velocity
+
+    def step(self, params: np.ndarray, per_sample_grads) -> np.ndarray:
+        """One DP-SGD update; returns the new parameter vector."""
+        noisy = self.noisy_gradient(per_sample_grads)
+        self.last_noisy_gradient = noisy
+        if self.accountant is not None:
+            self.accountant.step(max(self.noise_multiplier, 1e-12), self.sample_rate)
+        return self._descend(params, noisy)
+
+    def step_presummed(self, params: np.ndarray, clipped_sum: np.ndarray, count: int) -> np.ndarray:
+        """One update from an accumulated clipped sum (gradient accumulation)."""
+        noisy = self.noisy_gradient_presummed(clipped_sum, count)
+        self.last_noisy_gradient = noisy
+        if self.accountant is not None:
+            self.accountant.step(max(self.noise_multiplier, 1e-12), self.sample_rate)
+        return self._descend(params, noisy)
+
+    def __repr__(self) -> str:
+        return (
+            f"DpSgdOptimizer(lr={self.learning_rate}, clipping={self.clipping!r}, "
+            f"sigma={self.noise_multiplier})"
+        )

@@ -1,0 +1,95 @@
+"""GeoDP-Adam: the paper's named future-work direction (§VII).
+
+"As for future work, we plan to study the impact of mainstream training
+optimizations, such as Adam optimizer [54], on GeoDP."  This module
+implements the natural composition: the per-iteration released quantity is
+GeoDP's geometrically perturbed averaged gradient (identical privacy
+analysis to GeoDP-SGD), which then drives Adam's moment estimates instead
+of a plain SGD step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.perturbation import perturb_geodp
+from repro.core.sgd import AdamOptimizer
+from repro.geometry.bounding import delta_prime_upper_bound
+from repro.privacy.clipping import ClippingStrategy, FlatClipping
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_matrix, check_positive, check_probability
+
+__all__ = ["GeoDpAdamOptimizer"]
+
+
+class GeoDpAdamOptimizer(AdamOptimizer):
+    """Adam driven by GeoDP-perturbed gradients."""
+
+    requires_per_sample = True
+
+    def __init__(
+        self,
+        learning_rate: float,
+        clipping: float | ClippingStrategy,
+        noise_multiplier: float,
+        beta: float,
+        rng=None,
+        *,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        accountant=None,
+        sample_rate: float | None = None,
+        sensitivity_mode: str = "per_angle",
+    ):
+        super().__init__(learning_rate, beta1=beta1, beta2=beta2, eps=eps)
+        if isinstance(clipping, (int, float)):
+            clipping = FlatClipping(float(clipping))
+        self.clipping = clipping
+        self.noise_multiplier = check_positive(
+            "noise_multiplier", noise_multiplier, strict=False
+        )
+        self.beta = check_probability("beta", beta)
+        if sensitivity_mode not in ("total", "per_angle"):
+            raise ValueError(
+                f"sensitivity_mode must be 'total' or 'per_angle', got {sensitivity_mode!r}"
+            )
+        self.sensitivity_mode = sensitivity_mode
+        self.rng = as_rng(rng)
+        self.accountant = accountant
+        self.sample_rate = sample_rate
+        if accountant is not None and sample_rate is None:
+            raise ValueError("sample_rate is required when an accountant is attached")
+        self.last_noisy_gradient: np.ndarray | None = None
+
+    @property
+    def delta_prime(self) -> float:
+        """Lemma 2's bound on the direction release's extra delta."""
+        return delta_prime_upper_bound(self.beta)
+
+    def step(self, params: np.ndarray, per_sample_grads) -> np.ndarray:
+        """GeoDP perturbation of the clipped average, then an Adam update."""
+        grads = check_matrix("per_sample_grads", per_sample_grads)
+        batch_size = grads.shape[0]
+        clipped = self.clipping.clip(grads)
+        avg = clipped.mean(axis=0)
+        noisy = perturb_geodp(
+            avg,
+            self.clipping.sensitivity(),
+            self.noise_multiplier,
+            batch_size,
+            self.beta,
+            self.rng,
+            clip=False,
+            sensitivity_mode=self.sensitivity_mode,
+        )
+        self.last_noisy_gradient = noisy
+        if self.accountant is not None:
+            self.accountant.step(max(self.noise_multiplier, 1e-12), self.sample_rate)
+        return AdamOptimizer.step(self, params, noisy)
+
+    def __repr__(self) -> str:
+        return (
+            f"GeoDpAdamOptimizer(lr={self.learning_rate}, clipping={self.clipping!r}, "
+            f"sigma={self.noise_multiplier}, beta={self.beta})"
+        )

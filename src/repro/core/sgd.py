@@ -1,0 +1,136 @@
+"""Non-private optimizers and DP-Adam.
+
+The paper's noise-free baseline is mini-batch SGD without momentum (§II-B);
+Momentum/Adam are provided as substrate for the "future work" direction the
+paper names (DP-Adam [54]) and for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.privacy.clipping import ClippingStrategy, FlatClipping
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_in_range, check_matrix, check_positive
+
+__all__ = ["SgdOptimizer", "AdamOptimizer", "DpAdamOptimizer"]
+
+
+class SgdOptimizer:
+    """Plain SGD, optionally with classical momentum."""
+
+    requires_per_sample = False
+
+    def __init__(self, learning_rate: float, *, momentum: float = 0.0):
+        self.learning_rate = check_positive("learning_rate", learning_rate)
+        self.momentum = check_in_range("momentum", momentum, 0.0, 1.0, inclusive_high=False)
+        self._velocity: np.ndarray | None = None
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """One (momentum-)SGD update on the mean gradient."""
+        if self.momentum == 0.0:
+            return params - self.learning_rate * grad
+        if self._velocity is None:
+            self._velocity = np.zeros_like(params)
+        self._velocity = self.momentum * self._velocity + grad
+        return params - self.learning_rate * self._velocity
+
+    def __repr__(self) -> str:
+        return f"SgdOptimizer(lr={self.learning_rate}, momentum={self.momentum})"
+
+
+class AdamOptimizer:
+    """Adam (Kingma & Ba 2015) on mean gradients."""
+
+    requires_per_sample = False
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        *,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        self.learning_rate = check_positive("learning_rate", learning_rate)
+        self.beta1 = check_in_range("beta1", beta1, 0.0, 1.0, inclusive_high=False)
+        self.beta2 = check_in_range("beta2", beta2, 0.0, 1.0, inclusive_high=False)
+        self.eps = check_positive("eps", eps)
+        self._m: np.ndarray | None = None
+        self._v: np.ndarray | None = None
+        self._t = 0
+
+    def _moments(self, grad: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if self._m is None:
+            self._m = np.zeros_like(grad)
+            self._v = np.zeros_like(grad)
+        self._t += 1
+        self._m = self.beta1 * self._m + (1 - self.beta1) * grad
+        self._v = self.beta2 * self._v + (1 - self.beta2) * grad**2
+        m_hat = self._m / (1 - self.beta1**self._t)
+        v_hat = self._v / (1 - self.beta2**self._t)
+        return m_hat, v_hat
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """One Adam update on the mean gradient."""
+        m_hat, v_hat = self._moments(grad)
+        return params - self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def __repr__(self) -> str:
+        return f"AdamOptimizer(lr={self.learning_rate})"
+
+
+class DpAdamOptimizer(AdamOptimizer):
+    """DP-Adam: per-sample clip + Gaussian noise, then Adam moments (ref [54]).
+
+    The privacy analysis is identical to DP-SGD (the noisy averaged gradient
+    is the only data-dependent quantity entering the moments), so the same
+    accountant applies.
+    """
+
+    requires_per_sample = True
+
+    def __init__(
+        self,
+        learning_rate: float,
+        clipping: float | ClippingStrategy,
+        noise_multiplier: float,
+        rng=None,
+        *,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        accountant=None,
+        sample_rate: float | None = None,
+    ):
+        super().__init__(learning_rate, beta1=beta1, beta2=beta2, eps=eps)
+        if isinstance(clipping, (int, float)):
+            clipping = FlatClipping(float(clipping))
+        self.clipping = clipping
+        self.noise_multiplier = check_positive(
+            "noise_multiplier", noise_multiplier, strict=False
+        )
+        self.rng = as_rng(rng)
+        self.accountant = accountant
+        self.sample_rate = sample_rate
+        if accountant is not None and sample_rate is None:
+            raise ValueError("sample_rate is required when an accountant is attached")
+
+    def step(self, params: np.ndarray, per_sample_grads) -> np.ndarray:
+        """Clip + noise the batch gradient, then apply Adam."""
+        grads = check_matrix("per_sample_grads", per_sample_grads)
+        batch_size = grads.shape[0]
+        clipped = self.clipping.clip(grads)
+        summed = clipped.sum(axis=0)
+        scale = self.noise_multiplier * self.clipping.sensitivity()
+        noise = self.rng.normal(0.0, scale, size=summed.shape) if scale > 0 else 0.0
+        noisy_avg = (summed + noise) / batch_size
+        if self.accountant is not None:
+            self.accountant.step(max(self.noise_multiplier, 1e-12), self.sample_rate)
+        return super().step(params, noisy_avg)
+
+    def __repr__(self) -> str:
+        return (
+            f"DpAdamOptimizer(lr={self.learning_rate}, clipping={self.clipping!r}, "
+            f"sigma={self.noise_multiplier})"
+        )

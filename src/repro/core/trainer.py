@@ -1,0 +1,265 @@
+"""Training loop tying model, optimizer, sampler, accountant and techniques.
+
+The trainer is deliberately simple: one uniform minibatch per iteration
+(the paper's setting), per-sample or mean gradients depending on what the
+optimizer requires, optional importance sampling of the batch (IS) and
+optional selective update/release (SUR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.techniques import ImportanceSampling, SelectiveUpdateRelease
+from repro.data.sampling import minibatch_indices
+from repro.utils.rng import as_rng
+
+__all__ = ["Trainer", "TrainingHistory"]
+
+
+@dataclass
+class TrainingHistory:
+    """Metrics recorded during :meth:`Trainer.train`."""
+
+    #: Mean train-batch loss per iteration.
+    losses: list[float] = field(default_factory=list)
+    #: ``(iteration, accuracy)`` pairs at evaluation points.
+    test_accuracy: list[tuple[int, float]] = field(default_factory=list)
+    #: Total iterations run.
+    iterations: int = 0
+    #: SUR acceptance rate, if SUR was active.
+    sur_acceptance_rate: float | None = None
+
+    @property
+    def final_loss(self) -> float:
+        """Last recorded training loss."""
+        if not self.losses:
+            raise ValueError("no losses recorded")
+        return self.losses[-1]
+
+    @property
+    def final_accuracy(self) -> float:
+        """Last recorded test accuracy."""
+        if not self.test_accuracy:
+            raise ValueError("no accuracy recorded")
+        return self.test_accuracy[-1][1]
+
+
+class Trainer:
+    """Iteration-driven trainer for :class:`repro.nn.Sequential` models.
+
+    Parameters
+    ----------
+    model:
+        The model to train (modified in place).
+    optimizer:
+        Any optimizer from :mod:`repro.core`; its ``requires_per_sample``
+        attribute selects the gradient path.
+    train_data / test_data:
+        :class:`repro.data.Dataset` instances.
+    batch_size:
+        Mini-batch size ``B``.
+    importance_sampling:
+        Optional :class:`ImportanceSampling`.  A candidate pool of
+        ``pool_factor * B`` samples is drawn uniformly; the batch is then
+        chosen from the pool by gradient-norm importance, reusing the pool's
+        per-sample gradients (no second backward pass).
+    sur:
+        Optional :class:`SelectiveUpdateRelease`; rejected updates are rolled
+        back.  Validation uses a fixed held-out slice of the training data.
+    augment:
+        Optional callable applied to each training batch's inputs (e.g. a
+        :class:`repro.data.Augmenter`).  Label-preserving augmentation does
+        not change the privacy analysis (one clipped gradient per sample).
+    """
+
+    def __init__(
+        self,
+        model,
+        optimizer,
+        train_data,
+        *,
+        batch_size: int,
+        test_data=None,
+        rng=None,
+        importance_sampling: ImportanceSampling | None = None,
+        sur: SelectiveUpdateRelease | None = None,
+        pool_factor: int = 2,
+        sur_eval_size: int = 256,
+        augment=None,
+        sampling: str = "uniform",
+        microbatch_size: int | None = None,
+    ):
+        if batch_size < 1 or batch_size > len(train_data):
+            raise ValueError(
+                f"batch_size must be in [1, {len(train_data)}], got {batch_size}"
+            )
+        if pool_factor < 1:
+            raise ValueError(f"pool_factor must be >= 1, got {pool_factor}")
+        self.model = model
+        self.optimizer = optimizer
+        self.train_data = train_data
+        self.test_data = test_data
+        self.batch_size = batch_size
+        self.rng = as_rng(rng)
+        self.importance_sampling = importance_sampling
+        self.sur = sur
+        self.pool_factor = pool_factor
+        self.augment = augment
+        if sampling not in ("uniform", "poisson"):
+            raise ValueError(f"sampling must be 'uniform' or 'poisson', got {sampling!r}")
+        if sampling == "poisson":
+            if importance_sampling is not None:
+                raise ValueError("poisson sampling cannot combine with importance sampling")
+            if not getattr(optimizer, "requires_per_sample", False):
+                raise ValueError("poisson sampling requires a per-sample (DP) optimizer")
+            # Poisson batches vary in size, so the aggregation denominator
+            # must be the fixed expected lot size, not the realised count.
+            if getattr(optimizer, "lot_size", None) is None and hasattr(
+                optimizer, "lot_size"
+            ):
+                optimizer.lot_size = batch_size
+        self.sampling = sampling
+        if microbatch_size is not None:
+            if microbatch_size < 1:
+                raise ValueError(f"microbatch_size must be >= 1, got {microbatch_size}")
+            if importance_sampling is not None:
+                raise ValueError("microbatching cannot combine with importance sampling")
+            if not hasattr(optimizer, "clipped_sum"):
+                raise ValueError(
+                    f"{type(optimizer).__name__} does not support gradient accumulation"
+                )
+        self.microbatch_size = microbatch_size
+        if sur is not None:
+            eval_n = min(sur_eval_size, len(train_data))
+            eval_idx = self.rng.choice(len(train_data), size=eval_n, replace=False)
+            self._sur_eval = train_data.batch(eval_idx)
+        else:
+            self._sur_eval = None
+
+    # ------------------------------------------------------------------ steps
+    def _draw_indices(self, n: int) -> np.ndarray:
+        if self.sampling == "poisson":
+            from repro.data.sampling import poisson_indices
+
+            return poisson_indices(n, min(self.batch_size / n, 1.0), self.rng)
+        return minibatch_indices(n, self.batch_size, self.rng)
+
+    def _accumulated_step(self, params: np.ndarray, idx: np.ndarray) -> tuple[np.ndarray, float]:
+        """Gradient-accumulation path: clip+sum per microbatch, noise once."""
+        total = np.zeros(self.model.num_params)
+        losses: list[float] = []
+        for start in range(0, len(idx), self.microbatch_size):
+            chunk = idx[start : start + self.microbatch_size]
+            x, y = self.train_data.batch(chunk)
+            if self.augment is not None:
+                x = self.augment(x)
+            chunk_losses, grads = self.model.loss_and_per_sample_gradients(x, y)
+            total += self.optimizer.clipped_sum(grads)
+            losses.extend(chunk_losses.tolist())
+        new_params = self.optimizer.step_presummed(params, total, len(idx))
+        batch_loss = float(np.mean(losses)) if losses else float("nan")
+        return new_params, batch_loss
+
+    def _per_sample_step(self, params: np.ndarray) -> tuple[np.ndarray, float]:
+        n = len(self.train_data)
+        if self.microbatch_size is not None or self.sampling == "poisson":
+            idx = self._draw_indices(n)
+            if self.microbatch_size is not None:
+                return self._accumulated_step(params, idx)
+            x, y = self.train_data.batch(idx)
+            if self.augment is not None and len(idx):
+                x = self.augment(x)
+            if len(idx):
+                losses, grads = self.model.loss_and_per_sample_gradients(x, y)
+                batch_loss = float(np.mean(losses))
+            else:
+                # Empty Poisson batch: the mechanism still releases pure
+                # noise (sum of zero clipped gradients plus Gaussian).
+                grads = np.zeros((0, self.model.num_params))
+                batch_loss = float("nan")
+            return self.optimizer.step(params, grads), batch_loss
+        if self.importance_sampling is not None:
+            pool_size = min(self.pool_factor * self.batch_size, n)
+            pool_idx = minibatch_indices(n, pool_size, self.rng)
+            x, y = self.train_data.batch(pool_idx)
+            if self.augment is not None:
+                x = self.augment(x)
+            losses, grads = self.model.loss_and_per_sample_gradients(x, y)
+            norms = np.linalg.norm(grads, axis=1)
+            chosen = self.importance_sampling.select(norms, self.batch_size, self.rng)
+            losses, grads = losses[chosen], grads[chosen]
+        else:
+            idx = minibatch_indices(n, self.batch_size, self.rng)
+            x, y = self.train_data.batch(idx)
+            if self.augment is not None:
+                x = self.augment(x)
+            losses, grads = self.model.loss_and_per_sample_gradients(x, y)
+        new_params = self.optimizer.step(params, grads)
+        return new_params, float(np.mean(losses))
+
+    def _mean_step(self, params: np.ndarray) -> tuple[np.ndarray, float]:
+        idx = minibatch_indices(len(self.train_data), self.batch_size, self.rng)
+        x, y = self.train_data.batch(idx)
+        if self.augment is not None:
+            x = self.augment(x)
+        loss, grad = self.model.loss_and_gradient(x, y)
+        return self.optimizer.step(params, grad), loss
+
+    def train_epochs(self, num_epochs: int, *, eval_every: int = 0) -> TrainingHistory:
+        """Convenience: run ``ceil(N / B) * num_epochs`` iterations."""
+        if num_epochs < 1:
+            raise ValueError(f"num_epochs must be >= 1, got {num_epochs}")
+        steps_per_epoch = -(-len(self.train_data) // self.batch_size)
+        return self.train(steps_per_epoch * num_epochs, eval_every=eval_every)
+
+    def train(self, num_iterations: int, *, eval_every: int = 0) -> TrainingHistory:
+        """Run ``num_iterations`` optimizer steps; returns the metric history."""
+        if num_iterations < 1:
+            raise ValueError(f"num_iterations must be >= 1, got {num_iterations}")
+        history = TrainingHistory()
+        per_sample = getattr(self.optimizer, "requires_per_sample", False)
+
+        for iteration in range(1, num_iterations + 1):
+            params = self.model.get_params()
+            if self.sur is not None:
+                loss_before = self.model.mean_loss(*self._sur_eval)
+
+            if per_sample:
+                new_params, batch_loss = self._per_sample_step(params)
+            else:
+                new_params, batch_loss = self._mean_step(params)
+            self.model.set_params(new_params)
+
+            if self.sur is not None:
+                loss_after = self.model.mean_loss(*self._sur_eval)
+                if not self.sur.should_accept(loss_before, loss_after):
+                    self.model.set_params(params)  # roll back rejected update
+
+            history.losses.append(batch_loss)
+            history.iterations = iteration
+            if eval_every and self.test_data is not None and iteration % eval_every == 0:
+                history.test_accuracy.append((iteration, self.evaluate()))
+
+        if eval_every and self.test_data is not None and (
+            not history.test_accuracy or history.test_accuracy[-1][0] != num_iterations
+        ):
+            history.test_accuracy.append((num_iterations, self.evaluate()))
+        if self.sur is not None:
+            history.sur_acceptance_rate = self.sur.acceptance_rate
+        return history
+
+    def evaluate(self, *, max_samples: int | None = None, chunk: int = 512) -> float:
+        """Test accuracy, computed in chunks to bound memory."""
+        if self.test_data is None:
+            raise ValueError("no test_data attached")
+        x, y = self.test_data.x, self.test_data.y
+        if max_samples is not None:
+            x, y = x[:max_samples], y[:max_samples]
+        correct = 0
+        for start in range(0, len(y), chunk):
+            preds = self.model.predict(x[start : start + chunk])
+            correct += int(np.sum(preds == y[start : start + chunk]))
+        return correct / len(y)

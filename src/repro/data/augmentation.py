@@ -1,0 +1,101 @@
+"""Image augmentation for ``(B, C, H, W)`` tensors.
+
+Standard label-preserving transforms (the CIFAR recipe: pad-and-crop,
+horizontal flip, plus pixel noise).  Augmentation composes cleanly with
+DP-SGD: transforms are applied per sample before the forward pass and do
+not touch the privacy analysis (each sample still contributes one clipped
+gradient).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["random_horizontal_flip", "random_crop", "add_pixel_noise", "Augmenter"]
+
+
+def random_horizontal_flip(images, rng=None, *, probability: float = 0.5) -> np.ndarray:
+    """Flip each image left-right independently with ``probability``."""
+    if not 0 <= probability <= 1:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 4:
+        raise ValueError(f"expected (B, C, H, W), got {images.shape}")
+    rng = as_rng(rng)
+    out = images.copy()
+    flip = rng.random(images.shape[0]) < probability
+    out[flip] = out[flip, :, :, ::-1]
+    return out
+
+
+def random_crop(images, rng=None, *, padding: int = 2) -> np.ndarray:
+    """Zero-pad by ``padding`` then crop back at a random per-image offset."""
+    if padding < 0:
+        raise ValueError(f"padding must be >= 0, got {padding}")
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 4:
+        raise ValueError(f"expected (B, C, H, W), got {images.shape}")
+    if padding == 0:
+        return images.copy()
+    rng = as_rng(rng)
+    batch, channels, height, width = images.shape
+    padded = np.pad(
+        images, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    )
+    out = np.empty_like(images)
+    tops = rng.integers(0, 2 * padding + 1, size=batch)
+    lefts = rng.integers(0, 2 * padding + 1, size=batch)
+    for i in range(batch):
+        out[i] = padded[i, :, tops[i] : tops[i] + height, lefts[i] : lefts[i] + width]
+    return out
+
+
+def add_pixel_noise(images, rng=None, *, std: float = 0.02, clip01: bool = True) -> np.ndarray:
+    """Add i.i.d. Gaussian pixel noise; optionally clamp back to [0, 1]."""
+    check_positive("std", std, strict=False)
+    images = np.asarray(images, dtype=np.float64)
+    rng = as_rng(rng)
+    out = images + rng.normal(0.0, std, size=images.shape)
+    return np.clip(out, 0.0, 1.0) if clip01 else out
+
+
+class Augmenter:
+    """Composable augmentation pipeline applied at batch time.
+
+    Example::
+
+        augment = Augmenter(flip=True, crop_padding=2, noise_std=0.02, rng=0)
+        x_aug = augment(x_batch)
+    """
+
+    def __init__(
+        self,
+        *,
+        flip: bool = True,
+        crop_padding: int = 0,
+        noise_std: float = 0.0,
+        rng=None,
+    ):
+        self.flip = flip
+        self.crop_padding = crop_padding
+        self.noise_std = noise_std
+        self._rng = as_rng(rng)
+
+    def __call__(self, images) -> np.ndarray:
+        out = np.asarray(images, dtype=np.float64)
+        if self.crop_padding:
+            out = random_crop(out, self._rng, padding=self.crop_padding)
+        if self.flip:
+            out = random_horizontal_flip(out, self._rng)
+        if self.noise_std > 0:
+            out = add_pixel_noise(out, self._rng, std=self.noise_std)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Augmenter(flip={self.flip}, crop_padding={self.crop_padding}, "
+            f"noise_std={self.noise_std})"
+        )

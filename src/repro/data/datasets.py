@@ -1,0 +1,75 @@
+"""In-memory labelled dataset container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["Dataset", "train_test_split"]
+
+
+@dataclass
+class Dataset:
+    """Features ``x`` (N, ...) and integer labels ``y`` (N,)."""
+
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self):
+        self.x = np.asarray(self.x, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.int64)
+        if self.x.shape[0] != self.y.shape[0]:
+            raise ValueError(
+                f"x has {self.x.shape[0]} samples but y has {self.y.shape[0]}"
+            )
+        if self.y.ndim != 1:
+            raise ValueError(f"y must be 1-D, got shape {self.y.shape}")
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct classes (assumes labels 0..K-1)."""
+        return int(self.y.max()) + 1 if len(self) else 0
+
+    def subset(self, indices) -> "Dataset":
+        """New dataset restricted to ``indices``."""
+        indices = np.asarray(indices)
+        return Dataset(self.x[indices], self.y[indices])
+
+    def shuffled(self, rng=None) -> "Dataset":
+        """New dataset with rows permuted."""
+        perm = as_rng(rng).permutation(len(self))
+        return self.subset(perm)
+
+    def batch(self, indices) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(x[indices], y[indices])``."""
+        indices = np.asarray(indices)
+        return self.x[indices], self.y[indices]
+
+    def normalized(self) -> "Dataset":
+        """Feature-wise standardisation to zero mean / unit std (global stats)."""
+        mean = self.x.mean()
+        std = self.x.std()
+        if std == 0:
+            std = 1.0
+        return Dataset((self.x - mean) / std, self.y)
+
+    def class_counts(self) -> np.ndarray:
+        """Histogram of labels over 0..num_classes-1."""
+        return np.bincount(self.y, minlength=self.num_classes)
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.2, rng=None
+) -> tuple[Dataset, Dataset]:
+    """Random split into ``(train, test)`` with ``test_fraction`` held out."""
+    if not 0 < test_fraction < 1:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    perm = as_rng(rng).permutation(len(dataset))
+    n_test = max(1, int(round(test_fraction * len(dataset))))
+    return dataset.subset(perm[n_test:]), dataset.subset(perm[:n_test])

@@ -1,0 +1,50 @@
+"""Minibatch samplers.
+
+DP accounting depends on how batches are drawn: Poisson sampling (each
+record independently with probability ``q``) gives the subsampled-Gaussian
+RDP amplification used by the accountant, while fixed-size uniform sampling
+is the common practical approximation (and what the paper's experiments
+use, with ``q ~= B/N``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["minibatch_indices", "poisson_indices", "iterate_minibatches"]
+
+
+def minibatch_indices(n: int, batch_size: int, rng=None) -> np.ndarray:
+    """Draw one uniform fixed-size batch of indices without replacement."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 1 <= batch_size <= n:
+        raise ValueError(f"batch_size must be in [1, {n}], got {batch_size}")
+    return as_rng(rng).choice(n, size=batch_size, replace=False)
+
+
+def poisson_indices(n: int, sample_rate: float, rng=None) -> np.ndarray:
+    """Poisson sampling: include each index independently with probability ``sample_rate``.
+
+    May return an empty batch — callers (and the accountant) must tolerate
+    that, as real Poisson-subsampled DP-SGD does.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0 < sample_rate <= 1:
+        raise ValueError(f"sample_rate must be in (0, 1], got {sample_rate}")
+    mask = as_rng(rng).random(n) < sample_rate
+    return np.flatnonzero(mask)
+
+
+def iterate_minibatches(
+    n: int, batch_size: int, num_batches: int, rng=None
+) -> Iterator[np.ndarray]:
+    """Yield ``num_batches`` independent uniform batches (one per SGD iteration)."""
+    rng = as_rng(rng)
+    for _ in range(num_batches):
+        yield minibatch_indices(n, batch_size, rng)

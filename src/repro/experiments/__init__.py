@@ -1,0 +1,53 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Every experiment exposes ``run_*(scale=..., rng=...)`` returning a plain
+dict of series/rows plus a ``format_*`` function rendering the same table
+the paper reports.  ``scale`` selects parameter presets:
+
+* ``"smoke"`` — seconds; used by the benchmark suite's default run.
+* ``"ci"`` — minutes; closer to the paper's parameter ranges.
+* ``"paper"`` — the paper's sizes (hours on CPU; provided for completeness).
+
+EXPERIMENTS.md records paper-vs-measured for each experiment at the scale
+actually run.
+"""
+
+from repro.experiments.fig1 import run_fig1, format_fig1
+from repro.experiments.fig3 import run_fig3, format_fig3
+from repro.experiments.fig4 import run_fig4, format_fig4
+from repro.experiments.fig5 import run_fig5, format_fig5
+from repro.experiments.fig6 import run_fig6, format_fig6
+from repro.experiments.table2 import run_table2, format_table2
+from repro.experiments.table3 import run_table3, format_table3
+from repro.experiments.theory_validation import (
+    run_theory_validation,
+    format_theory_validation,
+)
+from repro.experiments.privacy_utility import run_privacy_utility, format_privacy_utility
+from repro.experiments.mia import run_mia, format_mia
+from repro.experiments.concentration import run_concentration, format_concentration
+
+__all__ = [
+    "run_fig1",
+    "format_fig1",
+    "run_fig3",
+    "format_fig3",
+    "run_fig4",
+    "format_fig4",
+    "run_fig5",
+    "format_fig5",
+    "run_fig6",
+    "format_fig6",
+    "run_table2",
+    "format_table2",
+    "run_table3",
+    "format_table3",
+    "run_theory_validation",
+    "format_theory_validation",
+    "run_privacy_utility",
+    "format_privacy_utility",
+    "run_mia",
+    "format_mia",
+    "run_concentration",
+    "format_concentration",
+]

@@ -1,0 +1,117 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.perturbation import (
+    clip_gradients,
+    perturb_dp_batch,
+    perturb_geodp_batch,
+)
+from repro.geometry.metrics import direction_mse, gradient_mse
+from repro.geometry.spherical import to_spherical_batch
+
+__all__ = ["SCALES", "check_scale", "gradient_workload", "mse_comparison"]
+
+SCALES = ("smoke", "ci", "paper")
+
+
+def check_scale(scale: str) -> str:
+    """Validate an experiment scale name."""
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+    return scale
+
+
+def gradient_workload(num: int, dim: int, rng, *, source: str = "synthetic") -> np.ndarray:
+    """Gradient batch for the MSE experiments.
+
+    ``source="synthetic"`` draws from the concentrated-direction generator
+    (fast; used at smoke scale).  ``source="collected"`` follows the paper's
+    §VI-A protocol exactly: gradients recorded from non-private CNN training
+    at B = 1 on the CIFAR-like data, with ``dim`` randomly chosen
+    coordinates kept.
+    """
+    if source == "synthetic":
+        from repro.data.gradients import synthetic_gradient_batch
+
+        return synthetic_gradient_batch(num, dim, rng)
+    if source == "collected":
+        from repro.data.cifar_like import make_cifar_like
+        from repro.data.gradients import collect_training_gradients
+        from repro.models.cnn import build_cnn
+
+        # Pick the smallest collector CNN whose parameter count covers dim.
+        for size, channels in ((16, (4, 8)), (28, (8, 16)), (32, (16, 32))):
+            model = build_cnn(input_shape=(3, size, size), channels=channels, rng=0)
+            if model.num_params >= dim:
+                break
+        else:
+            raise ValueError(
+                f"dim={dim} exceeds the largest collector model "
+                f"({model.num_params} parameters)"
+            )
+        dataset = make_cifar_like(max(200, num // 2), rng, size=size)
+        grads = collect_training_gradients(model, dataset, num, rng)
+
+        # Real gradients contain dead (always ~0) coordinates — e.g. weights
+        # behind permanently inactive ReLUs.  Their angles are numerically
+        # degenerate (arctan2 of two near-zeros), which floors the direction
+        # MSE for *both* schemes and drowns the comparison; we therefore
+        # sample the kept coordinates among the active ones.  Documented in
+        # EXPERIMENTS.md ("ill-conditioned angles on sparse gradients").
+        activity = np.abs(grads).mean(axis=0)
+        threshold = 1e-4 * activity.max()
+        active = np.flatnonzero(activity > threshold)
+        if len(active) < dim:
+            active = np.argsort(activity)[-dim:]
+        keep = np.sort(rng.choice(active, size=dim, replace=False))
+        return grads[:, keep]
+    raise ValueError(f"source must be 'synthetic' or 'collected', got {source!r}")
+
+
+def mse_comparison(
+    grads: np.ndarray,
+    clip_norm: float,
+    noise_multiplier: float,
+    batch_size: int,
+    beta: float,
+    rng,
+    *,
+    repeats: int = 1,
+    sensitivity_mode: str = "total",
+) -> dict[str, float]:
+    """MSEs of DP vs GeoDP on one gradient batch (the Fig. 1/3/4 measurement).
+
+    Gradients are clipped once; both schemes perturb the *same* clipped
+    gradients.  Direction MSE follows Definition 4 (angle vectors); gradient
+    MSE is the plain squared error.  Results are averaged over ``repeats``
+    independent noise draws.
+    """
+    clipped = clip_gradients(grads, clip_norm)
+    _, theta_true = to_spherical_batch(clipped)
+
+    keys = ("dp_theta", "geo_theta", "dp_g", "geo_g")
+    acc = dict.fromkeys(keys, 0.0)
+    for _ in range(repeats):
+        dp = perturb_dp_batch(
+            clipped, clip_norm, noise_multiplier, batch_size, rng, clip=False
+        )
+        geo = perturb_geodp_batch(
+            clipped,
+            clip_norm,
+            noise_multiplier,
+            batch_size,
+            beta,
+            rng,
+            clip=False,
+            sensitivity_mode=sensitivity_mode,
+        )
+        _, theta_dp = to_spherical_batch(dp)
+        _, theta_geo = to_spherical_batch(geo)
+        acc["dp_theta"] += direction_mse(theta_dp, theta_true)
+        acc["geo_theta"] += direction_mse(theta_geo, theta_true)
+        acc["dp_g"] += gradient_mse(dp, clipped)
+        acc["geo_g"] += gradient_mse(geo, clipped)
+    return {k: v / repeats for k, v in acc.items()}

@@ -1,0 +1,134 @@
+"""Figure 3: MSE of GeoDP vs DP under varying sigma, dimension and batch size.
+
+Nine panels in the paper: each of three sweeps (noise multiplier sigma,
+dimensionality d, batch size B) at three bounding factors beta.  The headline
+shapes: at beta = 1 GeoDP loses on directions once sigma or d is large;
+shrinking beta restores (and extends) GeoDP's advantage on *both* direction
+and gradient MSE; batch size reduces GeoDP's direction error strongly.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import check_scale, gradient_workload, mse_comparison
+from repro.utils.rng import as_rng
+from repro.utils.tables import format_table
+
+__all__ = ["run_fig3", "format_fig3"]
+
+_PRESETS = {
+    "smoke": {
+        "num": 30,
+        "betas": (1.0, 0.1, 0.01),
+        "sigma_sweep": {"d": 300, "B": 2048, "sigmas": (1e-3, 1e-1, 1.0)},
+        "dim_sweep": {"sigma": 8.0, "B": 4096, "dims": (100, 300, 1000)},
+        "batch_sweep": {"d": 500, "sigma": 8.0, "batches": (512, 2048, 8192)},
+        "repeats": 2,
+        "source": "synthetic",
+    },
+    "ci": {
+        "num": 120,
+        "betas": (1.0, 0.1, 0.01),
+        "sigma_sweep": {
+            "d": 2000,
+            "B": 2048,
+            "sigmas": (1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0),
+        },
+        "dim_sweep": {
+            "sigma": 8.0,
+            "B": 4096,
+            "dims": (200, 500, 1000, 2000, 5000),
+        },
+        "batch_sweep": {
+            "d": 2000,
+            "sigma": 8.0,
+            "batches": (512, 1024, 2048, 4096, 8192, 16384),
+        },
+        "repeats": 3,
+        "source": "collected",
+    },
+    "paper": {
+        "num": 1000,
+        "betas": (1.0, 0.1, 0.01),
+        "sigma_sweep": {
+            "d": 5000,
+            "B": 2048,
+            "sigmas": (1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0),
+        },
+        "dim_sweep": {
+            "sigma": 8.0,
+            "B": 4096,
+            "dims": (500, 1000, 2000, 5000, 10000, 20000),
+        },
+        "batch_sweep": {
+            "d": 10000,
+            "sigma": 8.0,
+            "batches": (512, 1024, 2048, 4096, 8192, 16384),
+        },
+        "repeats": 5,
+        "source": "collected",
+    },
+}
+
+
+def run_fig3(scale: str = "smoke", rng=None, *, clip_norm: float = 0.1) -> dict:
+    """Run all three Figure 3 sweeps at every bounding factor."""
+    check_scale(scale)
+    preset = _PRESETS[scale]
+    rng = as_rng(rng)
+    num = preset["num"]
+    repeats = preset["repeats"]
+    out: dict = {"scale": scale, "betas": preset["betas"], "panels": {}}
+
+    # (a-c): sigma sweep at fixed d, B.
+    cfg = preset["sigma_sweep"]
+    grads = gradient_workload(num, cfg["d"], rng, source=preset["source"])
+    panel = []
+    for beta in preset["betas"]:
+        for sigma in cfg["sigmas"]:
+            mses = mse_comparison(
+                grads, clip_norm, sigma, cfg["B"], beta, rng, repeats=repeats
+            )
+            panel.append({"beta": beta, "x": sigma, **mses})
+    out["panels"]["sigma"] = {"config": cfg, "rows": panel}
+
+    # (d-f): dimension sweep at fixed sigma, B.
+    cfg = preset["dim_sweep"]
+    panel = []
+    for dim in cfg["dims"]:
+        grads = gradient_workload(num, dim, rng, source=preset["source"])
+        for beta in preset["betas"]:
+            mses = mse_comparison(
+                grads, clip_norm, cfg["sigma"], cfg["B"], beta, rng, repeats=repeats
+            )
+            panel.append({"beta": beta, "x": dim, **mses})
+    out["panels"]["dim"] = {"config": cfg, "rows": panel}
+
+    # (g-i): batch-size sweep at fixed d, sigma.
+    cfg = preset["batch_sweep"]
+    grads = gradient_workload(num, cfg["d"], rng, source=preset["source"])
+    panel = []
+    for beta in preset["betas"]:
+        for batch in cfg["batches"]:
+            mses = mse_comparison(
+                grads, clip_norm, cfg["sigma"], batch, beta, rng, repeats=repeats
+            )
+            panel.append({"beta": beta, "x": batch, **mses})
+    out["panels"]["batch"] = {"config": cfg, "rows": panel}
+    return out
+
+
+def format_fig3(result: dict) -> str:
+    """Render the three sweeps as stacked tables."""
+    blocks = []
+    names = {"sigma": "(a-c) vs sigma", "dim": "(d-f) vs dimension", "batch": "(g-i) vs batch size"}
+    for key, label in names.items():
+        panel = result["panels"][key]
+        headers = ["beta", key, "DP MSE(theta)", "GeoDP MSE(theta)", "DP MSE(g)", "GeoDP MSE(g)"]
+        rows = [
+            [r["beta"], r["x"], r["dp_theta"], r["geo_theta"], r["dp_g"], r["geo_g"]]
+            for r in panel["rows"]
+        ]
+        blocks.append(
+            format_table(headers, rows, title=f"Figure 3 {label} (scale={result['scale']})")
+        )
+    return "\n\n".join(blocks)

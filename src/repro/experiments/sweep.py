@@ -1,0 +1,112 @@
+"""Generic parameter-sweep harness.
+
+Runs a user-supplied measurement function over the cartesian product of a
+parameter grid, with seeded repetitions, and renders the result grid — the
+machinery behind "how does X vary with (beta, sigma)?" questions that don't
+warrant a dedicated experiment module.
+
+Example::
+
+    from repro.experiments.sweep import ParameterSweep
+
+    def measure(beta, sigma, rng):
+        ...
+        return {"direction_mse": ..., "gradient_mse": ...}
+
+    sweep = ParameterSweep(measure, {"beta": [0.01, 0.1], "sigma": [1, 10]})
+    result = sweep.run(rng=0, repeats=3)
+    print(sweep.format(result, metric="direction_mse"))
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.tables import format_table
+
+__all__ = ["ParameterSweep"]
+
+
+class ParameterSweep:
+    """Cartesian-product sweep of a measurement function.
+
+    Parameters
+    ----------
+    measure:
+        Callable invoked as ``measure(**point, rng=generator)``; must return
+        a dict of scalar metrics.
+    grid:
+        Mapping of parameter name to the values to sweep.
+    """
+
+    def __init__(self, measure, grid: dict):
+        if not grid:
+            raise ValueError("grid must have at least one parameter")
+        for name, values in grid.items():
+            if not list(values):
+                raise ValueError(f"parameter {name!r} has no values")
+        self.measure = measure
+        self.grid = {name: list(values) for name, values in grid.items()}
+
+    def points(self) -> list[dict]:
+        """All grid points in deterministic order."""
+        names = list(self.grid)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(self.grid[n] for n in names))
+        ]
+
+    def run(self, rng=None, *, repeats: int = 1) -> list[dict]:
+        """Evaluate every point; metrics are averaged over ``repeats`` seeds.
+
+        Returns one dict per point: the parameters plus the mean of each
+        metric the measurement returned.
+        """
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        rng = as_rng(rng)
+        points = self.points()
+        seeds = spawn_rngs(rng, len(points) * repeats)
+        seed_iter = iter(seeds)
+
+        rows = []
+        for point in points:
+            totals: dict[str, float] = {}
+            for _ in range(repeats):
+                metrics = self.measure(**point, rng=next(seed_iter))
+                if not isinstance(metrics, dict) or not metrics:
+                    raise ValueError("measure must return a non-empty dict of metrics")
+                for key, value in metrics.items():
+                    totals[key] = totals.get(key, 0.0) + float(value)
+            rows.append({**point, **{k: v / repeats for k, v in totals.items()}})
+        return rows
+
+    def format(self, rows: list[dict], *, metric: str, title: str | None = None) -> str:
+        """Render one metric of a completed sweep as a table.
+
+        With exactly two swept parameters the table is a 2-D grid (first
+        parameter as rows, second as columns); otherwise one row per point.
+        """
+        if not rows:
+            raise ValueError("no rows to format")
+        if metric not in rows[0]:
+            raise KeyError(f"metric {metric!r} not in sweep results")
+        names = list(self.grid)
+        if len(names) == 2:
+            row_name, col_name = names
+            col_values = self.grid[col_name]
+            headers = [f"{row_name} \\ {col_name}"] + [str(v) for v in col_values]
+            lookup = {
+                (r[row_name], r[col_name]): r[metric] for r in rows
+            }
+            table_rows = [
+                [rv] + [lookup[(rv, cv)] for cv in col_values]
+                for rv in self.grid[row_name]
+            ]
+            return format_table(headers, table_rows, title=title or metric)
+        headers = names + [metric]
+        table_rows = [[r[n] for n in names] + [r[metric]] for r in rows]
+        return format_table(headers, table_rows, title=title or metric)

@@ -1,0 +1,164 @@
+"""Numeric validation of the paper's theory (Theorems 1-3, Lemma 1, Cor. 1-2).
+
+Not a table/figure of the paper, but the analysis section *is* the paper's
+first contribution; this experiment verifies each claim by Monte Carlo on
+real gradient batches:
+
+* Theorem 1 — the ED decomposition equals the directly computed gap.
+* Corollary 1 — E[Item A] > 0 at the optimum: DP-SGD cannot stay there.
+* Corollary 2 — clipping reduces Item A but leaves the perturbed-direction
+  distribution unchanged (Example 1's invariance).
+* Lemma 1 — DP's direction noise is biased; GeoDP's is unbiased.
+* Theorem 2/3 — averaged gradients and averaged directions concentrate as
+  batch size grows (std shrinks like 1/sqrt(B)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.perturbation import clip_gradients, perturb_dp, perturb_geodp
+from repro.core.theory import efficiency_difference, expected_item_a
+from repro.data.gradients import synthetic_gradient_batch
+from repro.experiments.common import check_scale
+from repro.geometry.spherical import to_spherical_batch
+from repro.utils.rng import as_rng
+from repro.utils.tables import format_table
+
+__all__ = ["run_theory_validation", "format_theory_validation"]
+
+_PRESETS = {
+    # (dim, monte-carlo trials)
+    "smoke": (60, 2000),
+    "ci": (200, 8000),
+    "paper": (1000, 20000),
+}
+
+
+def _theorem1_check(rng, dim: int, trials: int) -> dict:
+    """Max relative error between the decomposition and the direct gap."""
+    worst = 0.0
+    for _ in range(50):
+        w_t = rng.normal(size=dim)
+        w_star = rng.normal(size=dim)
+        g = rng.normal(size=dim)
+        g_noisy = g + rng.normal(size=dim) * 0.3
+        out = efficiency_difference(w_t, w_star, g, g_noisy, 0.5)
+        denom = max(abs(out["direct"]), 1e-12)
+        worst = max(worst, abs(out["total"] - out["direct"]) / denom)
+    return {"claim": "Thm 1: eta^2*A + 2*eta*B == direct gap", "value": worst, "holds": worst < 1e-6}
+
+
+def _corollary1_check(rng, dim: int, trials: int) -> dict:
+    """E[Item A] at the optimum is positive and matches the closed form."""
+    clip, sigma, batch = 0.1, 1.0, 64
+    g = rng.normal(size=dim) * 0.001
+    items = []
+    for _ in range(trials):
+        noisy = perturb_dp(g, clip, sigma, batch, rng, clip=False)
+        items.append(float(np.sum(noisy**2) - np.sum(g**2)))
+    measured = float(np.mean(items))
+    expected = expected_item_a(sigma, clip, batch, dim)
+    rel = abs(measured - expected) / expected
+    return {
+        "claim": "Cor 1: E[Item A] = d*(C*sigma/B)^2 > 0",
+        "value": rel,
+        "holds": measured > 0 and rel < 0.15,
+    }
+
+
+def _corollary2_check(rng, dim: int, trials: int) -> dict:
+    """Example 1: halving C leaves the perturbed direction distribution fixed."""
+    sigma, batch = 1.0, 32
+    g = rng.normal(size=dim)
+    g = g / np.linalg.norm(g) * 5.0  # above both thresholds
+    diffs = []
+    for _ in range(200):
+        seed = int(rng.integers(2**32))
+        g1 = perturb_dp(clip_gradients(g[None], 2.0)[0], 2.0, sigma, batch, seed)
+        g2 = perturb_dp(clip_gradients(g[None], 1.0)[0], 1.0, sigma, batch, seed)
+        _, t1 = to_spherical_batch(g1[None])
+        _, t2 = to_spherical_batch(g2[None])
+        diffs.append(float(np.abs(t1 - t2).max()))
+    worst = max(diffs)
+    return {
+        "claim": "Cor 2: clipping rescales noise but not perturbed directions",
+        "value": worst,
+        "holds": worst < 1e-9,
+    }
+
+
+def _lemma1_check(rng, dim: int, trials: int) -> dict:
+    """DP direction bias vs GeoDP direction bias on the same gradient."""
+    clip, sigma, batch, beta = 0.1, 2.0, 32, 0.05
+    g = clip_gradients(synthetic_gradient_batch(1, dim, rng), clip)[0]
+    _, theta0 = to_spherical_batch(g[None])
+    dp_thetas, geo_thetas = [], []
+    for _ in range(trials):
+        _, td = to_spherical_batch(perturb_dp(g, clip, sigma, batch, rng, clip=False)[None])
+        _, tg = to_spherical_batch(
+            perturb_geodp(g, clip, sigma, batch, beta, rng, clip=False)[None]
+        )
+        dp_thetas.append(td[0])
+        geo_thetas.append(tg[0])
+    dp_bias = float(np.linalg.norm(np.mean(dp_thetas, axis=0) - theta0[0]))
+    geo_bias = float(np.linalg.norm(np.mean(geo_thetas, axis=0) - theta0[0]))
+    return {
+        "claim": "Lemma 1: DP direction bias >> GeoDP direction bias",
+        "value": dp_bias / max(geo_bias, 1e-12),
+        "holds": dp_bias > 3 * geo_bias,
+    }
+
+
+def _theorem23_check(rng, dim: int, trials: int) -> dict:
+    """Averaged directions concentrate ~1/sqrt(B) (Theorems 2-3)."""
+    repeats = 40
+
+    def angle_std(batch):
+        # One population (one shared mean direction), split into `repeats`
+        # disjoint batches; the std of the batch-mean angles across the
+        # batches is what Theorem 3 says shrinks like 1/sqrt(B).
+        pop_rng = np.random.default_rng(12345)  # same population for both B
+        grads = synthetic_gradient_batch(
+            repeats * batch, dim, pop_rng, concentration=5.0
+        )
+        _, thetas = to_spherical_batch(grads)
+        means = thetas.reshape(repeats, batch, -1).mean(axis=1)
+        return float(np.std(means, axis=0).mean())
+
+    small, large = angle_std(16), angle_std(256)
+    ratio = small / max(large, 1e-12)
+    return {
+        "claim": "Thm 2/3: averaged direction std shrinks ~ sqrt(B) (x4 at 16->256)",
+        "value": ratio,
+        "holds": 2.0 < ratio < 8.0,
+    }
+
+
+def run_theory_validation(scale: str = "smoke", rng=None) -> dict:
+    """Run all theory checks; returns one row per claim."""
+    check_scale(scale)
+    dim, trials = _PRESETS[scale]
+    rng = as_rng(rng)
+    rows = [
+        _theorem1_check(rng, dim, trials),
+        _corollary1_check(rng, dim, trials),
+        _corollary2_check(rng, dim, trials),
+        _lemma1_check(rng, dim, trials),
+        _theorem23_check(rng, dim, trials),
+    ]
+    return {"scale": scale, "dim": dim, "rows": rows}
+
+
+def format_theory_validation(result: dict) -> str:
+    """Render the claim/evidence table."""
+    headers = ["claim", "measured statistic", "holds"]
+    rows = [
+        [r["claim"], r["value"], "yes" if r["holds"] else "NO"]
+        for r in result["rows"]
+    ]
+    return format_table(
+        headers,
+        rows,
+        title=f"Theory validation (scale={result['scale']}, d={result['dim']})",
+    )

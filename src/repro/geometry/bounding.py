@@ -1,0 +1,85 @@
+"""Bounding-factor privacy region for gradient directions (paper §V-B step 2).
+
+GeoDP observes (Theorem 3) that the averaged direction of stochastic
+gradients concentrates in a small sub-space rather than spreading over the
+whole sphere, so protecting the *entire* direction space (as classic DP-SGD
+implicitly does) is overprotective.  A bounding factor ``beta in (0, 1]``
+shrinks each angle's protected range to
+
+* ``Delta theta_z = beta * pi``   for the polar angles ``1 <= z <= d-2``
+* ``Delta theta_{d-1} = 2 * beta * pi``  for the azimuthal angle,
+
+giving total L2 sensitivity ``Delta theta = sqrt(d + 2) * beta * pi``
+(paper §V-B step 3).  Lemma 2 bounds the induced DP relaxation by
+``delta' <= 1 - beta``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "direction_sensitivity",
+    "per_angle_sensitivity",
+    "bound_angles",
+    "delta_prime_upper_bound",
+]
+
+
+def per_angle_sensitivity(d: int, beta: float) -> np.ndarray:
+    """Per-coordinate sensitivity of the ``d - 1`` angles under bounding factor ``beta``.
+
+    Returns an array of length ``d - 1``: ``beta*pi`` for the first ``d - 2``
+    entries and ``2*beta*pi`` for the last.
+    """
+    if d < 2:
+        raise ValueError(f"d must be >= 2, got {d}")
+    beta = check_probability("beta", beta)
+    sens = np.full(d - 1, beta * np.pi)
+    sens[-1] = 2 * beta * np.pi
+    return sens
+
+
+def direction_sensitivity(d: int, beta: float) -> float:
+    """Total L2 sensitivity of the direction vector (paper §V-B step 3).
+
+    ``Delta theta = sqrt((d-2)*(beta*pi)^2 + (2*beta*pi)^2) = sqrt(d+2)*beta*pi``
+    """
+    if d < 2:
+        raise ValueError(f"d must be >= 2, got {d}")
+    beta = check_probability("beta", beta)
+    return float(np.sqrt(d + 2) * beta * np.pi)
+
+
+def bound_angles(thetas, beta: float) -> np.ndarray:
+    """Clamp angle vectors into the beta-bounded privacy region.
+
+    Each polar angle (range ``[0, pi]``) is clamped into the centred interval
+    of width ``beta*pi``, i.e. ``[(1-beta)*pi/2, (1+beta)*pi/2]``; the
+    azimuthal angle (range ``(-pi, pi]``) into ``[-beta*pi, beta*pi]``.  With
+    ``beta = 1`` this is a no-op on canonical angles.  Clamping guarantees
+    that the advertised sensitivity :func:`direction_sensitivity` genuinely
+    bounds the maximum change of the released angles between neighbouring
+    datasets, which is what makes Algorithm 1's noise calibration valid.
+    """
+    beta = check_probability("beta", beta)
+    thetas = np.atleast_2d(np.asarray(thetas, dtype=np.float64)).copy()
+    if thetas.shape[1] >= 2:
+        half = beta * np.pi / 2
+        lead = thetas[:, :-1]
+        np.clip(lead, np.pi / 2 - half, np.pi / 2 + half, out=lead)
+    np.clip(thetas[:, -1], -beta * np.pi, beta * np.pi, out=thetas[:, -1])
+    return thetas
+
+
+def delta_prime_upper_bound(beta: float) -> float:
+    """Upper bound on the extra delta' of GeoDP's direction release (Lemma 2).
+
+    The beta-region fails to cover at most a ``1 - beta`` fraction of the
+    direction space even under the worst case of uniformly spread directions,
+    hence ``delta' <= 1 - beta``.
+    """
+    beta = check_probability("beta", beta)
+    return 1.0 - beta

@@ -1,0 +1,88 @@
+"""Error metrics for perturbed gradients and directions.
+
+Implements Definition 4 of the paper (mean squared error over perturbed
+directions) plus the standard vector metrics used throughout the evaluation
+(gradient MSE, cosine similarity, angle between vectors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_matrix
+
+__all__ = [
+    "direction_mse",
+    "gradient_mse",
+    "cosine_similarity",
+    "angle_between",
+    "angular_errors",
+]
+
+
+def _paired(name_a: str, a, name_b: str, b) -> tuple[np.ndarray, np.ndarray]:
+    a = check_matrix(name_a, np.atleast_2d(np.asarray(a, dtype=np.float64)))
+    b = check_matrix(name_b, np.atleast_2d(np.asarray(b, dtype=np.float64)))
+    if a.shape != b.shape:
+        raise ValueError(f"{name_a} shape {a.shape} != {name_b} shape {b.shape}")
+    return a, b
+
+
+def direction_mse(perturbed_thetas, true_thetas, *, wrap_last: bool = True) -> float:
+    """Mean squared error of perturbed directions (Definition 4).
+
+    ``MSE(theta*) = (1/m) * sum_i ||theta_i* - theta_i||^2``
+
+    Parameters
+    ----------
+    perturbed_thetas, true_thetas:
+        ``(m, d-1)`` angle matrices (or single 1-D angle vectors).
+    wrap_last:
+        When true (default), differences in the final azimuthal angle are
+        taken modulo 2*pi so that e.g. ``-pi + 0.01`` and ``pi - 0.01`` count
+        as 0.02 apart, matching the circular topology of that coordinate.
+    """
+    pert, true = _paired("perturbed_thetas", perturbed_thetas, "true_thetas", true_thetas)
+    diff = pert - true
+    if wrap_last:
+        diff[:, -1] = np.mod(diff[:, -1] + np.pi, 2 * np.pi) - np.pi
+    return float(np.mean(np.sum(diff**2, axis=1)))
+
+
+def gradient_mse(perturbed_grads, true_grads) -> float:
+    """Mean squared error of perturbed gradients: ``(1/m) sum_i ||g_i* - g_i||^2``."""
+    pert, true = _paired("perturbed_grads", perturbed_grads, "true_grads", true_grads)
+    return float(np.mean(np.sum((pert - true) ** 2, axis=1)))
+
+
+def cosine_similarity(a, b) -> np.ndarray:
+    """Row-wise cosine similarity between two ``(m, d)`` matrices.
+
+    Zero vectors get similarity 0 (they carry no direction).
+    """
+    a, b = _paired("a", a, "b", b)
+    num = np.sum(a * b, axis=1)
+    denom = np.linalg.norm(a, axis=1) * np.linalg.norm(b, axis=1)
+    out = np.zeros_like(num)
+    nonzero = denom > 0
+    out[nonzero] = num[nonzero] / denom[nonzero]
+    return np.clip(out, -1.0, 1.0)
+
+
+def angle_between(a, b) -> np.ndarray:
+    """Row-wise angle (radians, in [0, pi]) between two ``(m, d)`` matrices."""
+    return np.arccos(cosine_similarity(a, b))
+
+
+def angular_errors(perturbed_grads, true_grads) -> dict[str, float]:
+    """Summary statistics of the angular error between gradient batches.
+
+    Returns mean / median / max angle (radians) between corresponding rows.
+    Convenience wrapper used by the experiment reports.
+    """
+    angles = angle_between(perturbed_grads, true_grads)
+    return {
+        "mean": float(np.mean(angles)),
+        "median": float(np.median(angles)),
+        "max": float(np.max(angles)),
+    }

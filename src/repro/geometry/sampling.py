@@ -1,0 +1,95 @@
+"""Sampling directions on the unit hyper-sphere.
+
+Theorem 3 models averaged gradient *directions* as concentrating around a
+mean direction; the von Mises-Fisher (vMF) distribution is the canonical
+such model, so the library ships samplers for property tests and synthetic
+workloads:
+
+* :func:`sample_uniform_sphere` — uniform on S^{d-1} (normalised Gaussians).
+* :func:`sample_von_mises_fisher` — vMF(mu, kappa) via Wood's (1994)
+  rejection sampler for the radial component plus a Householder rotation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive, check_vector
+
+__all__ = ["sample_uniform_sphere", "sample_von_mises_fisher"]
+
+
+def sample_uniform_sphere(num: int, dim: int, rng=None) -> np.ndarray:
+    """Draw ``num`` unit vectors uniformly from S^{dim-1}."""
+    if num < 1 or dim < 2:
+        raise ValueError(f"need num >= 1 and dim >= 2, got num={num}, dim={dim}")
+    rng = as_rng(rng)
+    x = rng.normal(size=(num, dim))
+    norms = np.linalg.norm(x, axis=1, keepdims=True)
+    # A zero draw has probability 0; guard anyway.
+    norms[norms == 0] = 1.0
+    return x / norms
+
+
+def _sample_vmf_radial(num: int, dim: int, kappa: float, rng) -> np.ndarray:
+    """Wood's rejection sampler for the cosine w = <x, mu> under vMF."""
+    b = (-2.0 * kappa + np.sqrt(4.0 * kappa**2 + (dim - 1.0) ** 2)) / (dim - 1.0)
+    x0 = (1.0 - b) / (1.0 + b)
+    c = kappa * x0 + (dim - 1.0) * np.log(1.0 - x0**2)
+
+    out = np.empty(num)
+    filled = 0
+    while filled < num:
+        batch = max(num - filled, 16)
+        z = rng.beta((dim - 1.0) / 2.0, (dim - 1.0) / 2.0, size=batch)
+        w = (1.0 - (1.0 + b) * z) / (1.0 - (1.0 - b) * z)
+        u = rng.random(batch)
+        accept = kappa * w + (dim - 1.0) * np.log(1.0 - x0 * w) - c >= np.log(u)
+        accepted = w[accept]
+        take = min(len(accepted), num - filled)
+        out[filled : filled + take] = accepted[:take]
+        filled += take
+    return out
+
+
+def sample_von_mises_fisher(num: int, mu, kappa: float, rng=None) -> np.ndarray:
+    """Draw ``num`` unit vectors from vMF(mu, kappa).
+
+    Parameters
+    ----------
+    mu:
+        Mean direction (any nonzero vector; normalised internally).
+    kappa:
+        Concentration (> 0).  Larger kappa pulls samples toward ``mu``;
+        kappa -> 0 approaches the uniform distribution.
+    """
+    mu = check_vector("mu", mu, min_dim=2)
+    norm = np.linalg.norm(mu)
+    if norm == 0:
+        raise ValueError("mu must be nonzero")
+    mu = mu / norm
+    kappa = check_positive("kappa", kappa)
+    if num < 1:
+        raise ValueError(f"num must be >= 1, got {num}")
+    rng = as_rng(rng)
+    dim = mu.shape[0]
+
+    w = _sample_vmf_radial(num, dim, kappa, rng)
+    # Uniform directions orthogonal to e1, then scale to sqrt(1 - w^2).
+    v = sample_uniform_sphere(num, dim - 1, rng) if dim > 2 else np.where(
+        rng.random((num, 1)) < 0.5, 1.0, -1.0
+    )
+    samples = np.empty((num, dim))
+    samples[:, 0] = w
+    samples[:, 1:] = np.sqrt(np.maximum(0.0, 1.0 - w**2))[:, None] * v
+
+    # Householder reflection mapping e1 to mu.
+    e1 = np.zeros(dim)
+    e1[0] = 1.0
+    u = e1 - mu
+    u_norm = np.linalg.norm(u)
+    if u_norm > 1e-12:
+        u /= u_norm
+        samples = samples - 2.0 * np.outer(samples @ u, u)
+    return samples

@@ -1,0 +1,161 @@
+"""Hyper-spherical (d-spherical) coordinate conversions.
+
+A d-dimensional vector ``g = (g_1, ..., g_d)`` is represented by one
+magnitude ``r = ||g||_2`` and ``d - 1`` angles ``theta = (theta_1, ...,
+theta_{d-1})`` (paper Eq. 24-25):
+
+.. math::
+
+    \\theta_z = \\operatorname{arctan2}\\Big(\\sqrt{\\sum_{k=z+1}^{d} g_k^2},
+                                             g_z\\Big)  \\quad 1 \\le z \\le d-2
+
+    \\theta_{d-1} = \\operatorname{arctan2}(g_d, g_{d-1})
+
+so the leading ``d - 2`` angles lie in ``[0, pi]`` (the arctan2 first argument
+is a norm, hence non-negative) and the final angle lies in ``(-pi, pi]``.
+The inverse map (Eq. 27) is
+
+.. math::
+
+    g_1 = r\\cos\\theta_1, \\qquad
+    g_z = r\\Big(\\prod_{i<z}\\sin\\theta_i\\Big)\\cos\\theta_z, \\qquad
+    g_d = r\\prod_{i=1}^{d-1}\\sin\\theta_i.
+
+Both directions are fully vectorised; the batch variants operate on ``(m, d)``
+matrices of gradients at once, which is what makes GeoDP's conversions O(d)
+per gradient in practice (paper §V-B complexity discussion).
+
+The ``undefined`` arctan2(0, 0) case of Eq. 26 is mapped to 0, matching
+numpy's convention; a zero tail with ``g_z = 0`` therefore yields angle 0 and
+round-trips to the same (zero) coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_vector
+
+__all__ = [
+    "to_spherical",
+    "to_cartesian",
+    "to_spherical_batch",
+    "to_cartesian_batch",
+    "canonicalize_angles",
+]
+
+
+def to_spherical(g) -> tuple[float, np.ndarray]:
+    """Convert one d-dimensional vector to ``(magnitude, angles)``.
+
+    Parameters
+    ----------
+    g:
+        1-D array-like with ``d >= 2`` entries.
+
+    Returns
+    -------
+    (float, ndarray)
+        The magnitude ``||g||`` and the ``d - 1`` angles of Eq. 25.
+    """
+    g = check_vector("g", g, min_dim=2)
+    r, theta = to_spherical_batch(g[None, :])
+    return float(r[0]), theta[0]
+
+
+def to_cartesian(magnitude: float, theta) -> np.ndarray:
+    """Convert ``(magnitude, angles)`` back to rectangular coordinates (Eq. 27)."""
+    theta = check_vector("theta", theta, min_dim=1)
+    g = to_cartesian_batch(np.asarray([magnitude], dtype=np.float64), theta[None, :])
+    return g[0]
+
+
+def to_spherical_batch(grads) -> tuple[np.ndarray, np.ndarray]:
+    """Convert a batch of gradients ``(m, d)`` to magnitudes ``(m,)`` and angles ``(m, d-1)``.
+
+    The tail norms ``sqrt(sum_{k>z} g_k^2)`` are computed with a reversed
+    cumulative sum of squares, so the whole conversion is O(m*d).
+    """
+    grads = check_matrix("grads", grads)
+    m, d = grads.shape
+    if d < 2:
+        raise ValueError(f"gradients must have dimension >= 2, got d={d}")
+
+    squares = grads**2
+    # tail_sq[:, z] = sum_{k > z} grads[:, k]^2  (0-indexed)
+    tail_sq = np.concatenate(
+        [
+            np.cumsum(squares[:, ::-1], axis=1)[:, ::-1][:, 1:],
+            np.zeros((m, 1)),
+        ],
+        axis=1,
+    )
+    # Cumulative floating-point cancellation can leave tiny negatives.
+    np.maximum(tail_sq, 0.0, out=tail_sq)
+    magnitudes = np.sqrt(squares.sum(axis=1))
+
+    theta = np.empty((m, d - 1))
+    if d > 2:
+        theta[:, : d - 2] = np.arctan2(np.sqrt(tail_sq[:, : d - 2]), grads[:, : d - 2])
+    theta[:, d - 2] = np.arctan2(grads[:, d - 1], grads[:, d - 2])
+    return magnitudes, theta
+
+
+def to_cartesian_batch(magnitudes, thetas) -> np.ndarray:
+    """Convert batches of magnitudes ``(m,)`` and angles ``(m, d-1)`` to gradients ``(m, d)``."""
+    magnitudes = np.asarray(magnitudes, dtype=np.float64)
+    thetas = check_matrix("thetas", thetas)
+    if magnitudes.ndim != 1 or magnitudes.shape[0] != thetas.shape[0]:
+        raise ValueError(
+            f"magnitudes shape {magnitudes.shape} incompatible with thetas {thetas.shape}"
+        )
+    m, d_minus_1 = thetas.shape
+    d = d_minus_1 + 1
+
+    sines = np.sin(thetas)
+    cosines = np.cos(thetas)
+    # sin_prod[:, z] = prod_{i < z} sin(theta_i), with sin_prod[:, 0] = 1.
+    sin_prod = np.concatenate([np.ones((m, 1)), np.cumprod(sines, axis=1)], axis=1)
+
+    g = np.empty((m, d))
+    g[:, : d - 1] = sin_prod[:, : d - 1] * cosines
+    g[:, d - 1] = sin_prod[:, d - 1]
+    g *= magnitudes[:, None]
+    return g
+
+
+def canonicalize_angles(thetas) -> np.ndarray:
+    """Map possibly-noised angles into canonical ranges, preserving direction.
+
+    After additive Gaussian noise, angles may leave their natural ranges
+    (polar angles in ``[0, pi]``, azimuth in ``(-pi, pi]``).  Eq. 27 is well
+    defined for any real angles, so this is only needed when *comparing*
+    angle vectors (e.g. Definition 4's MSE), but the fix-up must preserve the
+    represented vector: folding a polar angle from ``(pi, 2*pi)`` back to
+    ``(0, pi)`` keeps its cosine but flips its sine, i.e. negates the whole
+    downstream sub-vector.  The negation is propagated as the antipodal map
+    on the remaining angles (every later polar angle ``t -> pi - t``, which
+    keeps the flag pending, and finally azimuth ``t -> t + pi``), so the
+    output angles reconstruct exactly the same cartesian vector.
+    """
+    thetas = np.atleast_2d(np.asarray(thetas, dtype=np.float64))
+    out = np.empty_like(thetas)
+    d_minus_1 = thetas.shape[1]
+    negate = np.zeros(thetas.shape[0], dtype=bool)
+    for z in range(d_minus_1 - 1):  # polar angles
+        t = thetas[:, z].copy()
+        # A pending downstream negation turns this coordinate's cosine
+        # around (t -> pi - t) and stays pending for the rest of the row.
+        t[negate] = np.pi - t[negate]
+        t = np.mod(t, 2 * np.pi)
+        above = t > np.pi
+        t[above] = 2 * np.pi - t[above]  # cos unchanged, sin flips sign
+        negate ^= above
+        out[:, z] = t
+    last = thetas[:, -1].copy()
+    last[negate] += np.pi
+    last = np.mod(last + np.pi, 2 * np.pi) - np.pi
+    # mod maps pi -> -pi; keep the canonical (-pi, pi] convention.
+    last[last == -np.pi] = np.pi
+    out[:, -1] = last
+    return out

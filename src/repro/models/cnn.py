@@ -1,0 +1,46 @@
+"""Two-layer CNN with softmax head (the paper's "CNN" model, §VI-A)."""
+
+from __future__ import annotations
+
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+from repro.utils.rng import as_rng
+
+__all__ = ["build_cnn"]
+
+
+def build_cnn(
+    input_shape: tuple[int, int, int] = (1, 28, 28),
+    num_classes: int = 10,
+    *,
+    channels: tuple[int, int] = (8, 16),
+    rng=None,
+) -> Sequential:
+    """Build the 2-convolution CNN used in Table II.
+
+    Architecture: ``conv(3x3) -> relu -> maxpool(2) -> conv(3x3) -> relu ->
+    maxpool(2) -> flatten -> linear`` with softmax cross-entropy.  Both
+    convolutions use padding 1, so spatial size only halves at the pools.
+    ``channels`` controls width, letting experiments scale the parameter
+    count (the paper's run has ~21,840 parameters).
+    """
+    rng = as_rng(rng)
+    in_c, height, width = input_shape
+    if height % 4 or width % 4:
+        raise ValueError(f"input spatial dims must be divisible by 4, got {height}x{width}")
+    c1, c2 = channels
+    flat_features = c2 * (height // 4) * (width // 4)
+    return Sequential(
+        [
+            Conv2d(in_c, c1, 3, stride=1, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(c1, c2, 3, stride=1, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(flat_features, num_classes, rng=rng),
+        ],
+        SoftmaxCrossEntropy(),
+    )

@@ -1,0 +1,38 @@
+"""Multinomial logistic regression (the paper's "LR" model).
+
+On 28x28 MNIST-like inputs this has 784*10 + 10 = 7850 parameters; the paper
+quotes d = 785 per class (784 weights + bias), matching Figure 5's setup.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import Flatten, Linear
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+
+__all__ = ["build_logistic_regression"]
+
+
+def build_logistic_regression(
+    input_shape: tuple[int, ...] = (1, 28, 28),
+    num_classes: int = 10,
+    rng=None,
+) -> Sequential:
+    """Build a softmax logistic-regression classifier.
+
+    Parameters
+    ----------
+    input_shape:
+        Per-sample input shape (channels, height, width) or a flat ``(d,)``.
+    num_classes:
+        Number of output classes.
+    rng:
+        Seed / generator for weight initialisation.
+    """
+    in_features = 1
+    for dim in input_shape:
+        in_features *= dim
+    return Sequential(
+        [Flatten(), Linear(in_features, num_classes, rng=rng)],
+        SoftmaxCrossEntropy(),
+    )

@@ -1,0 +1,46 @@
+"""ResNet with three residual blocks (the paper's "ResNet" model, §VI-A).
+
+"ResNet with 3 residual blocks (each one containing 2 convolutional layers
+and 1 rectified linear unit (ReLU))" — we use a small conv stem, three
+residual blocks with increasing width, global average pooling and a linear
+head.  Width is configurable so experiments can scale compute.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import Conv2d, GlobalAvgPool2d, Linear, ReLU
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+from repro.nn.residual import ResidualBlock
+from repro.utils.rng import as_rng
+
+__all__ = ["build_resnet"]
+
+
+def build_resnet(
+    input_shape: tuple[int, int, int] = (3, 32, 32),
+    num_classes: int = 10,
+    *,
+    base_channels: int = 8,
+    rng=None,
+) -> Sequential:
+    """Build the 3-residual-block ResNet used in Table III.
+
+    Architecture: ``conv(3x3) -> relu -> block(c) -> block(2c, stride 2) ->
+    block(4c, stride 2) -> global-avg-pool -> linear``.
+    """
+    rng = as_rng(rng)
+    in_c = input_shape[0]
+    c = base_channels
+    return Sequential(
+        [
+            Conv2d(in_c, c, 3, stride=1, padding=1, rng=rng),
+            ReLU(),
+            ResidualBlock(c, c, stride=1, rng=rng),
+            ResidualBlock(c, 2 * c, stride=2, rng=rng),
+            ResidualBlock(2 * c, 4 * c, stride=2, rng=rng),
+            GlobalAvgPool2d(),
+            Linear(4 * c, num_classes, rng=rng),
+        ],
+        SoftmaxCrossEntropy(),
+    )

@@ -1,0 +1,36 @@
+"""Bag-of-embeddings text classifier."""
+
+from __future__ import annotations
+
+from repro.nn.embedding import Embedding, SequenceMean
+from repro.nn.layers import Linear, ReLU
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+from repro.utils.rng import as_rng
+
+__all__ = ["build_text_classifier"]
+
+
+def build_text_classifier(
+    vocab_size: int,
+    num_classes: int,
+    *,
+    embedding_dim: int = 16,
+    hidden: int = 0,
+    rng=None,
+) -> Sequential:
+    """``embedding -> mean-pool (-> linear -> relu) -> linear`` classifier.
+
+    With ``hidden = 0`` the model is linear in the pooled embedding (the
+    classic fastText-style classifier); a positive ``hidden`` inserts one
+    ReLU layer.
+    """
+    rng = as_rng(rng)
+    layers = [Embedding(vocab_size, embedding_dim, rng=rng), SequenceMean()]
+    width = embedding_dim
+    if hidden > 0:
+        layers.append(Linear(width, hidden, rng=rng))
+        layers.append(ReLU())
+        width = hidden
+    layers.append(Linear(width, num_classes, rng=rng))
+    return Sequential(layers, SoftmaxCrossEntropy())

@@ -1,0 +1,80 @@
+"""Minimal neural-network substrate with exact per-sample gradients.
+
+DP-SGD (and therefore GeoDP-SGD) clips *per-sample* gradients, so unlike a
+generic autodiff framework every layer here can return the gradient of each
+sample's loss with respect to its parameters (the quantity Opacus computes
+with hooks).  Layers are numpy-only; convolutions use im2col so per-sample
+gradients reduce to einsums.
+"""
+
+from repro.nn.functional import (
+    relu,
+    softmax,
+    log_softmax,
+    one_hot,
+    im2col,
+    col2im,
+    conv_output_shape,
+)
+from repro.nn.initializers import (
+    zeros_init,
+    normal_init,
+    xavier_uniform,
+    kaiming_uniform,
+)
+from repro.nn.layers import (
+    Layer,
+    Linear,
+    ReLU,
+    Flatten,
+    Conv2d,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool2d,
+)
+from repro.nn.normalization import GroupNorm, LayerNorm, BatchNorm2d
+from repro.nn.activations import Tanh, Sigmoid, LeakyReLU, Softplus, Dropout
+from repro.nn.residual import ResidualBlock
+from repro.nn.embedding import Embedding, SequenceMean
+from repro.nn.gradcheck import check_layer, GradCheckReport
+from repro.nn.losses import Loss, SoftmaxCrossEntropy, MeanSquaredError
+from repro.nn.model import Sequential
+
+__all__ = [
+    "relu",
+    "softmax",
+    "log_softmax",
+    "one_hot",
+    "im2col",
+    "col2im",
+    "conv_output_shape",
+    "zeros_init",
+    "normal_init",
+    "xavier_uniform",
+    "kaiming_uniform",
+    "Layer",
+    "Linear",
+    "ReLU",
+    "Flatten",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "GroupNorm",
+    "LayerNorm",
+    "BatchNorm2d",
+    "Tanh",
+    "Sigmoid",
+    "LeakyReLU",
+    "Softplus",
+    "Dropout",
+    "ResidualBlock",
+    "Embedding",
+    "SequenceMean",
+    "check_layer",
+    "GradCheckReport",
+    "Loss",
+    "SoftmaxCrossEntropy",
+    "MeanSquaredError",
+    "Sequential",
+]

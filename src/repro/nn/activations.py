@@ -1,0 +1,126 @@
+"""Additional activation layers beyond ReLU.
+
+All are element-wise and parameter-free, so their per-sample behaviour is
+trivially correct (the backward just scales the upstream gradient).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["Tanh", "Sigmoid", "LeakyReLU", "Softplus", "Dropout"]
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self):
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        out = np.tanh(x)
+        if train:
+            self._out = out
+        return out
+
+    def backward(self, grad_out, per_sample: bool = False):
+        if self._out is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        return grad_out * (1.0 - self._out**2), {}
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid activation."""
+
+    def __init__(self):
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        out = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.abs(x))),
+                       np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))))
+        if train:
+            self._out = out
+        return out
+
+    def backward(self, grad_out, per_sample: bool = False):
+        if self._out is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        return grad_out * self._out * (1.0 - self._out), {}
+
+
+class LeakyReLU(Layer):
+    """Leaky rectified linear unit with negative slope ``alpha``."""
+
+    def __init__(self, alpha: float = 0.01):
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = alpha
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        mask = x > 0
+        if train:
+            self._mask = mask
+        return np.where(mask, x, self.alpha * x)
+
+    def backward(self, grad_out, per_sample: bool = False):
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        return grad_out * np.where(self._mask, 1.0, self.alpha), {}
+
+    def __repr__(self) -> str:
+        return f"LeakyReLU(alpha={self.alpha})"
+
+
+class Softplus(Layer):
+    """Smooth ReLU: ``log(1 + e^x)``, numerically stable."""
+
+    def __init__(self):
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if train:
+            self._x = x
+        return np.logaddexp(0.0, x)
+
+    def backward(self, grad_out, per_sample: bool = False):
+        if self._x is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        sig = 1.0 / (1.0 + np.exp(-self._x))
+        return grad_out * sig, {}
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time.
+
+    Dropout masks are drawn per forward pass from a seeded generator, are
+    sample-independent across the batch (each sample gets its own mask), and
+    therefore keep per-sample gradients valid.
+    """
+
+    def __init__(self, rate: float = 0.5, rng=None):
+        if not 0 <= rate < 1:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        from repro.utils.rng import as_rng
+
+        self._rng = as_rng(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if not train or self.rate == 0.0:
+            self._mask = np.ones_like(x) if train else None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out, per_sample: bool = False):
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        return grad_out * self._mask, {}
+
+    def __repr__(self) -> str:
+        return f"Dropout(rate={self.rate})"

@@ -1,0 +1,97 @@
+"""Embedding and sequence-pooling layers.
+
+Adds a text-classification modality to the substrate: integer token
+sequences ``(B, L)`` are embedded to ``(B, L, D)`` and mean-pooled to
+``(B, D)``.  Per-sample gradients for the embedding table are scatter-adds
+of the upstream gradient over each sample's own token ids, so DP-SGD's
+clipping applies exactly as for dense layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.utils.rng import as_rng
+
+__all__ = ["Embedding", "SequenceMean"]
+
+
+class Embedding(Layer):
+    """Token embedding table ``(vocab_size, dim)``."""
+
+    def __init__(self, vocab_size: int, dim: int, rng=None, *, scale: float = 0.1):
+        if vocab_size < 1 or dim < 1:
+            raise ValueError("vocab_size and dim must be >= 1")
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.weight = as_rng(rng).normal(0.0, scale, size=(vocab_size, dim))
+        self._tokens: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        tokens = np.asarray(x)
+        if tokens.ndim != 2:
+            raise ValueError(f"expected token matrix (B, L), got shape {tokens.shape}")
+        if not np.issubdtype(tokens.dtype, np.integer):
+            if not np.allclose(tokens, np.round(tokens)):
+                raise ValueError("token ids must be integers")
+            tokens = tokens.astype(np.int64)
+        if tokens.min(initial=0) < 0 or tokens.max(initial=0) >= self.vocab_size:
+            raise ValueError(f"token ids must lie in [0, {self.vocab_size})")
+        if train:
+            self._tokens = tokens
+        return self.weight[tokens]
+
+    def backward(self, grad_out, per_sample: bool = False):
+        if self._tokens is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        tokens = self._tokens
+        batch, length = tokens.shape
+        if per_sample:
+            dw = np.zeros((batch, self.vocab_size, self.dim))
+            # Scatter each sample's positional gradients onto its own rows.
+            batch_idx = np.repeat(np.arange(batch), length)
+            np.add.at(
+                dw,
+                (batch_idx, tokens.ravel()),
+                grad_out.reshape(batch * length, self.dim),
+            )
+            grads = {"weight": dw}
+        else:
+            dw = np.zeros((self.vocab_size, self.dim))
+            np.add.at(dw, tokens.ravel(), grad_out.reshape(-1, self.dim))
+            grads = {"weight": dw}
+        # Token inputs are not differentiable; propagate zeros of input shape.
+        return np.zeros(tokens.shape), grads
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight}
+
+    def set_param(self, name: str, value: np.ndarray) -> None:
+        if name != "weight":
+            raise KeyError(f"Embedding has no parameter {name!r}")
+        self.weight = value.reshape(self.weight.shape)
+
+    def __repr__(self) -> str:
+        return f"Embedding(vocab={self.vocab_size}, dim={self.dim})"
+
+
+class SequenceMean(Layer):
+    """Mean over the sequence axis: ``(B, L, D) -> (B, D)``."""
+
+    def __init__(self):
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(f"expected (B, L, D), got shape {x.shape}")
+        if train:
+            self._shape = x.shape
+        return x.mean(axis=1)
+
+    def backward(self, grad_out, per_sample: bool = False):
+        if self._shape is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        _, length, _ = self._shape
+        grad = np.repeat(grad_out[:, None, :], length, axis=1) / length
+        return grad, {}

@@ -1,0 +1,43 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["zeros_init", "normal_init", "xavier_uniform", "kaiming_uniform"]
+
+
+def zeros_init(shape, rng=None) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape)
+
+
+def normal_init(shape, rng=None, *, std: float = 0.01) -> np.ndarray:
+    """Gaussian initialisation with standard deviation ``std``."""
+    return as_rng(rng).normal(0.0, std, size=shape)
+
+
+def _fan_in_out(shape) -> tuple[int, int]:
+    shape = tuple(shape)
+    if len(shape) == 2:  # Linear: (in, out)
+        return shape[0], shape[1]
+    if len(shape) == 4:  # Conv: (out_c, in_c, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def xavier_uniform(shape, rng=None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation: U(-a, a), a = sqrt(6/(fan_in+fan_out))."""
+    fan_in, fan_out = _fan_in_out(shape)
+    a = np.sqrt(6.0 / (fan_in + fan_out))
+    return as_rng(rng).uniform(-a, a, size=shape)
+
+
+def kaiming_uniform(shape, rng=None) -> np.ndarray:
+    """He/Kaiming uniform initialisation for ReLU networks: a = sqrt(6/fan_in)."""
+    fan_in, _ = _fan_in_out(shape)
+    a = np.sqrt(6.0 / fan_in)
+    return as_rng(rng).uniform(-a, a, size=shape)

@@ -1,0 +1,348 @@
+"""Layers with exact per-sample parameter gradients.
+
+Contract
+--------
+``forward(x, train=True)`` caches whatever ``backward`` needs (when
+``train``) and returns the output.  ``backward(grad_out, per_sample=False)``
+returns ``(grad_in, param_grads)`` where ``param_grads`` maps parameter name
+to either
+
+* the gradient *summed over the batch* (shape = parameter shape), or
+* with ``per_sample=True``, per-sample gradients with a leading batch axis.
+
+Upstream gradients are gradients of the *sum of per-sample losses* (the
+per-sample loss gradients stacked), so per-sample parameter gradients are
+exactly the gradients Opacus computes before clipping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.initializers import kaiming_uniform, zeros_init
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "Layer",
+    "Linear",
+    "ReLU",
+    "Flatten",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+]
+
+
+class Layer:
+    """Base class; parameter-free layers only override forward/backward."""
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(
+        self, grad_out: np.ndarray, per_sample: bool = False
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        raise NotImplementedError
+
+    def params(self) -> dict[str, np.ndarray]:
+        """Ordered mapping of parameter name to array (empty if none)."""
+        return {}
+
+    def set_param(self, name: str, value: np.ndarray) -> None:
+        raise KeyError(f"{type(self).__name__} has no parameter {name!r}")
+
+    @property
+    def num_params(self) -> int:
+        return sum(p.size for p in self.params().values())
+
+    def __call__(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        return self.forward(x, train=train)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Linear(Layer):
+    """Fully connected layer ``y = x @ W + b`` with per-sample gradients."""
+
+    def __init__(self, in_features: int, out_features: int, rng=None, *, bias: bool = True):
+        if in_features < 1 or out_features < 1:
+            raise ValueError("in_features and out_features must be >= 1")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = kaiming_uniform((in_features, out_features), as_rng(rng))
+        self.bias = zeros_init((out_features,)) if bias else None
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input (B, {self.in_features}), got {x.shape}"
+            )
+        if train:
+            self._x = x
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def backward(self, grad_out, per_sample: bool = False):
+        if self._x is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        x = self._x
+        grad_in = grad_out @ self.weight.T
+        if per_sample:
+            grads = {"weight": np.einsum("bi,bo->bio", x, grad_out)}
+            if self.bias is not None:
+                grads["bias"] = grad_out
+        else:
+            grads = {"weight": x.T @ grad_out}
+            if self.bias is not None:
+                grads["bias"] = grad_out.sum(axis=0)
+        return grad_in, grads
+
+    def params(self) -> dict[str, np.ndarray]:
+        out = {"weight": self.weight}
+        if self.bias is not None:
+            out["bias"] = self.bias
+        return out
+
+    def set_param(self, name: str, value: np.ndarray) -> None:
+        if name == "weight":
+            self.weight = value.reshape(self.weight.shape)
+        elif name == "bias" and self.bias is not None:
+            self.bias = value.reshape(self.bias.shape)
+        else:
+            raise KeyError(f"Linear has no parameter {name!r}")
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self):
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if train:
+            self._mask = x > 0
+        return F.relu(x)
+
+    def backward(self, grad_out, per_sample: bool = False):
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        return grad_out * self._mask, {}
+
+
+class Flatten(Layer):
+    """Flatten all axes after the batch axis."""
+
+    def __init__(self):
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if train:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out, per_sample: bool = False):
+        if self._shape is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        return grad_out.reshape(self._shape), {}
+
+
+class Conv2d(Layer):
+    """2-D convolution via im2col with per-sample weight gradients.
+
+    Weights have shape ``(out_channels, in_channels, kernel, kernel)``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        *,
+        stride: int = 1,
+        padding: int = 0,
+        rng=None,
+        bias: bool = True,
+    ):
+        if min(in_channels, out_channels, kernel, stride) < 1 or padding < 0:
+            raise ValueError("invalid Conv2d geometry")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.weight = kaiming_uniform(
+            (out_channels, in_channels, kernel, kernel), as_rng(rng)
+        )
+        self.bias = zeros_init((out_channels,)) if bias else None
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected input (B, {self.in_channels}, H, W), got {x.shape}"
+            )
+        batch = x.shape[0]
+        out_h, out_w = F.conv_output_shape(
+            x.shape[2], x.shape[3], self.kernel, self.stride, self.padding
+        )
+        cols = F.im2col(x, self.kernel, self.stride, self.padding)
+        w_flat = self.weight.reshape(self.out_channels, -1)
+        out = np.einsum("ok,bkl->bol", w_flat, cols)
+        if self.bias is not None:
+            out = out + self.bias[None, :, None]
+        if train:
+            self._cols = cols
+            self._x_shape = x.shape
+            self._out_hw = (out_h, out_w)
+        return out.reshape(batch, self.out_channels, out_h, out_w)
+
+    def backward(self, grad_out, per_sample: bool = False):
+        if self._cols is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        batch = grad_out.shape[0]
+        dy = grad_out.reshape(batch, self.out_channels, -1)  # (B, out_c, L)
+        w_flat = self.weight.reshape(self.out_channels, -1)
+
+        if per_sample:
+            dw = np.einsum("bol,bkl->bok", dy, self._cols).reshape(
+                batch, *self.weight.shape
+            )
+            grads = {"weight": dw}
+            if self.bias is not None:
+                grads["bias"] = dy.sum(axis=2)
+        else:
+            dw = np.einsum("bol,bkl->ok", dy, self._cols).reshape(self.weight.shape)
+            grads = {"weight": dw}
+            if self.bias is not None:
+                grads["bias"] = dy.sum(axis=(0, 2))
+
+        dcols = np.einsum("ok,bol->bkl", w_flat, dy)
+        grad_in = F.col2im(dcols, self._x_shape, self.kernel, self.stride, self.padding)
+        return grad_in, grads
+
+    def params(self) -> dict[str, np.ndarray]:
+        out = {"weight": self.weight}
+        if self.bias is not None:
+            out["bias"] = self.bias
+        return out
+
+    def set_param(self, name: str, value: np.ndarray) -> None:
+        if name == "weight":
+            self.weight = value.reshape(self.weight.shape)
+        elif name == "bias" and self.bias is not None:
+            self.bias = value.reshape(self.bias.shape)
+        else:
+            raise KeyError(f"Conv2d has no parameter {name!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, kernel={self.kernel}, "
+            f"stride={self.stride}, padding={self.padding})"
+        )
+
+
+class MaxPool2d(Layer):
+    """Non-overlapping max pooling (kernel == stride); H, W must be divisible."""
+
+    def __init__(self, kernel: int):
+        if kernel < 1:
+            raise ValueError(f"kernel must be >= 1, got {kernel}")
+        self.kernel = kernel
+        self._mask: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def _window(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        k = self.kernel
+        if height % k or width % k:
+            raise ValueError(
+                f"input {height}x{width} not divisible by pooling kernel {k}"
+            )
+        return x.reshape(batch, channels, height // k, k, width // k, k)
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        windows = self._window(x)
+        out = windows.max(axis=(3, 5))
+        if train:
+            # Ties share the gradient equally (see backward); this is a valid
+            # subgradient and keeps the adjoint linear.
+            self._mask = windows == out[:, :, :, None, :, None]
+            self._x_shape = x.shape
+        return out
+
+    def backward(self, grad_out, per_sample: bool = False):
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        counts = self._mask.sum(axis=(3, 5), keepdims=True)
+        spread = (
+            self._mask
+            * grad_out[:, :, :, None, :, None]
+            / np.maximum(counts, 1)
+        )
+        return spread.reshape(self._x_shape), {}
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(kernel={self.kernel})"
+
+
+class AvgPool2d(Layer):
+    """Non-overlapping average pooling (kernel == stride)."""
+
+    def __init__(self, kernel: int):
+        if kernel < 1:
+            raise ValueError(f"kernel must be >= 1, got {kernel}")
+        self.kernel = kernel
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        k = self.kernel
+        if height % k or width % k:
+            raise ValueError(
+                f"input {height}x{width} not divisible by pooling kernel {k}"
+            )
+        if train:
+            self._x_shape = x.shape
+        return x.reshape(batch, channels, height // k, k, width // k, k).mean(axis=(3, 5))
+
+    def backward(self, grad_out, per_sample: bool = False):
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        k = self.kernel
+        grad = np.repeat(np.repeat(grad_out, k, axis=2), k, axis=3) / (k * k)
+        return grad.reshape(self._x_shape), {}
+
+    def __repr__(self) -> str:
+        return f"AvgPool2d(kernel={self.kernel})"
+
+
+class GlobalAvgPool2d(Layer):
+    """Average over all spatial positions: ``(B, C, H, W) -> (B, C)``."""
+
+    def __init__(self):
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"expected (B, C, H, W), got {x.shape}")
+        if train:
+            self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out, per_sample: bool = False):
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        _, _, height, width = self._x_shape
+        grad = grad_out[:, :, None, None] / (height * width)
+        return np.broadcast_to(grad, self._x_shape).copy(), {}

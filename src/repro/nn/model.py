@@ -1,0 +1,158 @@
+"""Sequential model with flattened-parameter and per-sample-gradient APIs.
+
+The optimizers in :mod:`repro.core` operate on flat parameter vectors and
+flat gradient (matrices); :class:`Sequential` provides the bridge:
+
+* ``get_params()`` / ``set_params(flat)`` — the full parameter vector
+  ``w`` in a fixed deterministic order.
+* ``loss_and_gradient(x, y)`` — batch-mean loss and mean gradient ``(P,)``
+  (non-private SGD path).
+* ``loss_and_per_sample_gradients(x, y)`` — per-sample losses ``(B,)`` and
+  the per-sample gradient matrix ``(B, P)`` (the DP-SGD/GeoDP path: each row
+  is ``grad l(w; s_j)`` of Eq. 4, before clipping).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.losses import Loss, SoftmaxCrossEntropy
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A chain of layers plus a per-sample loss."""
+
+    def __init__(self, layers: list[Layer], loss: Loss | None = None):
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers = list(layers)
+        self.loss = loss if loss is not None else SoftmaxCrossEntropy()
+        # Fixed parameter ordering: (layer_index, param_name, shape, size).
+        self._index: list[tuple[int, str, tuple[int, ...], int]] = []
+        for i, layer in enumerate(self.layers):
+            for name, value in layer.params().items():
+                self._index.append((i, name, value.shape, value.size))
+
+    # ------------------------------------------------------------------ params
+    @property
+    def num_params(self) -> int:
+        """Total number of scalar parameters ``P``."""
+        return sum(size for *_, size in self._index)
+
+    def param_slices(self) -> list[tuple[str, slice]]:
+        """``(name, slice)`` of every parameter block in the flat vector.
+
+        Names are ``layer{i}.{param}``; used by per-layer clipping and any
+        tool that needs to address parts of the flat parameter vector.
+        """
+        out = []
+        offset = 0
+        for i, name, _, size in self._index:
+            out.append((f"layer{i}.{name}", slice(offset, offset + size)))
+            offset += size
+        return out
+
+    def layer_slices(self) -> list[tuple[int, slice]]:
+        """``(layer_index, slice)`` covering each layer's full block."""
+        out: list[tuple[int, slice]] = []
+        offset = 0
+        current_layer = None
+        start = 0
+        for i, _, _, size in self._index:
+            if current_layer is None:
+                current_layer, start = i, offset
+            elif i != current_layer:
+                out.append((current_layer, slice(start, offset)))
+                current_layer, start = i, offset
+            offset += size
+        if current_layer is not None:
+            out.append((current_layer, slice(start, offset)))
+        return out
+
+    def get_params(self) -> np.ndarray:
+        """Concatenate all parameters into one flat vector ``(P,)``."""
+        if not self._index:
+            return np.zeros(0)
+        chunks = []
+        for i, name, _, _ in self._index:
+            chunks.append(self.layers[i].params()[name].ravel())
+        return np.concatenate(chunks)
+
+    def set_params(self, flat: np.ndarray) -> None:
+        """Write a flat vector ``(P,)`` back into the layers."""
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.shape != (self.num_params,):
+            raise ValueError(
+                f"expected flat params of shape ({self.num_params},), got {flat.shape}"
+            )
+        offset = 0
+        for i, name, shape, size in self._index:
+            self.layers[i].set_param(name, flat[offset : offset + size].reshape(shape))
+            offset += size
+
+    # ----------------------------------------------------------------- forward
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        """Run the layer chain; caches intermediates when ``train``."""
+        for layer in self.layers:
+            x = layer.forward(x, train=train)
+        return x
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class predictions (no caching)."""
+        logits = self.forward(x, train=False)
+        return np.argmax(logits, axis=1)
+
+    def accuracy(self, x: np.ndarray, y) -> float:
+        """Classification accuracy on ``(x, y)``."""
+        return float(np.mean(self.predict(x) == np.asarray(y)))
+
+    def mean_loss(self, x: np.ndarray, y) -> float:
+        """Batch-mean loss without touching gradients or caches."""
+        return self.loss.mean(self.forward(x, train=False), y)
+
+    # ---------------------------------------------------------------- backward
+    def _backward(self, grad: np.ndarray, per_sample: bool) -> list[dict[str, np.ndarray]]:
+        per_layer: list[dict[str, np.ndarray]] = [None] * len(self.layers)  # type: ignore
+        for i in reversed(range(len(self.layers))):
+            grad, grads = self.layers[i].backward(grad, per_sample=per_sample)
+            per_layer[i] = grads
+        return per_layer
+
+    def _flatten_grads(
+        self, per_layer: list[dict[str, np.ndarray]], batch: int | None
+    ) -> np.ndarray:
+        chunks = []
+        for i, name, _, size in self._index:
+            g = per_layer[i][name]
+            if batch is None:
+                chunks.append(g.reshape(size))
+            else:
+                chunks.append(g.reshape(batch, size))
+        axis = 0 if batch is None else 1
+        return np.concatenate(chunks, axis=axis)
+
+    def loss_and_gradient(self, x: np.ndarray, y) -> tuple[float, np.ndarray]:
+        """Batch-mean loss and its flat gradient ``(P,)`` (non-private path)."""
+        outputs = self.forward(x, train=True)
+        losses = self.loss.per_sample(outputs, y)
+        grad_out = self.loss.gradient(outputs, y)
+        per_layer = self._backward(grad_out, per_sample=False)
+        flat = self._flatten_grads(per_layer, batch=None) / x.shape[0]
+        return float(np.mean(losses)), flat
+
+    def loss_and_per_sample_gradients(
+        self, x: np.ndarray, y
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-sample losses ``(B,)`` and per-sample flat gradients ``(B, P)``."""
+        outputs = self.forward(x, train=True)
+        losses = self.loss.per_sample(outputs, y)
+        grad_out = self.loss.gradient(outputs, y)
+        per_layer = self._backward(grad_out, per_sample=True)
+        return losses, self._flatten_grads(per_layer, batch=x.shape[0])
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential([{inner}], params={self.num_params})"

@@ -1,0 +1,236 @@
+"""Normalisation layers.
+
+GroupNorm and LayerNorm compute statistics *per sample*, so per-sample
+gradients remain well defined — they are the normalisations DP training can
+use.  BatchNorm mixes samples through the batch statistics; it is provided
+for non-private baselines and *refuses* the per-sample gradient path with an
+explanatory error, which is exactly the constraint Opacus enforces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["GroupNorm", "LayerNorm", "BatchNorm2d"]
+
+
+class GroupNorm(Layer):
+    """Normalise ``(B, C, H, W)`` inputs over ``num_groups`` channel groups."""
+
+    def __init__(self, num_groups: int, num_channels: int, *, eps: float = 1e-5):
+        if num_groups < 1 or num_channels % num_groups:
+            raise ValueError(
+                f"num_channels={num_channels} must be divisible by "
+                f"num_groups={num_groups}"
+            )
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        self.gamma = np.ones(num_channels)
+        self.beta = np.zeros(num_channels)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_channels:
+            raise ValueError(
+                f"expected (B, {self.num_channels}, H, W), got {x.shape}"
+            )
+        batch, channels, height, width = x.shape
+        grouped = x.reshape(batch, self.num_groups, -1)
+        mean = grouped.mean(axis=2, keepdims=True)
+        var = grouped.var(axis=2, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = ((grouped - mean) * inv_std).reshape(x.shape)
+        out = self.gamma[None, :, None, None] * x_hat + self.beta[None, :, None, None]
+        if train:
+            self._cache = (x_hat, inv_std, x.shape)
+        return out
+
+    def backward(self, grad_out, per_sample: bool = False):
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        x_hat, inv_std, shape = self._cache
+        batch = shape[0]
+
+        if per_sample:
+            grads = {
+                "gamma": (grad_out * x_hat).sum(axis=(2, 3)),
+                "beta": grad_out.sum(axis=(2, 3)),
+            }
+        else:
+            grads = {
+                "gamma": (grad_out * x_hat).sum(axis=(0, 2, 3)),
+                "beta": grad_out.sum(axis=(0, 2, 3)),
+            }
+
+        # Gradient through the normalisation, group by group.
+        dx_hat = (grad_out * self.gamma[None, :, None, None]).reshape(
+            batch, self.num_groups, -1
+        )
+        xh = x_hat.reshape(batch, self.num_groups, -1)
+        mean_dxhat = dx_hat.mean(axis=2, keepdims=True)
+        mean_dxhat_xh = (dx_hat * xh).mean(axis=2, keepdims=True)
+        dx = inv_std * (dx_hat - mean_dxhat - xh * mean_dxhat_xh)
+        return dx.reshape(shape), grads
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"gamma": self.gamma, "beta": self.beta}
+
+    def set_param(self, name: str, value: np.ndarray) -> None:
+        if name == "gamma":
+            self.gamma = value.reshape(self.gamma.shape)
+        elif name == "beta":
+            self.beta = value.reshape(self.beta.shape)
+        else:
+            raise KeyError(f"GroupNorm has no parameter {name!r}")
+
+    def __repr__(self) -> str:
+        return f"GroupNorm(groups={self.num_groups}, channels={self.num_channels})"
+
+
+class LayerNorm(Layer):
+    """Normalise each sample over all non-batch axes.
+
+    Per-sample statistics only, so DP per-sample gradients are exact.  The
+    affine parameters have the shape of one sample.
+    """
+
+    def __init__(self, normalized_shape, *, eps: float = 1e-5):
+        self.shape = tuple(
+            normalized_shape if hasattr(normalized_shape, "__len__") else (normalized_shape,)
+        )
+        if any(s < 1 for s in self.shape):
+            raise ValueError(f"invalid normalized_shape {self.shape}")
+        self.eps = eps
+        self.gamma = np.ones(self.shape)
+        self.beta = np.zeros(self.shape)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.shape[1:] != self.shape:
+            raise ValueError(f"expected per-sample shape {self.shape}, got {x.shape[1:]}")
+        batch = x.shape[0]
+        flat = x.reshape(batch, -1)
+        mean = flat.mean(axis=1, keepdims=True)
+        var = flat.var(axis=1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = ((flat - mean) * inv_std).reshape(x.shape)
+        out = self.gamma[None] * x_hat + self.beta[None]
+        if train:
+            self._cache = (x_hat, inv_std, x.shape)
+        return out
+
+    def backward(self, grad_out, per_sample: bool = False):
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        x_hat, inv_std, shape = self._cache
+        batch = shape[0]
+
+        if per_sample:
+            grads = {"gamma": grad_out * x_hat, "beta": grad_out.copy()}
+        else:
+            grads = {
+                "gamma": (grad_out * x_hat).sum(axis=0),
+                "beta": grad_out.sum(axis=0),
+            }
+
+        dx_hat = (grad_out * self.gamma[None]).reshape(batch, -1)
+        xh = x_hat.reshape(batch, -1)
+        mean_dxhat = dx_hat.mean(axis=1, keepdims=True)
+        mean_dxhat_xh = (dx_hat * xh).mean(axis=1, keepdims=True)
+        dx = inv_std * (dx_hat - mean_dxhat - xh * mean_dxhat_xh)
+        return dx.reshape(shape), grads
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"gamma": self.gamma, "beta": self.beta}
+
+    def set_param(self, name: str, value: np.ndarray) -> None:
+        if name == "gamma":
+            self.gamma = value.reshape(self.shape)
+        elif name == "beta":
+            self.beta = value.reshape(self.shape)
+        else:
+            raise KeyError(f"LayerNorm has no parameter {name!r}")
+
+    def __repr__(self) -> str:
+        return f"LayerNorm(shape={self.shape})"
+
+
+class BatchNorm2d(Layer):
+    """Batch normalisation over ``(B, C, H, W)`` — non-private baselines only.
+
+    Batch statistics couple every sample's gradient to the whole batch, so
+    *per-sample gradients do not exist* for this layer; requesting them
+    raises with the standard DP guidance (use GroupNorm).  Running statistics
+    are tracked for inference.
+    """
+
+    def __init__(self, num_channels: int, *, eps: float = 1e-5, momentum: float = 0.1):
+        if num_channels < 1:
+            raise ValueError(f"num_channels must be >= 1, got {num_channels}")
+        self.num_channels = num_channels
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = np.ones(num_channels)
+        self.beta = np.zeros(num_channels)
+        self.running_mean = np.zeros(num_channels)
+        self.running_var = np.ones(num_channels)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_channels:
+            raise ValueError(f"expected (B, {self.num_channels}, H, W), got {x.shape}")
+        if train:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        if train:
+            self._cache = (x_hat, inv_std, x.shape)
+        return self.gamma[None, :, None, None] * x_hat + self.beta[None, :, None, None]
+
+    def backward(self, grad_out, per_sample: bool = False):
+        if per_sample:
+            raise RuntimeError(
+                "BatchNorm2d has no per-sample gradients: batch statistics "
+                "couple samples, which breaks DP-SGD's clipping. Replace it "
+                "with GroupNorm (the standard DP substitute)."
+            )
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        x_hat, inv_std, shape = self._cache
+        grads = {
+            "gamma": (grad_out * x_hat).sum(axis=(0, 2, 3)),
+            "beta": grad_out.sum(axis=(0, 2, 3)),
+        }
+        dx_hat = grad_out * self.gamma[None, :, None, None]
+        mean_dxhat = dx_hat.mean(axis=(0, 2, 3), keepdims=True)
+        mean_dxhat_xh = (dx_hat * x_hat).mean(axis=(0, 2, 3), keepdims=True)
+        dx = inv_std[None, :, None, None] * (
+            dx_hat - mean_dxhat - x_hat * mean_dxhat_xh
+        )
+        return dx, grads
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"gamma": self.gamma, "beta": self.beta}
+
+    def set_param(self, name: str, value: np.ndarray) -> None:
+        if name == "gamma":
+            self.gamma = value.reshape(self.gamma.shape)
+        elif name == "beta":
+            self.beta = value.reshape(self.beta.shape)
+        else:
+            raise KeyError(f"BatchNorm2d has no parameter {name!r}")
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d(channels={self.num_channels})"

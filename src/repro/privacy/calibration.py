@@ -1,0 +1,142 @@
+"""Noise calibration for the Gaussian mechanism.
+
+Two calibrations are provided:
+
+* :func:`classic_gaussian_sigma` — the textbook bound used in the paper
+  (§III-A): ``sigma = Delta * sqrt(2 ln(1.25/delta)) / epsilon``, valid for
+  ``epsilon < 1``.
+* :func:`analytic_gaussian_sigma` — the tight calibration of Balle & Wang
+  (ICML 2018), valid for any ``epsilon > 0``, obtained by numerically
+  inverting the exact Gaussian trade-off curve
+
+  .. math::
+
+     \\delta(\\epsilon; \\sigma) = \\Phi\\!\\Big(\\frac{\\Delta}{2\\sigma}
+     - \\frac{\\epsilon\\sigma}{\\Delta}\\Big)
+     - e^{\\epsilon}\\,\\Phi\\!\\Big(-\\frac{\\Delta}{2\\sigma}
+     - \\frac{\\epsilon\\sigma}{\\Delta}\\Big).
+
+:func:`gaussian_epsilon` inverts the same curve in the other direction
+(epsilon from a known multiplier), which is how accountants report the
+privacy of a single release.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy.stats import norm
+
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = [
+    "classic_gaussian_sigma",
+    "analytic_gaussian_delta",
+    "analytic_gaussian_sigma",
+    "gaussian_epsilon",
+]
+
+
+def classic_gaussian_sigma(epsilon: float, delta: float, sensitivity: float = 1.0) -> float:
+    """Classic Gaussian-mechanism noise scale ``Delta * sqrt(2 ln(1.25/delta)) / epsilon``.
+
+    Only valid for ``epsilon < 1`` (the regime of the original analysis);
+    larger budgets should use :func:`analytic_gaussian_sigma`.
+    """
+    epsilon = check_positive("epsilon", epsilon)
+    delta = check_probability("delta", delta)
+    sensitivity = check_positive("sensitivity", sensitivity)
+    if epsilon >= 1:
+        raise ValueError(
+            f"classic calibration requires epsilon < 1 (got {epsilon}); "
+            "use analytic_gaussian_sigma for larger budgets"
+        )
+    return sensitivity * math.sqrt(2 * math.log(1.25 / delta)) / epsilon
+
+
+def analytic_gaussian_delta(sigma: float, epsilon: float, sensitivity: float = 1.0) -> float:
+    """Exact delta achieved by a Gaussian mechanism at a given ``epsilon``.
+
+    Balle & Wang (2018), Theorem 8.  ``sigma`` is the *bare multiplier*; the
+    noise standard deviation is ``sigma * sensitivity``.
+    """
+    sigma = check_positive("sigma", sigma)
+    epsilon = check_positive("epsilon", epsilon, strict=False)
+    sensitivity = check_positive("sensitivity", sensitivity)
+    # Work in units of sensitivity: mu = Delta / (sigma * Delta) = 1 / sigma.
+    a = sensitivity / (2 * sigma * sensitivity)
+    b = epsilon * sigma * sensitivity / sensitivity
+    return float(norm.cdf(a - b) - math.exp(epsilon) * norm.cdf(-a - b))
+
+
+def analytic_gaussian_sigma(
+    epsilon: float,
+    delta: float,
+    sensitivity: float = 1.0,
+    *,
+    tol: float = 1e-12,
+) -> float:
+    """Smallest noise multiplier achieving ``(epsilon, delta)``-DP (tight calibration).
+
+    Binary search on the exact trade-off curve of
+    :func:`analytic_gaussian_delta`; the returned value times ``sensitivity``
+    is the required noise standard deviation.
+    """
+    epsilon = check_positive("epsilon", epsilon)
+    delta = check_probability("delta", delta)
+    sensitivity = check_positive("sensitivity", sensitivity)
+
+    lo, hi = 1e-6, 1.0
+    while analytic_gaussian_delta(hi, epsilon) > delta:
+        hi *= 2
+        if hi > 1e12:
+            raise RuntimeError("analytic calibration failed to bracket sigma")
+    while analytic_gaussian_delta(lo, epsilon) < delta and lo > 1e-300:
+        lo /= 2
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if analytic_gaussian_delta(mid, epsilon) > delta:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol * hi:
+            break
+    return hi * sensitivity
+
+
+def gaussian_epsilon(
+    sigma: float,
+    delta: float,
+    sensitivity: float = 1.0,
+    *,
+    tol: float = 1e-12,
+) -> float:
+    """Tight epsilon of one Gaussian release with multiplier ``sigma`` at ``delta``.
+
+    Inverts the analytic trade-off curve by binary search on epsilon.  Note
+    that the effective multiplier is ``sigma`` regardless of ``sensitivity``
+    because the noise scales with the sensitivity.
+    """
+    sigma = check_positive("sigma", sigma)
+    delta = check_probability("delta", delta)
+    check_positive("sensitivity", sensitivity)
+
+    if analytic_gaussian_delta(sigma, 0.0) <= delta:
+        return 0.0
+    lo, hi = 0.0, 1.0
+    while analytic_gaussian_delta(sigma, hi) > delta:
+        hi *= 2
+        if hi > 1e9:
+            raise RuntimeError(
+                f"epsilon exceeds 1e9 for sigma={sigma}, delta={delta}; "
+                "the mechanism is effectively non-private"
+            )
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if analytic_gaussian_delta(sigma, mid) > delta:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol * max(hi, 1.0):
+            break
+    return hi

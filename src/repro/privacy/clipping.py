@@ -1,0 +1,240 @@
+"""Per-sample gradient clipping strategies.
+
+All strategies map a matrix of per-sample gradients ``(B, d)`` to clipped
+per-sample gradients whose L2 norms are bounded by the strategy's
+:meth:`~ClippingStrategy.sensitivity`, which is what calibrates the DP noise.
+
+Implemented strategies:
+
+* :class:`FlatClipping` — the paper's Eq. 6 (Abadi et al.):
+  ``g / max(1, ||g|| / C)``.
+* :class:`AutoSClipping` — AUTO-S automatic clipping (Bu et al., NeurIPS
+  2023, ref [58]): ``C * g / (||g|| + gamma)``; always rescales, never
+  truncates, with a stability constant ``gamma``.
+* :class:`PsacClipping` — per-sample adaptive clipping (Xia et al., AAAI
+  2023, ref [51]): a *non-monotonic* weight
+  ``C * ||g|| / (||g||^2 + gamma)`` that attenuates both very large
+  gradients (like flat clipping) and very small ones (whose direction is
+  mostly noise), concentrating the fixed noise budget on informative
+  samples.  Clipped norm ``C * ||g||^2 / (||g||^2 + gamma) < C``.
+* :class:`AdaptiveQuantileClipping` — quantile-target adaptive threshold
+  (Andrew et al., NeurIPS 2021): ``C`` tracks a target quantile of observed
+  per-sample norms by geometric updates.
+
+The returned clipped gradients are *per-sample*; aggregation (sum, then
+``+ noise``, then ``/ B``, Eq. 8) happens in the optimizers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_positive, check_probability
+
+__all__ = [
+    "ClippingStrategy",
+    "FlatClipping",
+    "AutoSClipping",
+    "PsacClipping",
+    "AdaptiveQuantileClipping",
+    "PerLayerClipping",
+]
+
+
+class ClippingStrategy:
+    """Interface: clip per-sample gradients and expose the induced sensitivity."""
+
+    def clip(self, per_sample_grads) -> np.ndarray:
+        """Return clipped per-sample gradients with norms <= :meth:`sensitivity`."""
+        raise NotImplementedError
+
+    def sensitivity(self) -> float:
+        """L2 bound on any single clipped per-sample gradient."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _norms(grads: np.ndarray) -> np.ndarray:
+        return np.linalg.norm(grads, axis=1)
+
+
+class FlatClipping(ClippingStrategy):
+    """Classic flat clipping of Eq. 6: rescale only gradients above ``C``."""
+
+    def __init__(self, clip_norm: float):
+        self.clip_norm = check_positive("clip_norm", clip_norm)
+
+    def clip(self, per_sample_grads) -> np.ndarray:
+        grads = check_matrix("per_sample_grads", per_sample_grads)
+        norms = self._norms(grads)
+        scale = 1.0 / np.maximum(1.0, norms / self.clip_norm)
+        return grads * scale[:, None]
+
+    def sensitivity(self) -> float:
+        return self.clip_norm
+
+    def __repr__(self) -> str:
+        return f"FlatClipping(clip_norm={self.clip_norm})"
+
+
+class AutoSClipping(ClippingStrategy):
+    """AUTO-S automatic clipping: ``C * g / (||g|| + gamma)``.
+
+    Every gradient is rescaled (no hard truncation), which removes the
+    clipping-threshold hyper-parameter's sharp failure modes; ``gamma > 0``
+    keeps small gradients from being blown up to the full norm ``C`` and
+    guarantees the clipped norm stays strictly below ``C``.
+    """
+
+    def __init__(self, clip_norm: float, gamma: float = 0.01):
+        self.clip_norm = check_positive("clip_norm", clip_norm)
+        self.gamma = check_positive("gamma", gamma)
+
+    def clip(self, per_sample_grads) -> np.ndarray:
+        grads = check_matrix("per_sample_grads", per_sample_grads)
+        norms = self._norms(grads)
+        scale = self.clip_norm / (norms + self.gamma)
+        return grads * scale[:, None]
+
+    def sensitivity(self) -> float:
+        return self.clip_norm
+
+    def __repr__(self) -> str:
+        return f"AutoSClipping(clip_norm={self.clip_norm}, gamma={self.gamma})"
+
+
+class PsacClipping(ClippingStrategy):
+    """Per-sample adaptive clipping with a non-monotonic weight function.
+
+    ``clipped = C * ||g|| / (||g||^2 + gamma) * g``; the clipped norm
+    ``C * ||g||^2 / (||g||^2 + gamma)`` increases with ``||g||`` but is
+    attenuated for tiny gradients, whose directions are dominated by
+    stochastic noise.  ``gamma`` sets the norm scale below which samples are
+    considered uninformative.
+    """
+
+    def __init__(self, clip_norm: float, gamma: float = 0.01):
+        self.clip_norm = check_positive("clip_norm", clip_norm)
+        self.gamma = check_positive("gamma", gamma)
+
+    def clip(self, per_sample_grads) -> np.ndarray:
+        grads = check_matrix("per_sample_grads", per_sample_grads)
+        norms = self._norms(grads)
+        # ||clipped|| = C * ||g||^2 / (||g||^2 + gamma) < C
+        scale = self.clip_norm * norms / (norms**2 + self.gamma)
+        return grads * scale[:, None]
+
+    def sensitivity(self) -> float:
+        return self.clip_norm
+
+    def __repr__(self) -> str:
+        return f"PsacClipping(clip_norm={self.clip_norm}, gamma={self.gamma})"
+
+
+class AdaptiveQuantileClipping(ClippingStrategy):
+    """Quantile-tracking adaptive clipping threshold (Andrew et al. 2021).
+
+    After each :meth:`clip` call the threshold moves geometrically toward the
+    ``target_quantile`` of the observed per-sample norms:
+
+    ``C <- C * exp(-lr * (fraction_below - target_quantile))``
+
+    In a full DP deployment the ``fraction_below`` statistic is itself
+    noised; :meth:`clip` accepts an optional pre-seeded generator through the
+    constructor for that purpose.
+    """
+
+    def __init__(
+        self,
+        initial_clip_norm: float,
+        target_quantile: float = 0.5,
+        learning_rate: float = 0.2,
+        *,
+        noise_std: float = 0.0,
+        rng=None,
+    ):
+        self.clip_norm = check_positive("initial_clip_norm", initial_clip_norm)
+        self.target_quantile = check_probability("target_quantile", target_quantile)
+        self.learning_rate = check_positive("learning_rate", learning_rate)
+        self.noise_std = check_positive("noise_std", noise_std, strict=False)
+        from repro.utils.rng import as_rng
+
+        self._rng = as_rng(rng)
+        #: Threshold trajectory, one value per clip() call (before update).
+        self.history: list[float] = []
+
+    def clip(self, per_sample_grads) -> np.ndarray:
+        grads = check_matrix("per_sample_grads", per_sample_grads)
+        norms = self._norms(grads)
+        scale = 1.0 / np.maximum(1.0, norms / self.clip_norm)
+        clipped = grads * scale[:, None]
+
+        self.history.append(self.clip_norm)
+        fraction_below = float(np.mean(norms <= self.clip_norm))
+        if self.noise_std > 0:
+            fraction_below += self._rng.normal(0.0, self.noise_std / len(norms))
+        self.clip_norm *= float(
+            np.exp(-self.learning_rate * (fraction_below - self.target_quantile))
+        )
+        return clipped
+
+    def sensitivity(self) -> float:
+        """Sensitivity of the *next* release (the threshold used last)."""
+        return self.history[-1] if self.history else self.clip_norm
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveQuantileClipping(clip_norm={self.clip_norm:.4g}, "
+            f"target_quantile={self.target_quantile})"
+        )
+
+
+class PerLayerClipping(ClippingStrategy):
+    """Clip each parameter block (layer) to its own threshold.
+
+    ``blocks`` is a list of slices partitioning the flat gradient vector
+    (e.g. from :meth:`repro.nn.Sequential.layer_slices`), and
+    ``clip_norms`` either one threshold shared by all blocks or one per
+    block.  The total L2 sensitivity is ``sqrt(sum_j C_j^2)`` — each block
+    changes by at most its own threshold between neighbouring datasets.
+    """
+
+    def __init__(self, blocks, clip_norms):
+        self.blocks = [b[1] if isinstance(b, tuple) else b for b in blocks]
+        if not self.blocks:
+            raise ValueError("need at least one block")
+        for s in self.blocks:
+            if not isinstance(s, slice):
+                raise TypeError(f"blocks must be slices, got {type(s)!r}")
+        if np.isscalar(clip_norms):
+            clip_norms = [float(clip_norms)] * len(self.blocks)
+        self.clip_norms = [check_positive("clip_norm", c) for c in clip_norms]
+        if len(self.clip_norms) != len(self.blocks):
+            raise ValueError(
+                f"{len(self.blocks)} blocks but {len(self.clip_norms)} thresholds"
+            )
+
+    def clip(self, per_sample_grads) -> np.ndarray:
+        grads = check_matrix("per_sample_grads", per_sample_grads)
+        out = grads.copy()
+        covered = 0
+        for block, clip_norm in zip(self.blocks, self.clip_norms):
+            part = grads[:, block]
+            covered += part.shape[1]
+            norms = np.linalg.norm(part, axis=1)
+            scale = 1.0 / np.maximum(1.0, norms / clip_norm)
+            out[:, block] = part * scale[:, None]
+        if covered != grads.shape[1]:
+            raise ValueError(
+                f"blocks cover {covered} of {grads.shape[1]} coordinates; "
+                "per-layer clipping requires a full partition"
+            )
+        return out
+
+    def sensitivity(self) -> float:
+        return float(np.sqrt(np.sum(np.square(self.clip_norms))))
+
+    def __repr__(self) -> str:
+        return (
+            f"PerLayerClipping(blocks={len(self.blocks)}, "
+            f"sensitivity={self.sensitivity():.4g})"
+        )

@@ -1,0 +1,51 @@
+"""Composition theorems for (epsilon, delta)-DP mechanisms."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["basic_composition", "advanced_composition"]
+
+
+def basic_composition(eps_deltas: Sequence[tuple[float, float]]) -> tuple[float, float]:
+    """Basic (sequential) composition: epsilons and deltas both add."""
+    if not eps_deltas:
+        return 0.0, 0.0
+    eps_total = 0.0
+    delta_total = 0.0
+    for eps, delta in eps_deltas:
+        eps_total += check_positive("epsilon", eps, strict=False)
+        delta_total += check_probability("delta", delta, allow_zero=True)
+    return eps_total, delta_total
+
+
+def advanced_composition(
+    epsilon: float,
+    delta: float,
+    k: int,
+    delta_slack: float,
+) -> tuple[float, float]:
+    """Advanced composition (Dwork, Rothblum & Vadhan 2010).
+
+    ``k``-fold composition of an ``(epsilon, delta)``-DP mechanism satisfies
+    ``(epsilon', k*delta + delta_slack)``-DP with
+
+    .. math::
+
+        \\epsilon' = \\epsilon\\sqrt{2k\\ln(1/\\delta_{slack})}
+                     + k\\,\\epsilon\\,(e^{\\epsilon} - 1)
+
+    Returns the composed ``(epsilon', delta')`` pair.
+    """
+    epsilon = check_positive("epsilon", epsilon)
+    delta = check_probability("delta", delta, allow_zero=True)
+    delta_slack = check_probability("delta_slack", delta_slack)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    eps_prime = epsilon * math.sqrt(2 * k * math.log(1.0 / delta_slack)) + k * epsilon * (
+        math.exp(epsilon) - 1.0
+    )
+    return eps_prime, k * delta + delta_slack

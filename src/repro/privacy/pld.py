@@ -1,0 +1,227 @@
+"""Privacy-loss-distribution (PLD) accounting via numerical composition.
+
+The paper's ref [53] (Gopi, Lee & Wutschitz, NeurIPS 2021, "Numerical
+composition of differential privacy") composes mechanisms by convolving
+their *privacy loss distributions* instead of bounding Renyi moments; for
+DP-SGD-sized compositions the resulting epsilon is tighter than RDP.  This
+module implements a self-contained pessimistic-discretisation variant for
+the Poisson-subsampled Gaussian mechanism:
+
+1. The privacy loss of one release is ``L(x) = log(P(x)/Q(x))`` where, for
+   sampling rate ``q`` and noise multiplier ``sigma``,
+   ``P = (1-q) N(0, sigma^2) + q N(1, sigma^2)`` and ``Q = N(0, sigma^2)``
+   (the standard dominating pair; both adjacency directions are evaluated
+   and the worse epsilon reported).
+2. The loss is discretised onto a uniform grid with *pessimistic rounding*
+   (losses rounded up, out-of-range mass moved to ``+infinity``), so the
+   computed delta is an upper bound.
+3. ``k``-fold composition is the ``k``-th convolution power of the
+   discretised pmf, computed with one FFT (`pmf -> fft -> power -> ifft`).
+4. ``delta(eps) = Pr[L = inf] + E[(1 - e^{eps - L})_+]`` on the composed
+   distribution; ``epsilon(delta)`` inverts it by binary search.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["PrivacyLossDistribution", "PldAccountant"]
+
+
+class PrivacyLossDistribution:
+    """Discretised PLD of one Poisson-subsampled Gaussian release."""
+
+    def __init__(
+        self,
+        noise_multiplier: float,
+        sample_rate: float,
+        *,
+        grid_step: float = 1e-3,
+        tail_sigmas: float = 12.0,
+        x_points: int = 200_000,
+    ):
+        self.sigma = check_positive("noise_multiplier", noise_multiplier)
+        self.q = check_probability("sample_rate", sample_rate)
+        self.grid_step = check_positive("grid_step", grid_step)
+
+        # Integration grid over the output space, covering both mixture
+        # components' mass.
+        lo = -tail_sigmas * self.sigma
+        hi = 1.0 + tail_sigmas * self.sigma
+        x = np.linspace(lo, hi, x_points)
+        dx = x[1] - x[0]
+
+        log_ratio_gauss = (2.0 * x - 1.0) / (2.0 * self.sigma**2)  # log N1/N0
+        # L(x) = log((1-q) + q * e^{log_ratio}), stable in both tails.
+        loss = np.logaddexp(math.log1p(-self.q), math.log(self.q) + log_ratio_gauss) \
+            if self.q < 1.0 else log_ratio_gauss
+
+        def normal_pdf(z, mean):
+            return np.exp(-((z - mean) ** 2) / (2 * self.sigma**2)) / (
+                self.sigma * math.sqrt(2 * math.pi)
+            )
+
+        pdf_p = (1.0 - self.q) * normal_pdf(x, 0.0) + self.q * normal_pdf(x, 1.0)
+        pdf_q = normal_pdf(x, 0.0)
+
+        # Direction 1 (remove): x ~ P, loss = log(P/Q) = loss.
+        # Direction 2 (add):    x ~ Q, loss = log(Q/P) = -loss.
+        self._pmf_remove, self._offset_remove, self._inf_remove = self._discretise(
+            loss, pdf_p * dx
+        )
+        self._pmf_add, self._offset_add, self._inf_add = self._discretise(
+            -loss, pdf_q * dx
+        )
+
+    _TAIL_TRIM = 1e-15
+
+    def _discretise(self, losses: np.ndarray, masses: np.ndarray):
+        """Bucket (loss, mass) pairs onto the grid, rounding losses up.
+
+        The support is trimmed to keep FFT composition cheap: high-loss tail
+        mass below ``_TAIL_TRIM`` moves to ``+infinity`` and low-loss tail
+        mass is folded into the lowest kept bucket — both adjustments only
+        ever increase the reported delta (pessimistic).
+        """
+        total = masses.sum()
+        inf_mass = max(0.0, 1.0 - total)  # integration truncation -> +inf
+        k = np.ceil(losses / self.grid_step).astype(np.int64)  # pessimistic
+        k_min, k_max = int(k.min()), int(k.max())
+        pmf = np.zeros(k_max - k_min + 1)
+        np.add.at(pmf, k - k_min, masses)
+
+        cumulative = np.cumsum(pmf)
+        lo = int(np.searchsorted(cumulative, self._TAIL_TRIM))
+        # tail_from_top[i] = mass strictly after index i; keep through the
+        # first index whose strict tail is below the trim threshold.
+        tail_from_top = cumulative[-1] - cumulative
+        hi = int(np.searchsorted(-tail_from_top, -self._TAIL_TRIM)) + 1
+        hi = max(min(hi, len(pmf)), lo + 1)
+        inf_mass += float(pmf[hi:].sum())
+        low_mass = float(pmf[:lo].sum())
+        pmf = pmf[lo : hi].copy()
+        pmf[0] += low_mass
+        return pmf, k_min + lo, inf_mass
+
+    @staticmethod
+    def _compose_pmf(pmf: np.ndarray, offset: int, inf_mass: float, k: int):
+        """k-fold convolution power via FFT; returns (pmf, offset, inf_mass)."""
+        if k == 1:
+            return pmf, offset, inf_mass
+        out_len = k * (len(pmf) - 1) + 1
+        n = 1 << (out_len - 1).bit_length()
+        spectrum = np.fft.rfft(pmf, n)
+        composed = np.fft.irfft(spectrum**k, n)[:out_len]
+        # FFT roundoff can produce tiny negatives; clamp (pessimistic: the
+        # clamped mass is dropped from the finite part, never from delta).
+        np.maximum(composed, 0.0, out=composed)
+        inf_total = 1.0 - (1.0 - inf_mass) ** k
+        return composed, k * offset, inf_total
+
+    @staticmethod
+    def _delta_from_pmf(
+        pmf: np.ndarray, offset: int, inf_mass: float, grid_step: float, eps: float
+    ) -> float:
+        losses = (offset + np.arange(len(pmf))) * grid_step
+        above = losses > eps
+        delta = inf_mass + float(
+            np.sum(pmf[above] * -np.expm1(eps - losses[above]))
+        )
+        return min(max(delta, 0.0), 1.0)
+
+    def delta(self, eps: float, num_steps: int = 1) -> float:
+        """Upper bound on delta at ``eps`` after ``num_steps`` compositions."""
+        if num_steps < 1:
+            raise ValueError(f"num_steps must be >= 1, got {num_steps}")
+        worst = 0.0
+        for pmf, offset, inf in (
+            (self._pmf_remove, self._offset_remove, self._inf_remove),
+            (self._pmf_add, self._offset_add, self._inf_add),
+        ):
+            cp, co, ci = self._compose_pmf(pmf, offset, inf, num_steps)
+            worst = max(worst, self._delta_from_pmf(cp, co, ci, self.grid_step, eps))
+        return worst
+
+    def epsilon(self, delta: float, num_steps: int = 1, *, tol: float = 1e-4) -> float:
+        """Smallest eps with ``delta(eps) <= delta`` after composition."""
+        delta = check_probability("delta", delta)
+        # Compose once per direction, then binary search on eps.
+        composed = []
+        for pmf, offset, inf in (
+            (self._pmf_remove, self._offset_remove, self._inf_remove),
+            (self._pmf_add, self._offset_add, self._inf_add),
+        ):
+            composed.append(self._compose_pmf(pmf, offset, inf, num_steps))
+
+        def delta_at(eps: float) -> float:
+            return max(
+                self._delta_from_pmf(cp, co, ci, self.grid_step, eps)
+                for cp, co, ci in composed
+            )
+
+        if delta_at(0.0) <= delta:
+            return 0.0
+        lo, hi = 0.0, 1.0
+        while delta_at(hi) > delta:
+            hi *= 2
+            if hi > 1e6:
+                raise RuntimeError("epsilon search diverged; mechanism too loud")
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if delta_at(mid) > delta:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo < tol * max(hi, 1.0):
+                break
+        return hi
+
+
+class PldAccountant:
+    """Accountant composing identical subsampled-Gaussian steps via PLD.
+
+    A drop-in alternative to :class:`~repro.privacy.accountant.RdpAccountant`
+    for the common homogeneous case (one ``(sigma, q)`` for the whole run);
+    typically reports a tighter epsilon at DP-SGD step counts.
+
+    Accuracy note: pessimistic rounding adds up to ``grid_step`` per
+    composition, i.e. ``steps * grid_step`` in the worst case, so pick
+    ``grid_step`` well below ``target_accuracy / steps`` (the default 1e-4
+    is adequate up to a few thousand steps).
+    """
+
+    def __init__(
+        self,
+        noise_multiplier: float,
+        sample_rate: float,
+        *,
+        grid_step: float = 1e-4,
+    ):
+        self._pld = PrivacyLossDistribution(
+            noise_multiplier, sample_rate, grid_step=grid_step
+        )
+        self.noise_multiplier = noise_multiplier
+        self.sample_rate = sample_rate
+        self.steps = 0
+
+    def step(self, num_steps: int = 1) -> None:
+        """Record ``num_steps`` releases."""
+        if num_steps < 1:
+            raise ValueError(f"num_steps must be >= 1, got {num_steps}")
+        self.steps += num_steps
+
+    def get_epsilon(self, delta: float) -> float:
+        """Composed epsilon at ``delta`` for the recorded steps."""
+        if self.steps == 0:
+            return 0.0
+        return self._pld.epsilon(delta, self.steps)
+
+    def get_delta(self, epsilon: float) -> float:
+        """Composed delta at ``epsilon`` for the recorded steps."""
+        if self.steps == 0:
+            return 0.0
+        return self._pld.delta(epsilon, self.steps)

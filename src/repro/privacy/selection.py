@@ -1,0 +1,125 @@
+"""Differentially private selection mechanisms.
+
+The selection primitives behind techniques like SUR's accept test and
+hyper-parameter picking under DP:
+
+* :class:`ExponentialMechanism` — select a candidate with probability
+  proportional to ``exp(eps * score / (2 * Delta))``.
+* :func:`report_noisy_max` — add Gumbel/Laplace noise to scores and return
+  the argmax (one-shot, eps-DP; the Gumbel variant is exactly equivalent to
+  the exponential mechanism).
+* :class:`SparseVectorTechnique` — answer a stream of threshold queries,
+  paying only for the (at most ``c``) above-threshold reports (AboveThresh
+  / SVT), the classic machinery for adaptive accept/reject streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["ExponentialMechanism", "report_noisy_max", "SparseVectorTechnique"]
+
+
+class ExponentialMechanism:
+    """Exponential mechanism over a finite candidate set.
+
+    ``select(scores)`` returns an index with probability proportional to
+    ``exp(eps * score_i / (2 * sensitivity))``, which is eps-DP when each
+    score's sensitivity is at most ``sensitivity``.
+    """
+
+    def __init__(self, epsilon: float, sensitivity: float):
+        self.eps = check_positive("epsilon", epsilon)
+        self.sensitivity = check_positive("sensitivity", sensitivity)
+
+    def probabilities(self, scores) -> np.ndarray:
+        """Selection distribution over the candidates."""
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim != 1 or scores.size == 0:
+            raise ValueError(f"scores must be a non-empty vector, got {scores.shape}")
+        logits = self.eps * scores / (2.0 * self.sensitivity)
+        logits -= logits.max()
+        weights = np.exp(logits)
+        return weights / weights.sum()
+
+    def select(self, scores, rng=None) -> int:
+        """Draw one candidate index."""
+        probs = self.probabilities(scores)
+        return int(as_rng(rng).choice(len(probs), p=probs))
+
+
+def report_noisy_max(
+    scores, epsilon: float, sensitivity: float, rng=None, *, noise: str = "gumbel"
+) -> int:
+    """Return the index of the noisy maximum score (eps-DP).
+
+    ``noise="gumbel"`` adds Gumbel(2*Delta/eps) noise — distributionally
+    identical to the exponential mechanism; ``noise="laplace"`` adds
+    Laplace(2*Delta/eps), the classic report-noisy-max.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1 or scores.size == 0:
+        raise ValueError(f"scores must be a non-empty vector, got {scores.shape}")
+    epsilon = check_positive("epsilon", epsilon)
+    sensitivity = check_positive("sensitivity", sensitivity)
+    rng = as_rng(rng)
+    scale = 2.0 * sensitivity / epsilon
+    if noise == "gumbel":
+        noisy = scores + rng.gumbel(0.0, scale, size=scores.shape)
+    elif noise == "laplace":
+        noisy = scores + rng.laplace(0.0, scale, size=scores.shape)
+    else:
+        raise ValueError(f"noise must be 'gumbel' or 'laplace', got {noise!r}")
+    return int(np.argmax(noisy))
+
+
+class SparseVectorTechnique:
+    """AboveThreshold / SVT for a stream of sensitivity-1 queries.
+
+    Answers up to ``cutoff`` above-threshold reports under total budget
+    ``epsilon`` (split half on the threshold, half on the queries).  After
+    the cutoff the object refuses further queries — the caller must budget
+    a new instance.
+    """
+
+    def __init__(self, epsilon: float, threshold: float, *, cutoff: int = 1, rng=None):
+        self.eps = check_positive("epsilon", epsilon)
+        self.threshold = float(threshold)
+        if cutoff < 1:
+            raise ValueError(f"cutoff must be >= 1, got {cutoff}")
+        self.cutoff = cutoff
+        self._rng = as_rng(rng)
+        eps1 = self.eps / 2.0
+        self._eps2 = self.eps / 2.0
+        self._noisy_threshold = self.threshold + self._rng.laplace(0.0, 1.0 / eps1)
+        self.answered_above = 0
+        self.queries_seen = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True once ``cutoff`` above-threshold answers have been spent."""
+        return self.answered_above >= self.cutoff
+
+    def query(self, value: float) -> bool:
+        """Noisy 'is value above threshold?'; True costs budget."""
+        if self.exhausted:
+            raise RuntimeError(
+                "SVT budget exhausted: all above-threshold answers spent"
+            )
+        self.queries_seen += 1
+        noisy = float(value) + self._rng.laplace(
+            0.0, 2.0 * self.cutoff / self._eps2
+        )
+        if noisy >= self._noisy_threshold:
+            self.answered_above += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseVectorTechnique(eps={self.eps}, threshold={self.threshold}, "
+            f"cutoff={self.cutoff}, spent={self.answered_above})"
+        )

@@ -1,0 +1,42 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the library accepts either an integer seed, a
+``numpy.random.Generator``, or ``None``.  :func:`as_rng` normalises all three
+to a ``Generator`` so that callers can reproduce any run from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def as_rng(rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Normalise ``rng`` into a ``numpy.random.Generator``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh non-deterministic generator), an ``int`` seed, or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"rng must be None, int or Generator, got {type(rng)!r}")
+
+
+def spawn_rngs(rng: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Create ``n`` independent child generators from ``rng``.
+
+    Uses ``SeedSequence.spawn`` semantics via ``Generator.spawn`` so the
+    children produce statistically independent streams, which keeps parallel
+    experiment arms reproducible yet uncorrelated.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return list(as_rng(rng).spawn(n))

@@ -1,0 +1,95 @@
+"""Tests for federated training with private client releases."""
+
+import numpy as np
+import pytest
+
+from repro.core.federated import FederatedTrainer
+from repro.data import make_mnist_like, train_test_split
+from repro.models import build_logistic_regression
+
+
+@pytest.fixture(scope="module")
+def shards_and_test():
+    data = make_mnist_like(500, rng=0, size=16)
+    train, test = train_test_split(data, rng=0)
+    bounds = np.linspace(0, len(train), 5).astype(int)
+    shards = [train.subset(np.arange(lo, hi)) for lo, hi in zip(bounds, bounds[1:])]
+    return shards, test
+
+
+def make_trainer(shards, scheme, **kwargs):
+    model = build_logistic_regression((1, 16, 16), rng=0)
+    defaults = dict(
+        learning_rate=4.0,
+        clipping=0.1,
+        noise_multiplier=1.0,
+        local_batch_size=32,
+        rng=1,
+    )
+    defaults.update(kwargs)
+    return FederatedTrainer(model, shards, scheme=scheme, **defaults)
+
+
+class TestFederatedTrainer:
+    def test_nonprivate_learns(self, shards_and_test):
+        shards, test = shards_and_test
+        trainer = make_trainer(shards, "none")
+        trainer.train(80)
+        # C = 0.1 clips every client's release, so 80 rounds only gets
+        # partway; chance level is 0.1.
+        assert trainer.model.accuracy(test.x, test.y) > 0.3
+
+    def test_geodp_learns(self, shards_and_test):
+        shards, test = shards_and_test
+        trainer = make_trainer(shards, "geodp", beta=0.1)
+        trainer.train(80)
+        assert trainer.model.accuracy(test.x, test.y) > 0.2
+
+    def test_dp_accountants_track_participation(self, shards_and_test):
+        shards, _ = shards_and_test
+        trainer = make_trainer(shards, "dp", clients_per_round=2)
+        trainer.train(10)
+        participations = [acc.total_steps for acc in trainer.accountants]
+        assert sum(participations) == 20  # 10 rounds x 2 clients
+        epsilons = trainer.client_epsilons(1e-5)
+        assert all(e >= 0 for e in epsilons)
+        assert any(e > 0 for e in epsilons)
+
+    def test_no_privacy_spends_nothing(self, shards_and_test):
+        shards, _ = shards_and_test
+        trainer = make_trainer(shards, "none")
+        trainer.train(5)
+        assert all(e == 0.0 for e in trainer.client_epsilons(1e-5))
+
+    def test_round_returns_aggregate(self, shards_and_test):
+        shards, _ = shards_and_test
+        trainer = make_trainer(shards, "geodp")
+        aggregate = trainer.round()
+        assert aggregate.shape == (trainer.model.num_params,)
+        assert trainer.rounds_run == 1
+
+    def test_client_sampling(self, shards_and_test):
+        shards, _ = shards_and_test
+        trainer = make_trainer(shards, "dp", clients_per_round=1)
+        trainer.train(3)
+        assert sum(acc.total_steps for acc in trainer.accountants) == 3
+
+    def test_invalid_configuration(self, shards_and_test):
+        shards, _ = shards_and_test
+        model = build_logistic_regression((1, 16, 16), rng=0)
+        with pytest.raises(ValueError, match="scheme"):
+            FederatedTrainer(model, shards, scheme="secret")
+        with pytest.raises(ValueError, match="clients_per_round"):
+            FederatedTrainer(model, shards, clients_per_round=99)
+        with pytest.raises(ValueError, match="client shard"):
+            FederatedTrainer(model, [])
+
+    def test_deterministic_given_seed(self, shards_and_test):
+        shards, _ = shards_and_test
+
+        def run():
+            trainer = make_trainer(shards, "geodp", rng=7)
+            trainer.train(3)
+            return trainer.model.get_params()
+
+        assert np.allclose(run(), run())

@@ -1,0 +1,85 @@
+"""Tests for the IS and SUR training optimisations."""
+
+import numpy as np
+import pytest
+
+from repro.core import ImportanceSampling, SelectiveUpdateRelease
+
+
+class TestImportanceSampling:
+    def test_probabilities_sum_to_one(self, rng):
+        probs = ImportanceSampling(1.0).selection_probabilities(rng.uniform(0, 5, 30))
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs > 0)
+
+    def test_larger_norms_more_likely(self):
+        sampler = ImportanceSampling(10.0)
+        probs = sampler.selection_probabilities(np.array([0.1, 1.0, 5.0]))
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_clipped_norms_equal_weight(self):
+        """Above the clipping threshold all samples contribute C anyway."""
+        probs = ImportanceSampling(1.0).selection_probabilities(np.array([2.0, 50.0]))
+        assert probs[0] == pytest.approx(probs[1])
+
+    def test_floor_keeps_zeros_selectable(self):
+        probs = ImportanceSampling(1.0).selection_probabilities(np.array([0.0, 1.0]))
+        assert probs[0] > 0
+
+    def test_select_size_and_uniqueness(self, rng):
+        idx = ImportanceSampling(1.0).select(rng.uniform(0, 2, 50), 20, rng)
+        assert idx.shape == (20,)
+        assert len(set(idx.tolist())) == 20
+
+    def test_selection_bias_is_real(self, rng):
+        norms = np.array([0.01] * 50 + [1.0] * 50)
+        sampler = ImportanceSampling(1.0)
+        hits = np.zeros(100)
+        for _ in range(300):
+            hits[sampler.select(norms, 10, rng)] += 1
+        assert hits[50:].sum() > 3 * hits[:50].sum()
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            ImportanceSampling(1.0).select(np.ones(5), 6)
+
+    def test_empty_norms_rejected(self):
+        with pytest.raises(ValueError):
+            ImportanceSampling(1.0).selection_probabilities(np.array([]))
+
+
+class TestSelectiveUpdateRelease:
+    def test_accepts_improvement(self):
+        sur = SelectiveUpdateRelease()
+        assert sur.should_accept(1.0, 0.8)
+        assert sur.accepted == 1 and sur.rejected == 0
+
+    def test_rejects_regression(self):
+        sur = SelectiveUpdateRelease()
+        assert not sur.should_accept(1.0, 1.5)
+        assert sur.rejected == 1
+
+    def test_threshold_tolerance(self):
+        sur = SelectiveUpdateRelease(threshold=0.2)
+        assert sur.should_accept(1.0, 1.1)  # regression within tolerance
+
+    def test_acceptance_rate(self):
+        sur = SelectiveUpdateRelease()
+        sur.should_accept(1.0, 0.5)
+        sur.should_accept(1.0, 2.0)
+        assert sur.acceptance_rate == pytest.approx(0.5)
+
+    def test_acceptance_rate_before_any_test(self):
+        assert SelectiveUpdateRelease().acceptance_rate == 1.0
+
+    def test_noisy_decision_is_seedable(self):
+        a = SelectiveUpdateRelease(noise_std=1.0, rng=3)
+        b = SelectiveUpdateRelease(noise_std=1.0, rng=3)
+        results_a = [a.should_accept(1.0, 1.0) for _ in range(20)]
+        results_b = [b.should_accept(1.0, 1.0) for _ in range(20)]
+        assert results_a == results_b
+
+    def test_noise_flips_borderline_decisions(self):
+        sur = SelectiveUpdateRelease(noise_std=0.5, rng=0)
+        results = {sur.should_accept(1.0, 1.01) for _ in range(200)}
+        assert results == {True, False}

@@ -1,0 +1,79 @@
+"""Tests for Theorem 1's efficiency-difference decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import efficiency_difference, expected_item_a, model_efficiency
+from repro.core.perturbation import perturb_dp
+
+
+class TestModelEfficiency:
+    def test_zero_at_optimum(self, rng):
+        w = rng.normal(size=10)
+        assert model_efficiency(w, w) == 0.0
+
+    def test_known_value(self):
+        assert model_efficiency([1.0, 2.0], [0.0, 0.0]) == pytest.approx(5.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            model_efficiency(np.zeros(3), np.zeros(4))
+
+
+class TestEfficiencyDifference:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6), st.floats(0.01, 2.0))
+    def test_decomposition_matches_direct_gap(self, seed, eta):
+        """Theorem 1: eta^2 * A + 2 eta * B equals the directly computed gap."""
+        rng = np.random.default_rng(seed)
+        w_t = rng.normal(size=12)
+        w_star = rng.normal(size=12)
+        g = rng.normal(size=12)
+        g_noisy = g + rng.normal(size=12) * 0.3
+        out = efficiency_difference(w_t, w_star, g, g_noisy, eta)
+        assert out["total"] == pytest.approx(out["direct"], rel=1e-8, abs=1e-10)
+
+    def test_no_noise_zero_gap(self, rng):
+        g = rng.normal(size=6)
+        out = efficiency_difference(rng.normal(size=6), rng.normal(size=6), g, g, 0.5)
+        assert out["item_a"] == 0.0
+        assert out["item_b"] == 0.0
+        assert out["total"] == 0.0
+
+    def test_expected_item_a_positive(self):
+        """Corollary 1: E[Item A] > 0 whenever noise is added, so DP-SGD
+        cannot stably stay at the optimum."""
+        assert expected_item_a(1.0, 0.1, 256, 1000) > 0
+        assert expected_item_a(0.0, 0.1, 256, 1000) == 0.0
+
+    def test_expected_item_a_empirical(self, rng):
+        """Monte-Carlo mean of Item A matches d * (C sigma / B)^2."""
+        d, clip, sigma, batch = 400, 0.5, 1.0, 32
+        g = rng.normal(size=d) * 0.001
+        items = []
+        for _ in range(3000):
+            noisy = perturb_dp(g, clip, sigma, batch, rng, clip=False)
+            items.append(float(np.sum(noisy**2) - np.sum(g**2)))
+        expected = expected_item_a(sigma, clip, batch, d)
+        assert np.mean(items) == pytest.approx(expected, rel=0.05)
+
+    def test_item_a_scaling_corollary2(self):
+        """Corollary 2's Item-A knobs: smaller C, larger B reduce E[Item A]."""
+        base = expected_item_a(1.0, 0.2, 128, 500)
+        assert expected_item_a(1.0, 0.1, 128, 500) < base
+        assert expected_item_a(1.0, 0.2, 512, 500) < base
+
+    def test_item_b_zero_mean_but_nonvanishing_spread(self, rng):
+        """Item B has zero mean (unbiased noise) but its spread is what the
+        clipping/learning-rate knobs cannot remove (Corollary 2)."""
+        w_t = rng.normal(size=100)
+        w_star = rng.normal(size=100)
+        g = rng.normal(size=100) * 0.01
+        items_b = []
+        for _ in range(2000):
+            noisy = perturb_dp(g, 0.1, 1.0, 64, rng, clip=False)
+            items_b.append(float(np.dot(noisy - g, w_star - w_t)))
+        assert np.mean(items_b) == pytest.approx(0.0, abs=3 * np.std(items_b) / 40)
+        assert np.std(items_b) > 0

@@ -1,0 +1,198 @@
+"""Tests for the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DpSgdOptimizer,
+    GeoDpSgdOptimizer,
+    ImportanceSampling,
+    SelectiveUpdateRelease,
+    SgdOptimizer,
+    Trainer,
+)
+from repro.data import Dataset, make_mnist_like, train_test_split
+from repro.models import build_logistic_regression
+
+
+@pytest.fixture(scope="module")
+def small_data():
+    data = make_mnist_like(400, rng=0, size=16)
+    return train_test_split(data, rng=0)
+
+
+def lr_model():
+    return build_logistic_regression((1, 16, 16), rng=0)
+
+
+class TestTrainerBasics:
+    def test_sgd_reduces_loss(self, small_data):
+        train, test = small_data
+        trainer = Trainer(lr_model(), SgdOptimizer(1.0), train, batch_size=64, rng=1)
+        history = trainer.train(50)
+        assert history.iterations == 50
+        assert len(history.losses) == 50
+        assert np.mean(history.losses[-10:]) < np.mean(history.losses[:10])
+
+    def test_eval_every(self, small_data):
+        train, test = small_data
+        trainer = Trainer(
+            lr_model(), SgdOptimizer(1.0), train, test_data=test, batch_size=64, rng=1
+        )
+        history = trainer.train(20, eval_every=10)
+        assert [it for it, _ in history.test_accuracy] == [10, 20]
+        assert history.final_accuracy > 0.2
+
+    def test_final_eval_appended_when_not_aligned(self, small_data):
+        train, test = small_data
+        trainer = Trainer(
+            lr_model(), SgdOptimizer(1.0), train, test_data=test, batch_size=64, rng=1
+        )
+        history = trainer.train(15, eval_every=10)
+        assert [it for it, _ in history.test_accuracy] == [10, 15]
+
+    def test_dp_optimizer_uses_per_sample_path(self, small_data):
+        train, _ = small_data
+        opt = DpSgdOptimizer(1.0, 0.1, 0.0, rng=2)
+        history = Trainer(lr_model(), opt, train, batch_size=64, rng=1).train(10)
+        assert opt.last_noisy_gradient is not None
+        assert len(history.losses) == 10
+
+    def test_invalid_batch_size(self, small_data):
+        train, _ = small_data
+        with pytest.raises(ValueError, match="batch_size"):
+            Trainer(lr_model(), SgdOptimizer(1.0), train, batch_size=10**6)
+
+    def test_invalid_iterations(self, small_data):
+        train, _ = small_data
+        trainer = Trainer(lr_model(), SgdOptimizer(1.0), train, batch_size=32)
+        with pytest.raises(ValueError):
+            trainer.train(0)
+
+    def test_evaluate_without_test_data(self, small_data):
+        train, _ = small_data
+        trainer = Trainer(lr_model(), SgdOptimizer(1.0), train, batch_size=32)
+        with pytest.raises(ValueError, match="test_data"):
+            trainer.evaluate()
+
+    def test_history_final_properties_raise_when_empty(self):
+        from repro.core import TrainingHistory
+
+        with pytest.raises(ValueError):
+            TrainingHistory().final_loss
+        with pytest.raises(ValueError):
+            TrainingHistory().final_accuracy
+
+    def test_deterministic_given_seeds(self, small_data):
+        train, _ = small_data
+
+        def run():
+            opt = DpSgdOptimizer(1.0, 0.1, 1.0, rng=5)
+            model = lr_model()
+            Trainer(model, opt, train, batch_size=32, rng=6).train(5)
+            return model.get_params()
+
+        assert np.allclose(run(), run())
+
+
+class TestTechniquesIntegration:
+    def test_importance_sampling_runs(self, small_data):
+        train, _ = small_data
+        opt = DpSgdOptimizer(1.0, 0.1, 0.5, rng=2)
+        trainer = Trainer(
+            lr_model(),
+            opt,
+            train,
+            batch_size=32,
+            rng=1,
+            importance_sampling=ImportanceSampling(0.1),
+        )
+        history = trainer.train(10)
+        assert len(history.losses) == 10
+
+    def test_sur_rollback(self, small_data):
+        """With huge noise SUR must reject some updates; the model only keeps
+        accepted ones."""
+        train, _ = small_data
+        sur = SelectiveUpdateRelease(threshold=0.0)
+        opt = DpSgdOptimizer(5.0, 0.1, 50.0, rng=2)
+        trainer = Trainer(lr_model(), opt, train, batch_size=32, rng=1, sur=sur)
+        history = trainer.train(20)
+        assert history.sur_acceptance_rate is not None
+        assert history.sur_acceptance_rate < 1.0
+        assert sur.accepted + sur.rejected == 20
+
+    def test_sur_improves_noisy_training(self, small_data):
+        """SUR should not hurt (and typically helps) under heavy noise."""
+        train, test = small_data
+
+        def final_acc(use_sur):
+            sur = SelectiveUpdateRelease() if use_sur else None
+            opt = DpSgdOptimizer(2.0, 0.1, 20.0, rng=3)
+            model = lr_model()
+            t = Trainer(model, opt, train, test_data=test, batch_size=64, rng=4, sur=sur)
+            return t.train(40, eval_every=40).final_accuracy
+
+        assert final_acc(True) >= final_acc(False) - 0.05
+
+    def test_geodp_with_techniques(self, small_data):
+        train, _ = small_data
+        opt = GeoDpSgdOptimizer(
+            1.0, 0.1, 1.0, beta=0.1, rng=2, sensitivity_mode="per_angle"
+        )
+        trainer = Trainer(
+            lr_model(),
+            opt,
+            train,
+            batch_size=32,
+            rng=1,
+            importance_sampling=ImportanceSampling(0.1),
+            sur=SelectiveUpdateRelease(),
+        )
+        assert len(trainer.train(8).losses) == 8
+
+
+class TestTrainerExtensions:
+    def test_augmentation_hook_applied(self, small_data):
+        train, _ = small_data
+        calls = []
+
+        def spy_augment(x):
+            calls.append(x.shape)
+            return x
+
+        trainer = Trainer(
+            lr_model(), SgdOptimizer(1.0), train, batch_size=32, rng=1,
+            augment=spy_augment,
+        )
+        trainer.train(3)
+        assert len(calls) == 3
+        assert all(shape[0] == 32 for shape in calls)
+
+    def test_augmenter_integration(self, small_data):
+        from repro.data import Augmenter
+
+        train, _ = small_data
+        trainer = Trainer(
+            lr_model(),
+            DpSgdOptimizer(1.0, 0.1, 0.5, rng=2),
+            train,
+            batch_size=32,
+            rng=1,
+            augment=Augmenter(flip=True, crop_padding=1, rng=0),
+        )
+        history = trainer.train(5)
+        assert len(history.losses) == 5
+
+    def test_train_epochs(self, small_data):
+        train, _ = small_data
+        trainer = Trainer(lr_model(), SgdOptimizer(1.0), train, batch_size=64, rng=1)
+        history = trainer.train_epochs(2)
+        steps_per_epoch = -(-len(train) // 64)
+        assert history.iterations == 2 * steps_per_epoch
+
+    def test_train_epochs_invalid(self, small_data):
+        train, _ = small_data
+        trainer = Trainer(lr_model(), SgdOptimizer(1.0), train, batch_size=64)
+        with pytest.raises(ValueError):
+            trainer.train_epochs(0)

@@ -1,0 +1,100 @@
+"""Tests for image augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data.augmentation import (
+    Augmenter,
+    add_pixel_noise,
+    random_crop,
+    random_horizontal_flip,
+)
+
+
+class TestHorizontalFlip:
+    def test_probability_one_flips_all(self, rng):
+        x = rng.random((4, 1, 3, 3))
+        out = random_horizontal_flip(x, rng, probability=1.0)
+        assert np.allclose(out, x[:, :, :, ::-1])
+
+    def test_probability_zero_identity(self, rng):
+        x = rng.random((4, 1, 3, 3))
+        assert np.allclose(random_horizontal_flip(x, rng, probability=0.0), x)
+
+    def test_input_not_mutated(self, rng):
+        x = rng.random((4, 1, 3, 3))
+        x0 = x.copy()
+        random_horizontal_flip(x, rng, probability=1.0)
+        assert np.array_equal(x, x0)
+
+    def test_fraction_roughly_half(self, rng):
+        x = np.arange(2 * 1 * 1 * 2, dtype=float).reshape(2, 1, 1, 2)
+        x = np.tile(x, (100, 1, 1, 1))
+        out = random_horizontal_flip(x, rng)
+        flipped = np.mean([not np.array_equal(a, b) for a, b in zip(out, x)])
+        assert 0.3 < flipped < 0.7
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError, match="B, C, H, W"):
+            random_horizontal_flip(np.zeros((3, 3)))
+        with pytest.raises(ValueError, match="probability"):
+            random_horizontal_flip(np.zeros((1, 1, 2, 2)), probability=2.0)
+
+
+class TestRandomCrop:
+    def test_shape_preserved(self, rng):
+        x = rng.random((5, 3, 8, 8))
+        assert random_crop(x, rng, padding=2).shape == x.shape
+
+    def test_zero_padding_identity(self, rng):
+        x = rng.random((2, 1, 4, 4))
+        assert np.allclose(random_crop(x, rng, padding=0), x)
+
+    def test_content_is_a_shift(self, rng):
+        """Every output must appear somewhere inside the padded original."""
+        x = rng.random((1, 1, 6, 6))
+        out = random_crop(x, rng, padding=2)
+        padded = np.pad(x, ((0, 0), (0, 0), (2, 2), (2, 2)))
+        found = any(
+            np.allclose(out[0, 0], padded[0, 0, t : t + 6, l : l + 6])
+            for t in range(5)
+            for l in range(5)
+        )
+        assert found
+
+    def test_negative_padding(self):
+        with pytest.raises(ValueError):
+            random_crop(np.zeros((1, 1, 4, 4)), padding=-1)
+
+
+class TestPixelNoise:
+    def test_clipped_to_unit_interval(self, rng):
+        x = rng.random((3, 1, 4, 4))
+        out = add_pixel_noise(x, rng, std=0.5)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_unclipped(self, rng):
+        x = np.zeros((1, 1, 50, 50))
+        out = add_pixel_noise(x, rng, std=1.0, clip01=False)
+        assert out.min() < 0.0
+
+    def test_zero_std_identity(self, rng):
+        x = rng.random((2, 1, 3, 3))
+        assert np.allclose(add_pixel_noise(x, rng, std=0.0), x)
+
+
+class TestAugmenter:
+    def test_pipeline_shape(self, rng):
+        x = rng.random((6, 3, 8, 8))
+        augment = Augmenter(flip=True, crop_padding=2, noise_std=0.01, rng=0)
+        assert augment(x).shape == x.shape
+
+    def test_deterministic_with_seed(self, rng):
+        x = rng.random((4, 1, 6, 6))
+        a = Augmenter(flip=True, crop_padding=1, noise_std=0.05, rng=3)(x)
+        b = Augmenter(flip=True, crop_padding=1, noise_std=0.05, rng=3)(x)
+        assert np.allclose(a, b)
+
+    def test_noop_configuration(self, rng):
+        x = rng.random((2, 1, 4, 4))
+        assert np.allclose(Augmenter(flip=False)(x), x)

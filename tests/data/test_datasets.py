@@ -1,0 +1,88 @@
+"""Tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, train_test_split
+
+
+def toy_dataset(n=20, rng_seed=0):
+    rng = np.random.default_rng(rng_seed)
+    return Dataset(rng.normal(size=(n, 3)), rng.integers(0, 4, size=n))
+
+
+class TestDataset:
+    def test_length(self):
+        assert len(toy_dataset(15)) == 15
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="samples"):
+            Dataset(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_2d_labels_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Dataset(np.zeros((3, 2)), np.zeros((3, 1), dtype=int))
+
+    def test_subset(self):
+        data = toy_dataset()
+        sub = data.subset([1, 3, 5])
+        assert len(sub) == 3
+        assert np.allclose(sub.x[0], data.x[1])
+
+    def test_shuffled_preserves_pairs(self):
+        data = toy_dataset()
+        shuffled = data.shuffled(rng=0)
+        # Each (x, y) row of the shuffle exists in the original.
+        for xs, ys in zip(shuffled.x, shuffled.y):
+            matches = np.where((data.x == xs).all(axis=1))[0]
+            assert any(data.y[m] == ys for m in matches)
+
+    def test_batch(self):
+        data = toy_dataset()
+        x, y = data.batch([0, 2])
+        assert x.shape == (2, 3)
+        assert y.shape == (2,)
+
+    def test_num_classes(self):
+        data = Dataset(np.zeros((4, 1)), np.array([0, 1, 2, 2]))
+        assert data.num_classes == 3
+
+    def test_class_counts(self):
+        data = Dataset(np.zeros((4, 1)), np.array([0, 1, 2, 2]))
+        assert np.array_equal(data.class_counts(), [1, 1, 2])
+
+    def test_normalized(self):
+        data = Dataset(np.arange(12, dtype=float).reshape(4, 3), np.zeros(4, dtype=int))
+        norm = data.normalized()
+        assert norm.x.mean() == pytest.approx(0.0, abs=1e-12)
+        assert norm.x.std() == pytest.approx(1.0)
+
+    def test_normalized_constant_features(self):
+        data = Dataset(np.full((3, 2), 7.0), np.zeros(3, dtype=int))
+        norm = data.normalized()
+        assert np.allclose(norm.x, 0.0)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        train, test = train_test_split(toy_dataset(100), 0.2, rng=0)
+        assert len(train) == 80
+        assert len(test) == 20
+
+    def test_disjoint_and_complete(self):
+        data = Dataset(np.arange(50)[:, None].astype(float), np.zeros(50, dtype=int))
+        train, test = train_test_split(data, 0.3, rng=1)
+        combined = sorted(np.concatenate([train.x[:, 0], test.x[:, 0]]).tolist())
+        assert combined == list(range(50))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(toy_dataset(), 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(toy_dataset(), 1.0)
+
+    def test_deterministic_with_seed(self):
+        data = toy_dataset(40)
+        a1, _ = train_test_split(data, 0.25, rng=5)
+        a2, _ = train_test_split(data, 0.25, rng=5)
+        assert np.allclose(a1.x, a2.x)

@@ -1,0 +1,119 @@
+"""Tests for the procedural MNIST/CIFAR substitutes."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_cifar_like, make_mnist_like
+from repro.data.cifar_like import NUM_CLASSES, render_class_image
+from repro.data.mnist_like import DIGIT_GLYPHS, render_digit
+
+
+class TestMnistLike:
+    def test_shapes_and_range(self):
+        data = make_mnist_like(50, rng=0)
+        assert data.x.shape == (50, 1, 28, 28)
+        assert data.x.min() >= 0.0 and data.x.max() <= 1.0
+        assert data.y.shape == (50,)
+
+    def test_balanced_classes(self):
+        data = make_mnist_like(100, rng=0)
+        assert np.array_equal(data.class_counts(), [10] * 10)
+
+    def test_deterministic_with_seed(self):
+        a = make_mnist_like(20, rng=3)
+        b = make_mnist_like(20, rng=3)
+        assert np.allclose(a.x, b.x)
+        assert np.array_equal(a.y, b.y)
+
+    def test_intra_class_variance(self):
+        """Two renders of the same digit must differ (jitter is real)."""
+        rng = np.random.default_rng(0)
+        a = render_digit(7, rng)
+        b = render_digit(7, rng)
+        assert not np.allclose(a, b)
+
+    def test_inter_class_structure(self):
+        """Noise-free class means must be more similar within class than across."""
+        data = make_mnist_like(400, rng=1, noise_std=0.0)
+        means = np.stack([data.x[data.y == k, 0].mean(axis=0) for k in range(10)])
+        flat = means.reshape(10, -1)
+        # Distance from each class mean to itself is 0; to other classes > 0.
+        dists = np.linalg.norm(flat[:, None] - flat[None, :], axis=2)
+        off_diag = dists[~np.eye(10, dtype=bool)]
+        assert off_diag.min() > 1.0
+
+    def test_custom_size(self):
+        data = make_mnist_like(10, rng=0, size=16)
+        assert data.x.shape == (10, 1, 16, 16)
+
+    def test_all_glyphs_defined(self):
+        assert sorted(DIGIT_GLYPHS) == list(range(10))
+        for glyph in DIGIT_GLYPHS.values():
+            assert glyph.shape == (7, 5)
+            assert glyph.sum() > 0
+
+    def test_invalid_digit(self):
+        with pytest.raises(ValueError, match="0-9"):
+            render_digit(10)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            make_mnist_like(0)
+
+    def test_learnable(self):
+        """A logistic regression must beat chance comfortably on this data."""
+        from repro.models import build_logistic_regression
+
+        data = make_mnist_like(600, rng=0)
+        model = build_logistic_regression(rng=0)
+        x, y = data.x, data.y
+        for _ in range(60):
+            _, grad = model.loss_and_gradient(x[:500], y[:500])
+            model.set_params(model.get_params() - 1.0 * grad)
+        assert model.accuracy(x[500:], y[500:]) > 0.6
+
+
+class TestCifarLike:
+    def test_shapes_and_range(self):
+        data = make_cifar_like(40, rng=0)
+        assert data.x.shape == (40, 3, 32, 32)
+        assert data.x.min() >= 0.0 and data.x.max() <= 1.0
+
+    def test_balanced_classes(self):
+        data = make_cifar_like(100, rng=0)
+        assert np.array_equal(data.class_counts(), [10] * NUM_CLASSES)
+
+    def test_deterministic_with_seed(self):
+        a = make_cifar_like(12, rng=9)
+        b = make_cifar_like(12, rng=9)
+        assert np.allclose(a.x, b.x)
+
+    def test_every_class_renders(self):
+        rng = np.random.default_rng(0)
+        for label in range(NUM_CLASSES):
+            img = render_class_image(label, rng)
+            assert img.shape == (3, 32, 32)
+            assert img.std() > 0.01  # not a constant image
+
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            render_class_image(NUM_CLASSES, rng=0)
+
+    def test_custom_size(self):
+        data = make_cifar_like(10, rng=0, size=16)
+        assert data.x.shape == (10, 3, 16, 16)
+
+    def test_harder_than_mnist_like(self):
+        """Same LR budget: CIFAR-like accuracy below MNIST-like (paper's ordering)."""
+        from repro.models import build_logistic_regression
+
+        def lr_accuracy(data, input_shape):
+            model = build_logistic_regression(input_shape, rng=0)
+            for _ in range(40):
+                _, g = model.loss_and_gradient(data.x[:400], data.y[:400])
+                model.set_params(model.get_params() - 1.0 * g)
+            return model.accuracy(data.x[400:], data.y[400:])
+
+        easy = lr_accuracy(make_mnist_like(500, rng=0), (1, 28, 28))
+        hard = lr_accuracy(make_cifar_like(500, rng=0), (3, 32, 32))
+        assert hard < easy

@@ -1,0 +1,84 @@
+"""Tests for the synthetic gradient datasets (paper §VI-A protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.data import collect_training_gradients, make_mnist_like, synthetic_gradient_batch
+from repro.geometry import cosine_similarity
+from repro.models import build_logistic_regression
+
+
+class TestSyntheticGradientBatch:
+    def test_shape(self):
+        grads = synthetic_gradient_batch(30, 50, rng=0)
+        assert grads.shape == (30, 50)
+
+    def test_directions_concentrate(self):
+        grads = synthetic_gradient_batch(200, 100, rng=0, concentration=50.0)
+        mean_dir = grads.mean(axis=0)
+        sims = cosine_similarity(grads, np.tile(mean_dir, (200, 1)))
+        assert sims.mean() > 0.9
+
+    def test_concentration_parameter_controls_spread(self):
+        tight = synthetic_gradient_batch(300, 80, rng=0, concentration=100.0)
+        loose = synthetic_gradient_batch(300, 80, rng=0, concentration=1.0)
+
+        def mean_cos(g):
+            centre = g.mean(axis=0)
+            return cosine_similarity(g, np.tile(centre, (g.shape[0], 1))).mean()
+
+        assert mean_cos(tight) > mean_cos(loose)
+
+    def test_magnitude_distribution(self):
+        grads = synthetic_gradient_batch(
+            3000, 20, rng=0, magnitude_mean=2.0, magnitude_sigma=0.0
+        )
+        norms = np.linalg.norm(grads, axis=1)
+        assert np.allclose(norms, 2.0)
+
+    def test_deterministic(self):
+        a = synthetic_gradient_batch(10, 10, rng=5)
+        b = synthetic_gradient_batch(10, 10, rng=5)
+        assert np.allclose(a, b)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            synthetic_gradient_batch(0, 10)
+        with pytest.raises(ValueError):
+            synthetic_gradient_batch(10, 1)
+
+
+class TestCollectTrainingGradients:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_mnist_like(80, rng=0, size=16)
+
+    def test_shape_full_dim(self, dataset):
+        model = build_logistic_regression((1, 16, 16), rng=0)
+        grads = collect_training_gradients(model, dataset, 15, rng=0)
+        assert grads.shape == (15, model.num_params)
+
+    def test_projected_dim(self, dataset):
+        model = build_logistic_regression((1, 16, 16), rng=0)
+        grads = collect_training_gradients(model, dataset, 10, rng=0, dim=64)
+        assert grads.shape == (10, 64)
+
+    def test_training_actually_progresses(self, dataset):
+        """The collector is B=1 SGD, so later gradients should shrink on average."""
+        model = build_logistic_regression((1, 16, 16), rng=0)
+        grads = collect_training_gradients(
+            model, dataset, 120, rng=0, learning_rate=0.5
+        )
+        early = np.linalg.norm(grads[:20], axis=1).mean()
+        late = np.linalg.norm(grads[-20:], axis=1).mean()
+        assert late < early
+
+    def test_invalid_dim(self, dataset):
+        model = build_logistic_regression((1, 16, 16), rng=0)
+        with pytest.raises(ValueError, match="dim must be"):
+            collect_training_gradients(model, dataset, 5, dim=10**9)
+
+    def test_invalid_count(self, dataset):
+        model = build_logistic_regression((1, 16, 16), rng=0)
+        with pytest.raises(ValueError):
+            collect_training_gradients(model, dataset, 0)

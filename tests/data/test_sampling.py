@@ -1,0 +1,68 @@
+"""Tests for minibatch samplers."""
+
+import numpy as np
+import pytest
+
+from repro.data import iterate_minibatches, minibatch_indices, poisson_indices
+
+
+class TestMinibatchIndices:
+    def test_size_and_uniqueness(self):
+        idx = minibatch_indices(100, 32, rng=0)
+        assert idx.shape == (32,)
+        assert len(set(idx.tolist())) == 32
+
+    def test_full_batch(self):
+        idx = minibatch_indices(10, 10, rng=0)
+        assert sorted(idx.tolist()) == list(range(10))
+
+    def test_bounds(self):
+        idx = minibatch_indices(50, 20, rng=1)
+        assert idx.min() >= 0 and idx.max() < 50
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            minibatch_indices(10, 11)
+        with pytest.raises(ValueError):
+            minibatch_indices(10, 0)
+
+    def test_approximately_uniform(self):
+        counts = np.zeros(20)
+        rng = np.random.default_rng(0)
+        for _ in range(2000):
+            counts[minibatch_indices(20, 5, rng)] += 1
+        freq = counts / counts.sum()
+        assert np.allclose(freq, 1 / 20, atol=0.01)
+
+
+class TestPoissonIndices:
+    def test_expected_size(self):
+        rng = np.random.default_rng(0)
+        sizes = [len(poisson_indices(1000, 0.1, rng)) for _ in range(200)]
+        assert np.mean(sizes) == pytest.approx(100, rel=0.1)
+
+    def test_can_be_empty(self):
+        rng = np.random.default_rng(0)
+        sizes = [len(poisson_indices(5, 0.01, rng)) for _ in range(200)]
+        assert min(sizes) == 0
+
+    def test_sorted_unique(self):
+        idx = poisson_indices(100, 0.5, rng=0)
+        assert np.array_equal(idx, np.unique(idx))
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            poisson_indices(10, 0.0)
+        with pytest.raises(ValueError):
+            poisson_indices(10, 1.5)
+
+
+class TestIterateMinibatches:
+    def test_yields_requested_count(self):
+        batches = list(iterate_minibatches(50, 10, 7, rng=0))
+        assert len(batches) == 7
+        assert all(b.shape == (10,) for b in batches)
+
+    def test_batches_differ(self):
+        batches = list(iterate_minibatches(1000, 10, 2, rng=0))
+        assert not np.array_equal(batches[0], batches[1])

@@ -1,0 +1,44 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main, run_one
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.scale == "smoke"
+        assert args.seed == 0
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig1", "--scale", "giant"])
+
+
+class TestExecution:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_fig1(self, capsys):
+        assert main(["fig1", "--scale", "smoke", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "completed in" in out
+
+    def test_run_one_returns_table(self):
+        text = run_one("fig4", "smoke", 0)
+        assert "Figure 4" in text
+
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig3", "fig4", "fig5", "fig6", "table2", "table3",
+            "theory", "frontier", "mia", "concentration",
+        }

@@ -1,0 +1,163 @@
+"""Tests for the experiment harness (smoke scale) and its qualitative shapes."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    format_fig1,
+    format_fig3,
+    format_fig4,
+    format_fig6,
+    run_fig1,
+    run_fig3,
+    run_fig4,
+    run_fig6,
+)
+from repro.experiments.common import check_scale, mse_comparison
+from repro.experiments.fig4 import crossover_beta
+from repro.experiments.training_grid import MethodSpec, standard_method_grid
+
+
+class TestCommon:
+    def test_check_scale(self):
+        assert check_scale("smoke") == "smoke"
+        with pytest.raises(ValueError):
+            check_scale("huge")
+
+    def test_mse_comparison_keys(self, rng):
+        grads = rng.normal(size=(10, 20))
+        out = mse_comparison(grads, 0.1, 1.0, 512, 0.1, rng)
+        assert set(out) == {"dp_theta", "geo_theta", "dp_g", "geo_g"}
+        assert all(v >= 0 for v in out.values())
+
+    def test_repeats_reduce_variance(self, rng):
+        grads = rng.normal(size=(10, 20))
+        single = [
+            mse_comparison(grads, 0.1, 1.0, 512, 0.1, np.random.default_rng(s))["geo_theta"]
+            for s in range(12)
+        ]
+        averaged = [
+            mse_comparison(
+                grads, 0.1, 1.0, 512, 0.1, np.random.default_rng(s), repeats=8
+            )["geo_theta"]
+            for s in range(12)
+        ]
+        assert np.std(averaged) < np.std(single)
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig1("smoke", rng=0)
+
+    def test_row_structure(self, result):
+        assert len(result["rows"]) == 4
+        assert all("sigma" in r for r in result["rows"])
+
+    def test_mse_grows_with_sigma(self, result):
+        geo = [r["geo_theta"] for r in result["rows"]]
+        assert geo == sorted(geo)
+
+    def test_headline_shape(self, result):
+        """GeoDP better on directions, DP better on raw gradients (Fig 1)."""
+        for row in result["rows"]:
+            assert row["geo_theta"] < row["dp_theta"]
+            assert row["dp_g"] < row["geo_g"]
+
+    def test_format(self, result):
+        text = format_fig1(result)
+        assert "Figure 1" in text and "GeoDP MSE(theta)" in text
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3("smoke", rng=0)
+
+    def test_panels_present(self, result):
+        assert set(result["panels"]) == {"sigma", "dim", "batch"}
+
+    def test_geo_direction_mse_scales_with_beta(self, result):
+        rows = result["panels"]["sigma"]["rows"]
+        at_sigma = {}
+        for r in rows:
+            at_sigma.setdefault(r["x"], {})[r["beta"]] = r["geo_theta"]
+        for sigma, per_beta in at_sigma.items():
+            assert per_beta[0.01] < per_beta[0.1] < per_beta[1.0]
+
+    def test_batch_size_helps_geodp(self, result):
+        rows = [r for r in result["panels"]["batch"]["rows"] if r["beta"] == 0.1]
+        series = sorted(rows, key=lambda r: r["x"])
+        assert series[-1]["geo_theta"] < series[0]["geo_theta"]
+
+    def test_small_beta_wins_both(self, result):
+        """Fig 3 c/f/i: beta = 0.01 gives GeoDP the double win everywhere."""
+        for panel in result["panels"].values():
+            for r in panel["rows"]:
+                if r["beta"] == 0.01:
+                    assert r["geo_theta"] < r["dp_theta"]
+
+    def test_format(self, result):
+        text = format_fig3(result)
+        assert "Figure 3 (a-c)" in text and "(g-i)" in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4("smoke", rng=0)
+
+    def test_crossover_exists(self, result):
+        """Lemma 1: some beta gives GeoDP the double win at every d."""
+        for dim in result["dims"]:
+            assert crossover_beta(result, dim) is not None
+
+    def test_crossover_shrinks_with_dimension(self, result):
+        dims = sorted(result["dims"])
+        betas = [crossover_beta(result, d) for d in dims]
+        assert betas[-1] <= betas[0]
+
+    def test_format(self, result):
+        text = format_fig4(result)
+        assert "double-win beta" in text
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6("smoke", rng=0)
+
+    def test_rows(self, result):
+        assert len(result["rows"]) == 4
+        assert all(r["dp_seconds"] > 0 for r in result["rows"])
+
+    def test_geodp_not_faster(self, result):
+        """GeoDP pays for the conversions: never meaningfully faster than DP."""
+        for r in result["rows"]:
+            assert r["geodp_seconds"] > 0.5 * r["dp_seconds"]
+
+    def test_dimension_increases_runtime(self, result):
+        by_dim = {}
+        for r in result["rows"]:
+            by_dim.setdefault(r["dim"], []).append(r["geodp_seconds"])
+        dims = sorted(by_dim)
+        assert np.mean(by_dim[dims[-1]]) > np.mean(by_dim[dims[0]])
+
+    def test_format(self, result):
+        assert "GeoDP/DP" in format_fig6(result)
+
+
+class TestTrainingGrid:
+    def test_standard_grid_has_15_rows(self):
+        grid = standard_method_grid(64, 128, 0.1, 0.5)
+        assert len(grid) == 15
+        labels = [m.label for m in grid]
+        assert len(set(labels)) == 15
+
+    def test_method_spec_validation(self):
+        with pytest.raises(ValueError, match="beta"):
+            MethodSpec("x", "geodp", 32)
+        with pytest.raises(ValueError, match="scheme"):
+            MethodSpec("x", "foo", 32)
+        with pytest.raises(ValueError, match="clipping"):
+            MethodSpec("x", "dp", 32, clipping="weird")

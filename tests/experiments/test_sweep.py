@@ -1,0 +1,99 @@
+"""Tests for the parameter-sweep harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.sweep import ParameterSweep
+
+
+def toy_measure(a, b, rng):
+    return {"sum": a + b, "noisy": a * b + rng.normal(0, 0.01)}
+
+
+class TestPoints:
+    def test_cartesian_product(self):
+        sweep = ParameterSweep(toy_measure, {"a": [1, 2], "b": [10, 20, 30]})
+        points = sweep.points()
+        assert len(points) == 6
+        assert {"a": 2, "b": 30} in points
+
+    def test_deterministic_order(self):
+        sweep = ParameterSweep(toy_measure, {"a": [1, 2], "b": [3, 4]})
+        assert sweep.points() == sweep.points()
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSweep(toy_measure, {})
+        with pytest.raises(ValueError):
+            ParameterSweep(toy_measure, {"a": []})
+
+
+class TestRun:
+    def test_metrics_attached_to_points(self):
+        sweep = ParameterSweep(toy_measure, {"a": [1], "b": [2]})
+        rows = sweep.run(rng=0)
+        assert rows[0]["sum"] == 3
+        assert rows[0]["a"] == 1
+
+    def test_repeats_average_noise(self):
+        sweep = ParameterSweep(toy_measure, {"a": [3], "b": [4]})
+        noisy_once = [sweep.run(rng=s)[0]["noisy"] for s in range(10)]
+        noisy_avg = [sweep.run(rng=s, repeats=40)[0]["noisy"] for s in range(10)]
+        assert np.std(noisy_avg) < np.std(noisy_once)
+
+    def test_deterministic_given_seed(self):
+        sweep = ParameterSweep(toy_measure, {"a": [1, 2], "b": [3]})
+        assert sweep.run(rng=7) == sweep.run(rng=7)
+
+    def test_bad_measure_rejected(self):
+        sweep = ParameterSweep(lambda a, rng: 42, {"a": [1]})
+        with pytest.raises(ValueError, match="dict"):
+            sweep.run(rng=0)
+
+    def test_invalid_repeats(self):
+        sweep = ParameterSweep(toy_measure, {"a": [1], "b": [2]})
+        with pytest.raises(ValueError):
+            sweep.run(rng=0, repeats=0)
+
+
+class TestFormat:
+    def test_two_param_grid_layout(self):
+        sweep = ParameterSweep(toy_measure, {"a": [1, 2], "b": [10, 20]})
+        rows = sweep.run(rng=0)
+        text = sweep.format(rows, metric="sum", title="sums")
+        assert "a \\ b" in text
+        assert "sums" in text
+        # grid cell (a=2, b=20) -> 22
+        assert "22" in text
+
+    def test_flat_layout_for_other_arity(self):
+        sweep = ParameterSweep(lambda a, rng: {"x": a}, {"a": [1, 2, 3]})
+        rows = sweep.run(rng=0)
+        text = sweep.format(rows, metric="x")
+        assert text.count("\n") >= 4
+
+    def test_unknown_metric(self):
+        sweep = ParameterSweep(toy_measure, {"a": [1], "b": [2]})
+        rows = sweep.run(rng=0)
+        with pytest.raises(KeyError):
+            sweep.format(rows, metric="nope")
+
+
+class TestGeoDpGridUseCase:
+    def test_beta_sigma_grid(self):
+        """The harness drives a real GeoDP beta x sigma MSE grid."""
+        from repro.data import synthetic_gradient_batch
+        from repro.experiments.common import mse_comparison
+
+        grads = synthetic_gradient_batch(20, 100, rng=0)
+
+        def measure(beta, sigma, rng):
+            out = mse_comparison(grads, 0.1, sigma, 1024, beta, rng)
+            return {"geo_theta": out["geo_theta"], "dp_theta": out["dp_theta"]}
+
+        sweep = ParameterSweep(measure, {"beta": [0.01, 0.1], "sigma": [0.1, 1.0]})
+        rows = sweep.run(rng=0, repeats=2)
+        assert len(rows) == 4
+        by = {(r["beta"], r["sigma"]): r["geo_theta"] for r in rows}
+        assert by[(0.01, 0.1)] < by[(0.1, 0.1)]  # monotone in beta
+        assert by[(0.01, 0.1)] < by[(0.01, 1.0)]  # monotone in sigma

@@ -1,0 +1,97 @@
+"""Tests for the bounding-factor privacy region (paper §V-B step 2, Lemma 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    bound_angles,
+    delta_prime_upper_bound,
+    direction_sensitivity,
+    per_angle_sensitivity,
+)
+
+
+class TestDirectionSensitivity:
+    def test_closed_form(self):
+        # Delta theta = sqrt(d+2) * beta * pi
+        assert direction_sensitivity(100, 0.5) == pytest.approx(
+            np.sqrt(102) * 0.5 * np.pi
+        )
+
+    def test_matches_per_angle_l2(self):
+        for d in (2, 3, 10, 1000):
+            per = per_angle_sensitivity(d, 0.3)
+            assert np.linalg.norm(per) == pytest.approx(direction_sensitivity(d, 0.3))
+
+    def test_beta_one_is_full_space(self):
+        per = per_angle_sensitivity(5, 1.0)
+        assert np.allclose(per[:-1], np.pi)
+        assert per[-1] == pytest.approx(2 * np.pi)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 10000), st.floats(1e-6, 1.0))
+    def test_monotone_in_beta_and_d(self, d, beta):
+        s = direction_sensitivity(d, beta)
+        assert s > 0
+        assert direction_sensitivity(d + 1, beta) > s
+        if beta < 0.5:
+            assert direction_sensitivity(d, beta * 2) == pytest.approx(2 * s)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            direction_sensitivity(1, 0.5)
+        with pytest.raises(ValueError):
+            direction_sensitivity(10, 0.0)
+        with pytest.raises(ValueError):
+            direction_sensitivity(10, 1.5)
+
+
+class TestPerAngleSensitivity:
+    def test_length(self):
+        assert per_angle_sensitivity(7, 0.2).shape == (6,)
+
+    def test_azimuth_double(self):
+        per = per_angle_sensitivity(4, 0.25)
+        assert per[-1] == pytest.approx(2 * per[0])
+
+
+class TestBoundAngles:
+    def test_beta_one_noop_on_canonical(self, rng):
+        thetas = np.column_stack(
+            [rng.uniform(0, np.pi, size=(6, 3)), rng.uniform(-np.pi, np.pi, size=(6, 1))]
+        )
+        assert np.allclose(bound_angles(thetas, 1.0), thetas)
+
+    def test_clamps_polar_into_centre_band(self):
+        thetas = np.array([[0.0, 0.0], [np.pi, 0.0]])
+        out = bound_angles(thetas, 0.5)
+        assert out[0, 0] == pytest.approx(np.pi / 4)
+        assert out[1, 0] == pytest.approx(3 * np.pi / 4)
+
+    def test_clamps_azimuth(self):
+        thetas = np.array([[np.pi / 2, 3.0]])
+        out = bound_angles(thetas, 0.5)
+        assert out[0, 1] == pytest.approx(0.5 * np.pi)
+
+    def test_bounded_range_matches_sensitivity(self, rng):
+        beta = 0.3
+        thetas = rng.normal(size=(200, 5)) * 10
+        out = bound_angles(thetas, beta)
+        spread = out.max(axis=0) - out.min(axis=0)
+        per = per_angle_sensitivity(6, beta)
+        assert np.all(spread <= per + 1e-12)
+
+
+class TestDeltaPrime:
+    def test_beta_one_gives_zero(self):
+        assert delta_prime_upper_bound(1.0) == 0.0
+
+    def test_formula(self):
+        assert delta_prime_upper_bound(0.25) == pytest.approx(0.75)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(1e-6, 1.0))
+    def test_in_unit_interval(self, beta):
+        assert 0.0 <= delta_prime_upper_bound(beta) < 1.0

@@ -1,0 +1,110 @@
+"""Tests for direction/gradient error metrics (Definition 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    angle_between,
+    angular_errors,
+    cosine_similarity,
+    direction_mse,
+    gradient_mse,
+)
+
+
+class TestDirectionMse:
+    def test_zero_for_identical(self, rng):
+        theta = rng.uniform(0, np.pi, size=(10, 5))
+        assert direction_mse(theta, theta) == 0.0
+
+    def test_known_value(self):
+        true = np.array([[0.0, 0.0]])
+        pert = np.array([[0.3, 0.4]])
+        assert direction_mse(pert, true) == pytest.approx(0.25)
+
+    def test_mean_over_rows(self):
+        true = np.zeros((2, 2))
+        pert = np.array([[1.0, 0.0], [0.0, 0.0]])
+        assert direction_mse(pert, true) == pytest.approx(0.5)
+
+    def test_wraparound_last_angle(self):
+        true = np.array([[0.5, np.pi - 0.01]])
+        pert = np.array([[0.5, -np.pi + 0.01]])
+        assert direction_mse(pert, true) == pytest.approx(0.02**2, rel=1e-6)
+
+    def test_no_wrap_option(self):
+        true = np.array([[0.5, np.pi - 0.01]])
+        pert = np.array([[0.5, -np.pi + 0.01]])
+        big = direction_mse(pert, true, wrap_last=False)
+        assert big == pytest.approx((2 * np.pi - 0.02) ** 2, rel=1e-6)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            direction_mse(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_single_vector_inputs(self):
+        assert direction_mse([0.1, 0.2], [0.1, 0.2]) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 8), st.integers(2, 10), st.integers(0, 10**6))
+    def test_nonnegative(self, m, d, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(m, d))
+        b = rng.normal(size=(m, d))
+        assert direction_mse(a, b) >= 0
+
+
+class TestGradientMse:
+    def test_zero_for_identical(self, gradient_batch):
+        assert gradient_mse(gradient_batch, gradient_batch) == 0.0
+
+    def test_known_value(self):
+        assert gradient_mse([[1.0, 2.0]], [[0.0, 0.0]]) == pytest.approx(5.0)
+
+    def test_symmetry(self, rng):
+        a = rng.normal(size=(5, 4))
+        b = rng.normal(size=(5, 4))
+        assert gradient_mse(a, b) == pytest.approx(gradient_mse(b, a))
+
+
+class TestCosineSimilarity:
+    def test_parallel(self):
+        assert cosine_similarity([[1.0, 1.0]], [[2.0, 2.0]])[0] == pytest.approx(1.0)
+
+    def test_antiparallel(self):
+        assert cosine_similarity([[1.0, 0.0]], [[-3.0, 0.0]])[0] == pytest.approx(-1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity([[1.0, 0.0]], [[0.0, 5.0]])[0] == pytest.approx(0.0)
+
+    def test_zero_vector_gives_zero(self):
+        assert cosine_similarity([[0.0, 0.0]], [[1.0, 1.0]])[0] == 0.0
+
+    def test_bounded(self, rng):
+        a = rng.normal(size=(50, 10)) * 1e8
+        b = rng.normal(size=(50, 10)) * 1e-8
+        sims = cosine_similarity(a, b)
+        assert np.all(sims >= -1.0) and np.all(sims <= 1.0)
+
+
+class TestAngleBetween:
+    def test_right_angle(self):
+        assert angle_between([[1.0, 0.0]], [[0.0, 1.0]])[0] == pytest.approx(np.pi / 2)
+
+    def test_range(self, rng):
+        a = rng.normal(size=(30, 6))
+        b = rng.normal(size=(30, 6))
+        angles = angle_between(a, b)
+        assert np.all(angles >= 0) and np.all(angles <= np.pi)
+
+
+class TestAngularErrors:
+    def test_summary_keys_and_consistency(self, rng):
+        a = rng.normal(size=(20, 8))
+        b = a + 0.01 * rng.normal(size=(20, 8))
+        summary = angular_errors(a, b)
+        assert set(summary) == {"mean", "median", "max"}
+        assert summary["mean"] <= summary["max"]
+        assert summary["max"] < 0.2

@@ -1,0 +1,82 @@
+"""Tests for sphere sampling."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.sampling import sample_uniform_sphere, sample_von_mises_fisher
+
+
+class TestUniformSphere:
+    def test_unit_norm(self, rng):
+        x = sample_uniform_sphere(100, 10, rng)
+        assert np.allclose(np.linalg.norm(x, axis=1), 1.0)
+
+    def test_zero_mean(self):
+        x = sample_uniform_sphere(50_000, 5, rng=0)
+        assert np.allclose(x.mean(axis=0), 0.0, atol=0.02)
+
+    def test_coordinate_variance(self):
+        """Each coordinate of a uniform unit vector has variance 1/d."""
+        d = 8
+        x = sample_uniform_sphere(50_000, d, rng=0)
+        assert np.allclose(x.var(axis=0), 1.0 / d, atol=0.01)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            sample_uniform_sphere(0, 5)
+        with pytest.raises(ValueError):
+            sample_uniform_sphere(5, 1)
+
+
+class TestVonMisesFisher:
+    def test_unit_norm(self, rng):
+        mu = np.ones(6)
+        x = sample_von_mises_fisher(200, mu, 10.0, rng)
+        assert np.allclose(np.linalg.norm(x, axis=1), 1.0)
+
+    def test_concentrates_around_mu(self, rng):
+        mu = np.zeros(10)
+        mu[3] = 1.0
+        x = sample_von_mises_fisher(2000, mu, 100.0, rng)
+        cosines = x @ mu
+        assert cosines.mean() > 0.9
+
+    def test_kappa_controls_concentration(self, rng):
+        mu = np.ones(8) / np.sqrt(8)
+        tight = sample_von_mises_fisher(2000, mu, 200.0, rng) @ mu
+        loose = sample_von_mises_fisher(2000, mu, 1.0, rng) @ mu
+        assert tight.mean() > loose.mean()
+        assert tight.std() < loose.std()
+
+    def test_small_kappa_near_uniform(self, rng):
+        mu = np.zeros(5)
+        mu[0] = 1.0
+        x = sample_von_mises_fisher(30_000, mu, 1e-3, rng)
+        assert abs((x @ mu).mean()) < 0.02
+
+    def test_mean_cosine_matches_theory_3d(self):
+        """In 3-D, E[<x, mu>] = coth(kappa) - 1/kappa."""
+        kappa = 5.0
+        mu = np.array([0.0, 0.0, 1.0])
+        x = sample_von_mises_fisher(100_000, mu, kappa, rng=0)
+        expected = 1.0 / np.tanh(kappa) - 1.0 / kappa
+        assert (x @ mu).mean() == pytest.approx(expected, abs=0.005)
+
+    def test_2d_case(self, rng):
+        mu = np.array([1.0, 0.0])
+        x = sample_von_mises_fisher(500, mu, 50.0, rng)
+        assert np.allclose(np.linalg.norm(x, axis=1), 1.0)
+        assert (x @ mu).mean() > 0.9
+
+    def test_mu_normalised_internally(self, rng):
+        a = sample_von_mises_fisher(100, [3.0, 0.0, 0.0], 50.0, rng=7)
+        b = sample_von_mises_fisher(100, [1.0, 0.0, 0.0], 50.0, rng=7)
+        assert np.allclose(a, b)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            sample_von_mises_fisher(0, [1.0, 0.0], 1.0)
+        with pytest.raises(ValueError, match="nonzero"):
+            sample_von_mises_fisher(5, [0.0, 0.0], 1.0)
+        with pytest.raises(ValueError):
+            sample_von_mises_fisher(5, [1.0, 0.0], 0.0)

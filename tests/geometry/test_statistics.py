@@ -1,0 +1,86 @@
+"""Tests for directional statistics."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.sampling import sample_uniform_sphere, sample_von_mises_fisher
+from repro.geometry.statistics import (
+    circular_mean,
+    circular_variance,
+    estimate_vmf_kappa,
+    mean_direction,
+    resultant_length,
+)
+
+
+class TestMeanDirection:
+    def test_aligned_vectors(self):
+        v = np.array([[2.0, 0.0], [5.0, 0.0]])
+        assert np.allclose(mean_direction(v), [1.0, 0.0])
+
+    def test_unit_output(self, rng):
+        v = rng.normal(size=(20, 6)) + 3.0
+        assert np.linalg.norm(mean_direction(v)) == pytest.approx(1.0)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError, match="zero vectors"):
+            mean_direction(np.array([[0.0, 0.0]]))
+
+    def test_cancelling_rejected(self):
+        with pytest.raises(ValueError, match="cancel"):
+            mean_direction(np.array([[1.0, 0.0], [-1.0, 0.0]]))
+
+
+class TestResultantLength:
+    def test_perfectly_aligned(self):
+        v = np.tile([1.0, 2.0], (5, 1))
+        assert resultant_length(v) == pytest.approx(1.0)
+
+    def test_uniform_near_zero(self):
+        v = sample_uniform_sphere(20_000, 4, rng=0)
+        assert resultant_length(v) < 0.05
+
+    def test_monotone_in_concentration(self, rng):
+        mu = np.ones(6) / np.sqrt(6)
+        tight = sample_von_mises_fisher(2000, mu, 100.0, rng)
+        loose = sample_von_mises_fisher(2000, mu, 2.0, rng)
+        assert resultant_length(tight) > resultant_length(loose)
+
+
+class TestKappaEstimation:
+    def test_recovers_true_kappa(self):
+        mu = np.zeros(8)
+        mu[0] = 1.0
+        for kappa in (5.0, 50.0):
+            samples = sample_von_mises_fisher(40_000, mu, kappa, rng=0)
+            estimate = estimate_vmf_kappa(samples)
+            assert estimate == pytest.approx(kappa, rel=0.1)
+
+    def test_aligned_gives_inf(self):
+        v = np.tile([0.0, 1.0], (10, 1))
+        assert estimate_vmf_kappa(v) == float("inf")
+
+    def test_uniform_gives_small_kappa(self):
+        samples = sample_uniform_sphere(20_000, 6, rng=0)
+        assert estimate_vmf_kappa(samples) < 0.5
+
+
+class TestCircularStats:
+    def test_mean_respects_wraparound(self):
+        angles = [np.pi - 0.1, -np.pi + 0.1]
+        mean = circular_mean(angles)
+        assert abs(abs(mean) - np.pi) < 1e-9
+
+    def test_mean_of_identical(self):
+        assert circular_mean([0.7, 0.7, 0.7]) == pytest.approx(0.7)
+
+    def test_variance_bounds(self, rng):
+        assert circular_variance([1.0, 1.0]) == pytest.approx(0.0, abs=1e-12)
+        spread = rng.uniform(-np.pi, np.pi, 50_000)
+        assert circular_variance(spread) > 0.95
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            circular_mean([])
+        with pytest.raises(ValueError):
+            circular_variance([])

@@ -1,0 +1,93 @@
+"""Tests for the paper's three evaluation models."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_cnn, build_logistic_regression, build_resnet
+
+
+class TestLogisticRegression:
+    def test_param_count_mnist(self):
+        model = build_logistic_regression((1, 28, 28), 10)
+        assert model.num_params == 28 * 28 * 10 + 10  # 7850
+
+    def test_flat_input_shape(self):
+        model = build_logistic_regression((20,), 3)
+        out = model.forward(np.zeros((4, 20)), train=False)
+        assert out.shape == (4, 3)
+
+    def test_forward_shape(self, rng):
+        model = build_logistic_regression(rng=0)
+        out = model.forward(rng.random((5, 1, 28, 28)), train=False)
+        assert out.shape == (5, 10)
+
+    def test_learns_separable_data(self, rng):
+        """A few plain-SGD steps must reduce loss on linearly separable data."""
+        model = build_logistic_regression((4,), 2, rng=0)
+        x = np.concatenate([rng.normal(2, 0.3, (50, 4)), rng.normal(-2, 0.3, (50, 4))])
+        y = np.array([0] * 50 + [1] * 50)
+        loss0 = model.mean_loss(x, y)
+        for _ in range(20):
+            _, grad = model.loss_and_gradient(x, y)
+            model.set_params(model.get_params() - 0.5 * grad)
+        assert model.mean_loss(x, y) < loss0 * 0.5
+        assert model.accuracy(x, y) == 1.0
+
+
+class TestCnn:
+    def test_forward_shape(self, rng):
+        model = build_cnn((1, 28, 28), 10, channels=(4, 8), rng=0)
+        out = model.forward(rng.random((3, 1, 28, 28)), train=False)
+        assert out.shape == (3, 10)
+
+    def test_small_input(self, rng):
+        model = build_cnn((1, 16, 16), 10, channels=(2, 4), rng=0)
+        out = model.forward(rng.random((2, 1, 16, 16)), train=False)
+        assert out.shape == (2, 10)
+
+    def test_indivisible_input_rejected(self):
+        with pytest.raises(ValueError, match="divisible by 4"):
+            build_cnn((1, 30, 30))
+
+    def test_per_sample_gradient_shape(self, rng):
+        model = build_cnn((1, 16, 16), 10, channels=(2, 4), rng=0)
+        x = rng.random((6, 1, 16, 16))
+        y = rng.integers(0, 10, size=6)
+        _, grads = model.loss_and_per_sample_gradients(x, y)
+        assert grads.shape == (6, model.num_params)
+
+    def test_channels_scale_params(self):
+        small = build_cnn(channels=(2, 4), rng=0).num_params
+        large = build_cnn(channels=(8, 16), rng=0).num_params
+        assert large > small
+
+
+class TestResnet:
+    def test_forward_shape(self, rng):
+        model = build_resnet((3, 32, 32), 10, base_channels=4, rng=0)
+        out = model.forward(rng.random((2, 3, 32, 32)), train=False)
+        assert out.shape == (2, 10)
+
+    def test_has_three_residual_blocks(self):
+        from repro.nn import ResidualBlock
+
+        model = build_resnet(rng=0)
+        blocks = [layer for layer in model.layers if isinstance(layer, ResidualBlock)]
+        assert len(blocks) == 3
+
+    def test_gradient_flow_through_blocks(self, rng):
+        """Every parameter must receive nonzero gradient somewhere in a batch."""
+        model = build_resnet((3, 16, 16), 10, base_channels=2, rng=0)
+        x = rng.random((4, 3, 16, 16))
+        y = rng.integers(0, 10, size=4)
+        _, grad = model.loss_and_gradient(x, y)
+        assert grad.shape == (model.num_params,)
+        assert np.linalg.norm(grad) > 0
+
+    def test_per_sample_matches_mean(self, rng):
+        model = build_resnet((3, 16, 16), 10, base_channels=2, rng=0)
+        x = rng.random((3, 3, 16, 16))
+        y = rng.integers(0, 10, size=3)
+        _, mean_grad = model.loss_and_gradient(x, y)
+        _, per_sample = model.loss_and_per_sample_gradients(x, y)
+        assert np.allclose(per_sample.mean(axis=0), mean_grad, atol=1e-12)

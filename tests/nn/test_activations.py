@@ -1,0 +1,143 @@
+"""Tests for the extra activation layers and dropout."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, LeakyReLU, Sigmoid, Softplus, Tanh
+from tests.nn.test_layers import check_input_gradient
+
+
+class TestTanh:
+    def test_forward(self, rng):
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(Tanh().forward(x), np.tanh(x))
+
+    def test_gradient(self, rng):
+        check_input_gradient(Tanh(), rng.normal(size=(3, 5)))
+
+    def test_range(self, rng):
+        out = Tanh().forward(rng.normal(size=(10, 10)) * 100)
+        assert np.all(np.abs(out) <= 1.0)
+
+
+class TestSigmoid:
+    def test_forward_values(self):
+        out = Sigmoid().forward(np.array([[0.0]]))
+        assert out[0, 0] == pytest.approx(0.5)
+
+    def test_gradient(self, rng):
+        check_input_gradient(Sigmoid(), rng.normal(size=(3, 5)))
+
+    def test_overflow_safe(self):
+        out = Sigmoid().forward(np.array([[1000.0, -1000.0]]))
+        assert np.isfinite(out).all()
+        assert out[0, 0] == pytest.approx(1.0)
+        assert out[0, 1] == pytest.approx(0.0)
+
+
+class TestLeakyReLU:
+    def test_forward(self):
+        out = LeakyReLU(0.1).forward(np.array([[-2.0, 3.0]]))
+        assert np.allclose(out, [[-0.2, 3.0]])
+
+    def test_gradient(self, rng):
+        x = rng.normal(size=(3, 5))
+        x[np.abs(x) < 0.05] = 0.1
+        check_input_gradient(LeakyReLU(0.2), x)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(-0.1)
+
+
+class TestSoftplus:
+    def test_positive_output(self, rng):
+        out = Softplus().forward(rng.normal(size=(5, 5)))
+        assert np.all(out > 0)
+
+    def test_gradient(self, rng):
+        check_input_gradient(Softplus(), rng.normal(size=(3, 5)))
+
+    def test_large_input_linear(self):
+        out = Softplus().forward(np.array([[100.0]]))
+        assert out[0, 0] == pytest.approx(100.0)
+
+
+class TestDropout:
+    def test_inference_is_identity(self, rng):
+        x = rng.normal(size=(4, 6))
+        assert np.array_equal(Dropout(0.5, rng=0).forward(x, train=False), x)
+
+    def test_zero_rate_identity_in_train(self, rng):
+        x = rng.normal(size=(4, 6))
+        assert np.array_equal(Dropout(0.0, rng=0).forward(x, train=True), x)
+
+    def test_expectation_preserved(self):
+        x = np.ones((200, 500))
+        out = Dropout(0.3, rng=0).forward(x, train=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_mask_fraction(self):
+        out = Dropout(0.4, rng=0).forward(np.ones((100, 100)), train=True)
+        assert (out == 0).mean() == pytest.approx(0.4, abs=0.02)
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, rng=0)
+        x = rng.normal(size=(5, 8))
+        out = layer.forward(x, train=True)
+        grad_in, _ = layer.backward(np.ones_like(out))
+        assert np.array_equal(grad_in == 0, out == 0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestMlpBuilder:
+    def test_shapes_and_training(self, rng):
+        from repro.models import build_mlp
+
+        model = build_mlp((8,), [16, 16], num_classes=3, rng=0)
+        out = model.forward(rng.normal(size=(5, 8)), train=False)
+        assert out.shape == (5, 3)
+
+    def test_no_hidden_is_logistic(self):
+        from repro.models import build_mlp
+
+        model = build_mlp((8,), [], num_classes=3, rng=0)
+        assert model.num_params == 8 * 3 + 3
+
+    def test_activations_selectable(self, rng):
+        from repro.models import build_mlp
+
+        for act in ("relu", "tanh", "sigmoid", "leaky_relu", "softplus"):
+            model = build_mlp((4,), [8], activation=act, rng=0)
+            assert model.forward(rng.normal(size=(2, 4)), train=False).shape == (2, 10)
+
+    def test_invalid_activation(self):
+        from repro.models import build_mlp
+
+        with pytest.raises(ValueError, match="activation"):
+            build_mlp((4,), [8], activation="gelu")
+
+    def test_dropout_mlp_per_sample_grads(self, rng):
+        from repro.models import build_mlp
+
+        model = build_mlp((6,), [12], dropout=0.3, rng=0)
+        x = rng.normal(size=(4, 6))
+        y = rng.integers(0, 10, size=4)
+        _, grads = model.loss_and_per_sample_gradients(x, y)
+        assert grads.shape == (4, model.num_params)
+        assert np.isfinite(grads).all()
+
+    def test_mlp_learns_xor(self, rng):
+        """A hidden layer must solve what logistic regression cannot."""
+        from repro.models import build_mlp
+
+        x = rng.uniform(-1, 1, size=(400, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+        model = build_mlp((2,), [16], num_classes=2, activation="tanh", rng=0)
+        for _ in range(400):
+            _, grad = model.loss_and_gradient(x, y)
+            model.set_params(model.get_params() - 0.5 * grad)
+        assert model.accuracy(x, y) > 0.9

@@ -1,0 +1,61 @@
+"""Tests for the public gradient-checking utility."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Layer, Linear, ReLU
+from repro.nn.gradcheck import GradCheckReport, check_layer, numerical_gradient
+
+
+class TestNumericalGradient:
+    def test_quadratic(self):
+        grad = numerical_gradient(lambda x: float(np.sum(x**2)), np.array([1.0, -2.0]))
+        assert np.allclose(grad, [2.0, -4.0], atol=1e-6)
+
+
+class TestCheckLayer:
+    def test_correct_layer_passes(self, rng):
+        report = check_layer(Linear(4, 3, rng=0), rng.normal(size=(5, 4)), rng=1)
+        assert report.passed
+        assert report.input_error < 1e-5
+        assert set(report.param_errors) == {"weight", "bias"}
+        assert set(report.per_sample_errors) == {"weight", "bias"}
+
+    def test_stateless_layer(self, rng):
+        x = rng.normal(size=(3, 6))
+        x[np.abs(x) < 0.05] = 0.1
+        report = check_layer(ReLU(), x, rng=1)
+        assert report.passed
+        assert report.param_errors == {}
+
+    def test_buggy_layer_fails(self, rng):
+        class BuggyLinear(Linear):
+            def backward(self, grad_out, per_sample=False):
+                grad_in, grads = super().backward(grad_out, per_sample)
+                return grad_in * 1.1, grads  # wrong input gradient
+
+        report = check_layer(BuggyLinear(3, 2, rng=0), rng.normal(size=(4, 3)), rng=1)
+        assert not report.passed
+        assert report.input_error > 1e-3
+
+    def test_buggy_param_gradient_fails(self, rng):
+        class BuggyParams(Linear):
+            def backward(self, grad_out, per_sample=False):
+                grad_in, grads = super().backward(grad_out, per_sample)
+                grads = {k: v * 2.0 for k, v in grads.items()}
+                return grad_in, grads
+
+        report = check_layer(BuggyParams(3, 2, rng=0), rng.normal(size=(4, 3)), rng=1)
+        assert not report.passed
+        assert max(report.param_errors.values()) > 1e-3
+
+    def test_report_str(self, rng):
+        report = check_layer(Linear(2, 2, rng=0), rng.normal(size=(3, 2)), rng=1)
+        text = str(report)
+        assert "PASSED" in text and "weight" in text
+
+    def test_skip_per_sample(self, rng):
+        report = check_layer(
+            Linear(2, 2, rng=0), rng.normal(size=(3, 2)), rng=1, check_per_sample=False
+        )
+        assert report.per_sample_errors == {}

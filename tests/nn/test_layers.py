@@ -1,0 +1,225 @@
+"""Layer tests: numerical gradient checks and per-sample gradient semantics.
+
+Every layer's backward pass is checked against central differences, and the
+per-sample parameter gradients are checked to (a) sum to the batch gradient
+and (b) match gradients computed sample-by-sample.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from tests.conftest import numerical_gradient
+
+
+def check_input_gradient(layer, x, atol=1e-6):
+    """Backward's grad_in must match d(sum of outputs * R)/dx numerically."""
+    rng = np.random.default_rng(0)
+    out = layer.forward(x, train=True)
+    r = rng.normal(size=out.shape)  # random cotangent
+    grad_in, _ = layer.backward(r)
+
+    def scalar(x_):
+        return float(np.sum(layer.forward(x_, train=False) * r))
+
+    num = numerical_gradient(scalar, x.copy())
+    assert np.allclose(grad_in, num, atol=atol), (
+        f"{layer!r}: max err {np.abs(grad_in - num).max()}"
+    )
+
+
+def check_param_gradients(layer, x, atol=1e-6):
+    """Summed param grads must match numerical gradients of sum(out * R)."""
+    rng = np.random.default_rng(1)
+    out = layer.forward(x, train=True)
+    r = rng.normal(size=out.shape)
+    _, grads = layer.backward(r)
+    for name, param in layer.params().items():
+        original = param.copy()
+
+        def scalar(p):
+            layer.set_param(name, p)
+            val = float(np.sum(layer.forward(x, train=False) * r))
+            layer.set_param(name, original)
+            return val
+
+        num = numerical_gradient(scalar, original.copy())
+        assert np.allclose(grads[name], num, atol=atol), (
+            f"{layer!r}.{name}: max err {np.abs(grads[name] - num).max()}"
+        )
+
+
+def check_per_sample_consistency(layer, x, atol=1e-9):
+    """Per-sample grads must sum to the batch grads and match isolated samples."""
+    rng = np.random.default_rng(2)
+    out = layer.forward(x, train=True)
+    r = rng.normal(size=out.shape)
+    _, summed = layer.backward(r, per_sample=False)
+    layer.forward(x, train=True)
+    _, per_sample = layer.backward(r, per_sample=True)
+    for name in summed:
+        assert per_sample[name].shape[0] == x.shape[0]
+        assert np.allclose(per_sample[name].sum(axis=0), summed[name], atol=atol)
+    # Each row equals the gradient computed on that sample alone.
+    for j in range(x.shape[0]):
+        layer.forward(x[j : j + 1], train=True)
+        _, single = layer.backward(r[j : j + 1], per_sample=False)
+        for name in summed:
+            assert np.allclose(per_sample[name][j], single[name], atol=atol)
+
+
+class TestLinear:
+    def test_forward_values(self):
+        layer = Linear(2, 2, rng=0)
+        layer.set_param("weight", np.array([[1.0, 2.0], [3.0, 4.0]]))
+        layer.set_param("bias", np.array([0.5, -0.5]))
+        out = layer.forward(np.array([[1.0, 1.0]]))
+        assert np.allclose(out, [[4.5, 5.5]])
+
+    def test_input_gradient(self, rng):
+        check_input_gradient(Linear(5, 3, rng=0), rng.normal(size=(4, 5)))
+
+    def test_param_gradients(self, rng):
+        check_param_gradients(Linear(4, 3, rng=0), rng.normal(size=(6, 4)))
+
+    def test_per_sample_gradients(self, rng):
+        check_per_sample_consistency(Linear(4, 3, rng=0), rng.normal(size=(5, 4)))
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 2, rng=0, bias=False)
+        assert "bias" not in layer.params()
+        check_param_gradients(layer, rng.normal(size=(4, 3)))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError, match="before forward"):
+            Linear(2, 2, rng=0).backward(np.zeros((1, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="expected input"):
+            Linear(3, 2, rng=0).forward(np.zeros((1, 4)))
+
+    def test_set_unknown_param(self):
+        with pytest.raises(KeyError):
+            Linear(2, 2, rng=0).set_param("nope", np.zeros(1))
+
+
+class TestReLU:
+    def test_forward(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        assert np.array_equal(out, [[0.0, 2.0]])
+
+    def test_input_gradient(self, rng):
+        # Keep inputs away from the kink for the numerical check.
+        x = rng.normal(size=(3, 6))
+        x[np.abs(x) < 0.05] = 0.1
+        check_input_gradient(ReLU(), x)
+
+    def test_no_params(self):
+        assert ReLU().params() == {}
+        assert ReLU().num_params == 0
+
+
+class TestFlatten:
+    def test_round_trip_shape(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4, 5))
+        out = layer.forward(x)
+        assert out.shape == (2, 60)
+        grad_in, _ = layer.backward(out)
+        assert grad_in.shape == x.shape
+
+    def test_input_gradient(self, rng):
+        check_input_gradient(Flatten(), rng.normal(size=(2, 3, 2, 2)))
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        layer = Conv2d(3, 8, 3, stride=1, padding=1, rng=0)
+        out = layer.forward(rng.normal(size=(2, 3, 10, 10)))
+        assert out.shape == (2, 8, 10, 10)
+
+    def test_strided_output_shape(self, rng):
+        layer = Conv2d(2, 4, 3, stride=2, padding=1, rng=0)
+        out = layer.forward(rng.normal(size=(1, 2, 8, 8)))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_input_gradient(self, rng):
+        check_input_gradient(
+            Conv2d(2, 3, 3, stride=1, padding=1, rng=0), rng.normal(size=(2, 2, 5, 5))
+        )
+
+    def test_input_gradient_strided(self, rng):
+        check_input_gradient(
+            Conv2d(2, 2, 3, stride=2, padding=0, rng=0), rng.normal(size=(2, 2, 7, 7))
+        )
+
+    def test_param_gradients(self, rng):
+        check_param_gradients(
+            Conv2d(2, 3, 3, stride=1, padding=1, rng=0), rng.normal(size=(2, 2, 4, 4))
+        )
+
+    def test_per_sample_gradients(self, rng):
+        check_per_sample_consistency(
+            Conv2d(2, 3, 3, stride=1, padding=1, rng=0), rng.normal(size=(4, 2, 4, 4))
+        )
+
+    def test_no_bias(self, rng):
+        layer = Conv2d(1, 2, 3, rng=0, bias=False)
+        assert "bias" not in layer.params()
+        check_param_gradients(layer, rng.normal(size=(2, 1, 5, 5)))
+
+    def test_channel_validation(self):
+        with pytest.raises(ValueError, match="expected input"):
+            Conv2d(3, 2, 3, rng=0).forward(np.zeros((1, 2, 8, 8)))
+
+
+class TestMaxPool2d:
+    def test_forward_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = MaxPool2d(2).forward(x)
+        assert np.array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_input_gradient(self, rng):
+        # Distinct values avoid ties, making max differentiable.
+        x = rng.permutation(64).astype(np.float64).reshape(1, 1, 8, 8)
+        check_input_gradient(MaxPool2d(2), x)
+
+    def test_tie_gradient_is_split(self):
+        layer = MaxPool2d(2)
+        x = np.ones((1, 1, 2, 2))
+        layer.forward(x, train=True)
+        grad_in, _ = layer.backward(np.array([[[[4.0]]]]))
+        assert np.allclose(grad_in, 1.0)  # 4 split equally among 4 ties
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            MaxPool2d(3).forward(np.zeros((1, 1, 8, 8)))
+
+
+class TestAvgPool2d:
+    def test_forward_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = AvgPool2d(2).forward(x)
+        assert np.array_equal(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_input_gradient(self, rng):
+        check_input_gradient(AvgPool2d(2), rng.normal(size=(2, 2, 4, 4)))
+
+
+class TestGlobalAvgPool2d:
+    def test_forward(self, rng):
+        x = rng.normal(size=(3, 4, 5, 5))
+        out = GlobalAvgPool2d().forward(x)
+        assert out.shape == (3, 4)
+        assert np.allclose(out, x.mean(axis=(2, 3)))
+
+    def test_input_gradient(self, rng):
+        check_input_gradient(GlobalAvgPool2d(), rng.normal(size=(2, 3, 4, 4)))

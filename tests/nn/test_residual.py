@@ -1,0 +1,72 @@
+"""Tests for the residual block."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ResidualBlock
+from tests.nn.test_layers import (
+    check_input_gradient,
+    check_param_gradients,
+    check_per_sample_consistency,
+)
+
+
+class TestResidualBlockStructure:
+    def test_identity_shortcut_when_shapes_match(self):
+        block = ResidualBlock(4, 4, stride=1, rng=0)
+        assert block.projection is None
+
+    def test_projection_when_channels_change(self):
+        block = ResidualBlock(4, 8, stride=1, rng=0)
+        assert block.projection is not None
+        assert block.projection.kernel == 1
+
+    def test_projection_when_stride(self):
+        assert ResidualBlock(4, 4, stride=2, rng=0).projection is not None
+
+    def test_output_shape(self, rng):
+        block = ResidualBlock(3, 6, stride=2, rng=0)
+        out = block.forward(rng.normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 6, 4, 4)
+
+    def test_param_names_prefixed(self):
+        block = ResidualBlock(2, 4, stride=1, rng=0)
+        names = set(block.params())
+        assert "conv1.weight" in names and "conv2.bias" in names
+        assert "projection.weight" in names
+
+    def test_num_params(self):
+        block = ResidualBlock(2, 2, stride=1, rng=0)
+        expected = (2 * 2 * 9 + 2) * 2  # two 3x3 convs with bias
+        assert block.num_params == expected
+
+    def test_zero_weights_pass_input_through_relu(self, rng):
+        block = ResidualBlock(2, 2, stride=1, rng=0)
+        for name in list(block.params()):
+            block.set_param(name, np.zeros_like(block.params()[name]))
+        x = np.abs(rng.normal(size=(1, 2, 4, 4)))  # non-negative input
+        assert np.allclose(block.forward(x), x)  # relu(0 + x) = x
+
+    def test_set_unknown_param(self):
+        with pytest.raises(KeyError):
+            ResidualBlock(2, 2, rng=0).set_param("conv3.weight", np.zeros(1))
+
+
+class TestResidualBlockGradients:
+    def test_input_gradient_identity_shortcut(self, rng):
+        x = rng.normal(size=(2, 2, 4, 4))
+        x[np.abs(x) < 0.05] = 0.1  # stay off the ReLU kinks
+        check_input_gradient(ResidualBlock(2, 2, stride=1, rng=0), x, atol=1e-5)
+
+    def test_input_gradient_projection_shortcut(self, rng):
+        x = rng.normal(size=(2, 2, 4, 4))
+        x[np.abs(x) < 0.05] = 0.1
+        check_input_gradient(ResidualBlock(2, 4, stride=2, rng=0), x, atol=1e-5)
+
+    def test_param_gradients(self, rng):
+        x = rng.normal(size=(2, 2, 4, 4))
+        check_param_gradients(ResidualBlock(2, 3, stride=1, rng=0), x, atol=1e-5)
+
+    def test_per_sample_gradients(self, rng):
+        x = rng.normal(size=(3, 2, 4, 4))
+        check_per_sample_consistency(ResidualBlock(2, 3, stride=1, rng=0), x)

@@ -1,0 +1,108 @@
+"""Tests for the RDP and naive Gaussian accountants."""
+
+import pytest
+
+from repro.privacy import GaussianAccountant, PrivacySpent, RdpAccountant
+
+
+class TestRdpAccountant:
+    def test_zero_steps_zero_epsilon(self):
+        assert RdpAccountant().get_epsilon(1e-5) == 0.0
+
+    def test_epsilon_grows_with_steps(self):
+        acc = RdpAccountant()
+        acc.step(1.0, 0.01, num_steps=100)
+        e1 = acc.get_epsilon(1e-5)
+        acc.step(1.0, 0.01, num_steps=900)
+        e2 = acc.get_epsilon(1e-5)
+        assert 0 < e1 < e2
+
+    def test_batched_steps_equal_repeated_steps(self):
+        a = RdpAccountant()
+        a.step(1.2, 0.05, num_steps=50)
+        b = RdpAccountant()
+        for _ in range(50):
+            b.step(1.2, 0.05)
+        assert a.get_epsilon(1e-5) == pytest.approx(b.get_epsilon(1e-5))
+
+    def test_total_steps(self):
+        acc = RdpAccountant()
+        acc.step(1.0, 0.1, num_steps=3)
+        acc.step(2.0, 0.1, num_steps=4)
+        assert acc.total_steps == 7
+        assert len(acc.history) == 2
+
+    def test_heterogeneous_noise_compose(self):
+        acc = RdpAccountant()
+        acc.step(0.8, 0.02, num_steps=10)
+        acc.step(2.0, 0.02, num_steps=10)
+        assert acc.get_epsilon(1e-5) > 0
+
+    def test_privacy_spent_record(self):
+        acc = RdpAccountant()
+        acc.step(1.0, 0.01, num_steps=10)
+        spent = acc.get_privacy_spent(1e-5, delta_prime=0.1)
+        assert isinstance(spent, PrivacySpent)
+        assert spent.delta == 1e-5
+        assert spent.delta_prime == 0.1
+        assert spent.total_delta == pytest.approx(1e-5 + 0.1)
+        assert spent.best_alpha in acc.alphas
+
+    def test_privacy_spent_str(self):
+        spent = PrivacySpent(1.234, 1e-5, 0.05)
+        text = str(spent)
+        assert "1.234" in text and "delta'" in text
+
+    def test_rdp_curve_copy_is_isolated(self):
+        acc = RdpAccountant()
+        acc.step(1.0, 0.1)
+        curve = acc.rdp_curve()
+        curve[:] = 0
+        assert acc.get_epsilon(1e-5) > 0
+
+    def test_invalid_args(self):
+        acc = RdpAccountant()
+        with pytest.raises(ValueError):
+            acc.step(0.0, 0.1)
+        with pytest.raises(ValueError):
+            acc.step(1.0, 1.5)
+        with pytest.raises(ValueError):
+            acc.step(1.0, 0.1, num_steps=0)
+
+
+class TestGaussianAccountant:
+    def test_zero_steps(self):
+        acc = GaussianAccountant(noise_multiplier=1.0)
+        assert acc.get_epsilon(1e-5) == 0.0
+
+    def test_basic_vs_advanced(self):
+        # Advanced composition only beats basic when the per-step epsilon is
+        # well below 1, i.e. at large noise multipliers.
+        acc = GaussianAccountant(noise_multiplier=200.0)
+        acc.step(num_steps=200)
+        basic = acc.get_epsilon(1e-5, method="basic")
+        advanced = acc.get_epsilon(1e-5, method="advanced")
+        assert advanced < basic
+
+    def test_advanced_loses_for_loud_mechanisms(self):
+        # Sanity check of the regime boundary: with per-step epsilon >> 1 the
+        # k*eps*(e^eps - 1) term dominates and basic composition wins.
+        acc = GaussianAccountant(noise_multiplier=2.0)
+        acc.step(num_steps=200)
+        assert acc.get_epsilon(1e-5, method="advanced") > acc.get_epsilon(
+            1e-5, method="basic"
+        )
+
+    def test_rdp_beats_naive_for_many_steps(self):
+        steps, sigma, q = 500, 1.0, 1.0
+        naive = GaussianAccountant(noise_multiplier=sigma)
+        naive.step(num_steps=steps)
+        rdp = RdpAccountant()
+        rdp.step(sigma, q, num_steps=steps)
+        assert rdp.get_epsilon(1e-5) < naive.get_epsilon(1e-5, method="advanced")
+
+    def test_unknown_method(self):
+        acc = GaussianAccountant(noise_multiplier=1.0)
+        acc.step()
+        with pytest.raises(ValueError, match="unknown composition"):
+            acc.get_epsilon(1e-5, method="bogus")

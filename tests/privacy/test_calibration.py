@@ -1,0 +1,72 @@
+"""Tests for Gaussian-mechanism noise calibration."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy import (
+    analytic_gaussian_delta,
+    analytic_gaussian_sigma,
+    classic_gaussian_sigma,
+    gaussian_epsilon,
+)
+
+
+class TestClassicCalibration:
+    def test_formula(self):
+        sigma = classic_gaussian_sigma(0.5, 1e-5, 2.0)
+        assert sigma == pytest.approx(2.0 * math.sqrt(2 * math.log(1.25e5)) / 0.5)
+
+    def test_rejects_epsilon_ge_one(self):
+        with pytest.raises(ValueError, match="epsilon < 1"):
+            classic_gaussian_sigma(1.5, 1e-5)
+
+    def test_monotone_in_epsilon(self):
+        assert classic_gaussian_sigma(0.1, 1e-5) > classic_gaussian_sigma(0.9, 1e-5)
+
+
+class TestAnalyticCalibration:
+    def test_delta_decreases_with_sigma(self):
+        assert analytic_gaussian_delta(0.5, 1.0) > analytic_gaussian_delta(5.0, 1.0)
+
+    def test_known_reference_value(self):
+        # Balle & Wang: for eps=1, delta=1e-5 the analytic sigma ~ 3.73 <
+        # classic-style sqrt(2 ln(1.25/delta)) ~ 4.84.
+        sigma = analytic_gaussian_sigma(1.0, 1e-5)
+        assert 3.0 < sigma < 4.2
+        assert sigma < math.sqrt(2 * math.log(1.25e5))
+
+    def test_calibration_is_tight(self):
+        for eps in (0.1, 1.0, 5.0):
+            sigma = analytic_gaussian_sigma(eps, 1e-6)
+            assert analytic_gaussian_delta(sigma, eps) <= 1e-6 * (1 + 1e-6)
+            assert analytic_gaussian_delta(sigma * 0.99, eps) > 1e-6
+
+    def test_sensitivity_scales_linearly(self):
+        base = analytic_gaussian_sigma(1.0, 1e-5, sensitivity=1.0)
+        assert analytic_gaussian_sigma(1.0, 1e-5, sensitivity=3.0) == pytest.approx(
+            3 * base, rel=1e-6
+        )
+
+
+class TestGaussianEpsilon:
+    def test_round_trip_with_calibration(self):
+        for eps in (0.3, 1.0, 4.0):
+            sigma = analytic_gaussian_sigma(eps, 1e-5)
+            back = gaussian_epsilon(sigma, 1e-5)
+            assert back == pytest.approx(eps, rel=1e-4)
+
+    def test_monotone_in_sigma(self):
+        assert gaussian_epsilon(0.7, 1e-5) > gaussian_epsilon(3.0, 1e-5)
+
+    def test_huge_sigma_gives_tiny_epsilon(self):
+        assert gaussian_epsilon(1000.0, 1e-5) < 0.02
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(0.3, 50.0), st.floats(1e-9, 1e-2))
+    def test_epsilon_positive_and_finite(self, sigma, delta):
+        eps = gaussian_epsilon(sigma, delta)
+        assert eps >= 0.0
+        assert math.isfinite(eps)

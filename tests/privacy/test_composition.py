@@ -1,0 +1,46 @@
+"""Tests for DP composition theorems."""
+
+import math
+
+import pytest
+
+from repro.privacy import advanced_composition, basic_composition
+
+
+class TestBasicComposition:
+    def test_empty(self):
+        assert basic_composition([]) == (0.0, 0.0)
+
+    def test_sums(self):
+        eps, delta = basic_composition([(0.5, 1e-6), (0.25, 2e-6), (0.25, 0.0)])
+        assert eps == pytest.approx(1.0)
+        assert delta == pytest.approx(3e-6)
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValueError):
+            basic_composition([(-0.1, 0.0)])
+
+
+class TestAdvancedComposition:
+    def test_formula(self):
+        eps, delta = advanced_composition(0.1, 1e-6, 100, 1e-5)
+        expected = 0.1 * math.sqrt(2 * 100 * math.log(1e5)) + 100 * 0.1 * (
+            math.exp(0.1) - 1
+        )
+        assert eps == pytest.approx(expected)
+        assert delta == pytest.approx(100 * 1e-6 + 1e-5)
+
+    def test_beats_basic_for_small_epsilon_many_steps(self):
+        k, eps0 = 1000, 0.01
+        adv_eps, _ = advanced_composition(eps0, 0.0, k, 1e-5)
+        basic_eps = k * eps0
+        assert adv_eps < basic_eps
+
+    def test_single_step_overhead(self):
+        # For k = 1 advanced composition is deliberately looser than basic.
+        adv_eps, _ = advanced_composition(0.5, 0.0, 1, 1e-5)
+        assert adv_eps > 0.5
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            advanced_composition(0.1, 0.0, 0, 1e-5)

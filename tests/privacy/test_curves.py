@@ -1,0 +1,69 @@
+"""Tests for privacy-curve utilities."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.curves import epsilon_curve, find_noise_multiplier, steps_until_budget
+from repro.privacy.rdp import DEFAULT_ALPHAS, rdp_subsampled_gaussian, rdp_to_dp
+
+
+def composed(sigma, q, steps, delta):
+    rdp = steps * rdp_subsampled_gaussian(q, sigma, DEFAULT_ALPHAS)
+    return rdp_to_dp(DEFAULT_ALPHAS, rdp, delta)[0]
+
+
+class TestFindNoiseMultiplier:
+    def test_meets_target(self):
+        sigma = find_noise_multiplier(2.0, 1e-5, 0.01, 1000)
+        assert composed(sigma, 0.01, 1000, 1e-5) <= 2.0 * (1 + 1e-3)
+
+    def test_is_tight(self):
+        sigma = find_noise_multiplier(2.0, 1e-5, 0.01, 1000)
+        assert composed(sigma * 0.95, 0.01, 1000, 1e-5) > 2.0
+
+    def test_tighter_target_needs_more_noise(self):
+        loose = find_noise_multiplier(5.0, 1e-5, 0.01, 500)
+        tight = find_noise_multiplier(0.5, 1e-5, 0.01, 500)
+        assert tight > loose
+
+    def test_more_steps_need_more_noise(self):
+        short = find_noise_multiplier(1.0, 1e-5, 0.01, 100)
+        long = find_noise_multiplier(1.0, 1e-5, 0.01, 10000)
+        assert long > short
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            find_noise_multiplier(1.0, 1e-5, 0.01, 0)
+
+
+class TestEpsilonCurve:
+    def test_monotone(self):
+        curve = epsilon_curve(1.0, 0.01, [0, 10, 100, 1000, 10000], 1e-5)
+        assert curve[0] == 0.0
+        assert np.all(np.diff(curve) > 0)
+
+    def test_matches_direct_composition(self):
+        curve = epsilon_curve(1.2, 0.02, [500], 1e-5)
+        assert curve[0] == pytest.approx(composed(1.2, 0.02, 500, 1e-5))
+
+    def test_rejects_negative_steps(self):
+        with pytest.raises(ValueError):
+            epsilon_curve(1.0, 0.01, [-5], 1e-5)
+
+
+class TestStepsUntilBudget:
+    def test_consistent_with_curve(self):
+        steps = steps_until_budget(1.0, 0.01, 2.0, 1e-5)
+        assert composed(1.0, 0.01, steps, 1e-5) <= 2.0
+        assert composed(1.0, 0.01, steps + 1, 1e-5) > 2.0
+
+    def test_zero_when_budget_tiny(self):
+        assert steps_until_budget(0.5, 0.9, 1e-4, 1e-5) == 0
+
+    def test_round_trip_with_find_noise_multiplier(self):
+        sigma = find_noise_multiplier(3.0, 1e-5, 0.02, 2000)
+        steps = steps_until_budget(sigma, 0.02, 3.0, 1e-5)
+        assert steps >= 2000
+
+    def test_max_steps_cap(self):
+        assert steps_until_budget(100.0, 0.001, 10.0, 1e-5, max_steps=50) == 50

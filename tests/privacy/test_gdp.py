@@ -1,0 +1,94 @@
+"""Tests for Gaussian-DP (f-DP) accounting."""
+
+import pytest
+
+from repro.privacy import RdpAccountant, gaussian_epsilon
+from repro.privacy.gdp import (
+    GdpAccountant,
+    dpsgd_gdp_mu,
+    gaussian_gdp_mu,
+    gdp_delta,
+    gdp_epsilon,
+)
+
+
+class TestSingleGaussian:
+    def test_mu_formula(self):
+        assert gaussian_gdp_mu(2.0) == pytest.approx(0.5)
+
+    def test_matches_analytic_gaussian_curve(self):
+        """For one Gaussian release, mu-GDP duality IS the analytic curve:
+        both must give the same (epsilon, delta) pairs."""
+        for sigma in (0.8, 1.5, 4.0):
+            mu = gaussian_gdp_mu(sigma)
+            eps_gdp = gdp_epsilon(mu, 1e-5)
+            eps_exact = gaussian_epsilon(sigma, 1e-5)
+            assert eps_gdp == pytest.approx(eps_exact, rel=1e-4)
+
+
+class TestDuality:
+    def test_delta_monotone_in_epsilon(self):
+        deltas = [gdp_delta(1.0, e) for e in (0.0, 0.5, 1.0, 2.0, 4.0)]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_delta_monotone_in_mu(self):
+        assert gdp_delta(0.5, 1.0) < gdp_delta(2.0, 1.0)
+
+    def test_epsilon_inverts_delta(self):
+        mu = 1.3
+        eps = gdp_epsilon(mu, 1e-6)
+        assert gdp_delta(mu, eps) <= 1e-6 * (1 + 1e-6)
+        assert gdp_delta(mu, eps * 0.99) > 1e-6
+
+    def test_delta_in_unit_interval(self):
+        for mu in (0.1, 1.0, 5.0):
+            for eps in (0.0, 1.0, 10.0):
+                assert 0.0 <= gdp_delta(mu, eps) <= 1.0
+
+
+class TestDpsgdClt:
+    def test_mu_scaling(self):
+        base = dpsgd_gdp_mu(1.0, 0.01, 100)
+        assert dpsgd_gdp_mu(1.0, 0.02, 100) == pytest.approx(2 * base)
+        assert dpsgd_gdp_mu(1.0, 0.01, 400) == pytest.approx(2 * base)
+
+    def test_more_noise_smaller_mu(self):
+        assert dpsgd_gdp_mu(4.0, 0.01, 100) < dpsgd_gdp_mu(1.0, 0.01, 100)
+
+    def test_clt_agrees_with_rdp_in_its_regime(self):
+        """Small q, large T: the CLT epsilon should be in the same ballpark
+        as (and typically below) the RDP bound."""
+        sigma, q, steps = 1.0, 0.005, 5000
+        gdp = GdpAccountant(sigma, q)
+        gdp.step(steps)
+        rdp = RdpAccountant()
+        rdp.step(sigma, q, num_steps=steps)
+        eps_gdp = gdp.get_epsilon(1e-5)
+        eps_rdp = rdp.get_epsilon(1e-5)
+        assert eps_gdp < eps_rdp  # CLT approximation is tighter here
+        assert eps_gdp > 0.3 * eps_rdp  # but not wildly off
+
+
+class TestAccountant:
+    def test_zero_steps(self):
+        acc = GdpAccountant(1.0, 0.01)
+        assert acc.mu == 0.0
+        assert acc.get_epsilon(1e-5) == 0.0
+
+    def test_step_accumulation(self):
+        acc = GdpAccountant(1.0, 0.01)
+        acc.step(10)
+        acc.step(30)
+        assert acc.steps == 40
+        assert acc.mu == pytest.approx(dpsgd_gdp_mu(1.0, 0.01, 40))
+
+    def test_epsilon_grows_with_steps(self):
+        acc = GdpAccountant(1.0, 0.02)
+        acc.step(100)
+        e1 = acc.get_epsilon(1e-5)
+        acc.step(900)
+        assert acc.get_epsilon(1e-5) > e1
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            GdpAccountant(1.0, 0.01).step(0)

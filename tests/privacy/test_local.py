@@ -1,0 +1,148 @@
+"""Tests for the local-DP mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.local import (
+    DuchiMechanism,
+    HybridMechanism,
+    PiecewiseMechanism,
+    RandomizedResponse,
+    perturb_vector,
+)
+
+
+class TestRandomizedResponse:
+    def test_keep_probability(self):
+        rr = RandomizedResponse(np.log(3), num_categories=2)
+        # e^eps = 3, k = 2 -> p_true = 3/4.
+        assert rr.p_true == pytest.approx(0.75)
+
+    def test_outputs_valid_categories(self, rng):
+        rr = RandomizedResponse(1.0, num_categories=5)
+        out = rr.perturb(rng.integers(0, 5, size=1000), rng)
+        assert out.min() >= 0 and out.max() < 5
+
+    def test_frequency_estimation_unbiased(self):
+        rng = np.random.default_rng(0)
+        true_freq = np.array([0.5, 0.3, 0.2])
+        values = rng.choice(3, size=60_000, p=true_freq)
+        rr = RandomizedResponse(1.5, num_categories=3)
+        est = rr.estimate_frequencies(rr.perturb(values, rng))
+        assert np.allclose(est, true_freq, atol=0.02)
+
+    def test_high_epsilon_barely_perturbs(self, rng):
+        rr = RandomizedResponse(10.0, num_categories=4)
+        values = rng.integers(0, 4, size=2000)
+        out = rr.perturb(values, rng)
+        assert (out == values).mean() > 0.95
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            RandomizedResponse(1.0, num_categories=1)
+        rr = RandomizedResponse(1.0, num_categories=3)
+        with pytest.raises(ValueError):
+            rr.perturb([3])
+
+
+class TestDuchiMechanism:
+    def test_output_is_plus_minus_a(self, rng):
+        mech = DuchiMechanism(1.0)
+        out = mech.perturb(rng.uniform(-1, 1, 500), rng)
+        assert np.allclose(np.abs(out), mech.magnitude)
+
+    def test_unbiased(self):
+        rng = np.random.default_rng(0)
+        mech = DuchiMechanism(1.0)
+        for t in (-0.8, 0.0, 0.5):
+            out = mech.perturb(np.full(120_000, t), rng)
+            assert out.mean() == pytest.approx(t, abs=0.03)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            DuchiMechanism(1.0).perturb([1.5])
+
+    def test_variance_shrinks_with_epsilon(self):
+        assert DuchiMechanism(4.0).worst_case_variance() < DuchiMechanism(
+            0.5
+        ).worst_case_variance()
+
+
+class TestPiecewiseMechanism:
+    def test_output_bounded_by_c(self, rng):
+        mech = PiecewiseMechanism(1.0)
+        out = mech.perturb(rng.uniform(-1, 1, 2000), rng)
+        assert np.all(np.abs(out) <= mech.c + 1e-9)
+
+    def test_unbiased(self):
+        rng = np.random.default_rng(1)
+        mech = PiecewiseMechanism(2.0)
+        for t in (-0.7, 0.0, 0.9):
+            out = mech.perturb(np.full(120_000, t), rng)
+            assert out.mean() == pytest.approx(t, abs=0.03)
+
+    def test_empirical_variance_matches_closed_form(self):
+        rng = np.random.default_rng(2)
+        mech = PiecewiseMechanism(1.5)
+        t = 0.4
+        out = mech.perturb(np.full(200_000, t), rng)
+        assert out.var() == pytest.approx(mech.variance(t), rel=0.03)
+
+    def test_pm_beats_duchi_at_large_epsilon(self):
+        eps = 4.0
+        assert (
+            PiecewiseMechanism(eps).worst_case_variance()
+            < DuchiMechanism(eps).worst_case_variance()
+        )
+
+    def test_duchi_beats_pm_at_small_epsilon(self):
+        eps = 0.3
+        assert (
+            DuchiMechanism(eps).worst_case_variance()
+            < PiecewiseMechanism(eps).worst_case_variance()
+        )
+
+
+class TestHybridMechanism:
+    def test_unbiased(self):
+        rng = np.random.default_rng(3)
+        mech = HybridMechanism(1.5)
+        out = mech.perturb(np.full(120_000, 0.6), rng)
+        assert out.mean() == pytest.approx(0.6, abs=0.03)
+
+    def test_small_epsilon_pure_duchi(self):
+        assert HybridMechanism(0.5).pm_probability == 0.0
+
+    def test_large_epsilon_mostly_pm(self):
+        assert HybridMechanism(6.0).pm_probability > 0.9
+
+
+class TestPerturbVector:
+    def test_shape_and_sparsity(self, rng):
+        x = rng.uniform(-1, 1, size=(20, 30))
+        out = perturb_vector(x, 2.0, rng, k=2)
+        assert out.shape == (20, 30)
+        assert np.all((out != 0).sum(axis=1) <= 2)
+
+    def test_unbiased_mean_estimate(self):
+        rng = np.random.default_rng(4)
+        d = 8
+        true_mean = np.linspace(-0.5, 0.5, d)
+        x = np.tile(true_mean, (40_000, 1))
+        out = perturb_vector(x, 4.0, rng, k=2)
+        assert np.allclose(out.mean(axis=0), true_mean, atol=0.06)
+
+    def test_mechanism_selectable(self, rng):
+        x = rng.uniform(-1, 1, size=(5, 4))
+        for mech in ("pm", "duchi", "hybrid"):
+            out = perturb_vector(x, 1.0, rng, k=1, mechanism=mech)
+            assert out.shape == x.shape
+
+    def test_invalid_args(self, rng):
+        x = rng.uniform(-1, 1, size=(3, 4))
+        with pytest.raises(ValueError, match="k must be"):
+            perturb_vector(x, 1.0, rng, k=5)
+        with pytest.raises(ValueError, match="mechanism"):
+            perturb_vector(x, 1.0, rng, mechanism="exp")
+        with pytest.raises(ValueError, match="\\[-1, 1\\]"):
+            perturb_vector(np.full((1, 2), 2.0), 1.0, rng)

@@ -1,0 +1,66 @@
+"""Tests for the Gaussian and Laplace mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.privacy import GaussianMechanism, LaplaceMechanism
+
+
+class TestGaussianMechanism:
+    def test_noise_scale(self):
+        mech = GaussianMechanism(2.0, sigma=3.0)
+        assert mech.noise_scale == pytest.approx(6.0)
+
+    def test_perturb_shape_and_dtype(self, rng):
+        mech = GaussianMechanism(1.0, sigma=1.0)
+        out = mech.perturb(np.zeros((4, 5)), rng)
+        assert out.shape == (4, 5)
+        assert out.dtype == np.float64
+
+    def test_perturb_statistics(self):
+        mech = GaussianMechanism(1.0, sigma=2.0)
+        out = mech.perturb(np.zeros(200_000), rng=0)
+        assert np.mean(out) == pytest.approx(0.0, abs=0.02)
+        assert np.std(out) == pytest.approx(2.0, rel=0.02)
+
+    def test_reproducible_with_seed(self):
+        mech = GaussianMechanism(1.0, sigma=1.0)
+        a = mech.perturb(np.ones(10), rng=42)
+        b = mech.perturb(np.ones(10), rng=42)
+        assert np.array_equal(a, b)
+
+    def test_from_epsilon_delta(self):
+        mech = GaussianMechanism(1.0, epsilon=0.5, delta=1e-5)
+        # classic calibration: sqrt(2 ln(1.25/delta)) / eps
+        assert mech.sigma == pytest.approx(np.sqrt(2 * np.log(1.25e5)) / 0.5)
+
+    def test_epsilon_query_decreases_with_sigma(self):
+        loose = GaussianMechanism(1.0, sigma=0.8).epsilon(1e-5)
+        tight = GaussianMechanism(1.0, sigma=4.0).epsilon(1e-5)
+        assert tight < loose
+
+    def test_conflicting_args_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            GaussianMechanism(1.0, sigma=1.0, epsilon=1.0, delta=1e-5)
+        with pytest.raises(ValueError, match="both epsilon and delta"):
+            GaussianMechanism(1.0, epsilon=1.0)
+
+    def test_invalid_sensitivity(self):
+        with pytest.raises(ValueError):
+            GaussianMechanism(0.0, sigma=1.0)
+
+
+class TestLaplaceMechanism:
+    def test_noise_scale(self):
+        mech = LaplaceMechanism(2.0, epsilon=0.5)
+        assert mech.noise_scale == pytest.approx(4.0)
+
+    def test_perturb_statistics(self):
+        mech = LaplaceMechanism(1.0, epsilon=1.0)
+        out = mech.perturb(np.zeros(200_000), rng=0)
+        # Laplace(b=1): std = sqrt(2) * b
+        assert np.std(out) == pytest.approx(np.sqrt(2.0), rel=0.02)
+
+    def test_scalar_input(self):
+        out = LaplaceMechanism(1.0, epsilon=1.0).perturb(5.0, rng=0)
+        assert out.shape == ()

@@ -1,0 +1,75 @@
+"""Tests for the privacy-loss-distribution accountant (paper ref [53])."""
+
+import pytest
+
+from repro.privacy import RdpAccountant, gaussian_epsilon
+from repro.privacy.pld import PldAccountant, PrivacyLossDistribution
+
+
+class TestSingleRelease:
+    def test_matches_exact_gaussian(self):
+        """At q = 1 and one step, PLD must match the analytic Gaussian curve."""
+        for sigma in (1.0, 2.0, 5.0):
+            pld = PrivacyLossDistribution(sigma, 1.0, grid_step=1e-4)
+            exact = gaussian_epsilon(sigma, 1e-5)
+            assert pld.epsilon(1e-5, 1) == pytest.approx(exact, abs=3e-3)
+
+    def test_pessimistic_never_below_exact(self):
+        pld = PrivacyLossDistribution(1.5, 1.0, grid_step=1e-3)
+        exact = gaussian_epsilon(1.5, 1e-5)
+        assert pld.epsilon(1e-5, 1) >= exact - 1e-9
+
+    def test_delta_monotone_in_eps(self):
+        pld = PrivacyLossDistribution(1.0, 0.1, grid_step=1e-3)
+        deltas = [pld.delta(eps, 10) for eps in (0.0, 0.5, 1.0, 2.0)]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_subsampling_amplifies(self):
+        full = PrivacyLossDistribution(1.0, 1.0, grid_step=1e-3)
+        sub = PrivacyLossDistribution(1.0, 0.05, grid_step=1e-3)
+        assert sub.epsilon(1e-5, 1) < full.epsilon(1e-5, 1)
+
+    def test_invalid_steps(self):
+        pld = PrivacyLossDistribution(1.0, 0.5, grid_step=1e-2)
+        with pytest.raises(ValueError):
+            pld.delta(1.0, 0)
+
+
+class TestComposition:
+    def test_epsilon_grows_with_steps(self):
+        pld = PrivacyLossDistribution(1.0, 0.05, grid_step=1e-3)
+        e10 = pld.epsilon(1e-5, 10)
+        e100 = pld.epsilon(1e-5, 100)
+        assert 0 < e10 < e100
+
+    def test_tighter_than_rdp_at_fine_grid(self):
+        """The point of numerical composition (Gopi et al.): beat RDP."""
+        steps, sigma, q = 500, 1.0, 0.02
+        acc = PldAccountant(sigma, q, grid_step=1e-4)
+        acc.step(steps)
+        rdp = RdpAccountant()
+        rdp.step(sigma, q, num_steps=steps)
+        assert acc.get_epsilon(1e-5) < rdp.get_epsilon(1e-5)
+
+    def test_delta_epsilon_inverse_consistency(self):
+        acc = PldAccountant(1.0, 0.05, grid_step=1e-3)
+        acc.step(50)
+        eps = acc.get_epsilon(1e-5)
+        assert acc.get_delta(eps) <= 1e-5 * (1 + 1e-6)
+
+
+class TestAccountantInterface:
+    def test_zero_steps(self):
+        acc = PldAccountant(1.0, 0.1)
+        assert acc.get_epsilon(1e-5) == 0.0
+        assert acc.get_delta(1.0) == 0.0
+
+    def test_step_counting(self):
+        acc = PldAccountant(1.0, 0.1)
+        acc.step(3)
+        acc.step()
+        assert acc.steps == 4
+
+    def test_invalid_step_count(self):
+        with pytest.raises(ValueError):
+            PldAccountant(1.0, 0.1).step(0)

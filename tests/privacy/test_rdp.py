@@ -1,0 +1,140 @@
+"""Tests for RDP of the (subsampled) Gaussian mechanism and DP conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy import (
+    DEFAULT_ALPHAS,
+    rdp_gaussian,
+    rdp_subsampled_gaussian,
+    rdp_to_dp,
+)
+
+
+class TestRdpGaussian:
+    def test_formula(self):
+        assert rdp_gaussian(10, 2.0) == pytest.approx(10 / 8.0)
+
+    def test_rejects_alpha_le_one(self):
+        with pytest.raises(ValueError):
+            rdp_gaussian(1.0, 1.0)
+
+
+class TestSubsampledGaussian:
+    def test_q_zero_is_free(self):
+        rdp = rdp_subsampled_gaussian(0.0, 1.0, [2, 3, 4])
+        assert np.allclose(rdp, 0.0)
+
+    def test_q_one_matches_gaussian(self):
+        alphas = [2, 5, 10]
+        rdp = rdp_subsampled_gaussian(1.0, 1.5, alphas)
+        expected = [rdp_gaussian(a, 1.5) for a in alphas]
+        assert np.allclose(rdp, expected)
+
+    def test_subsampling_amplifies(self):
+        alphas = [2, 4, 8, 16]
+        full = np.array([rdp_gaussian(a, 1.0) for a in alphas])
+        sub = rdp_subsampled_gaussian(0.01, 1.0, alphas)
+        assert np.all(sub < full)
+
+    def test_small_q_quadratic_scaling(self):
+        # For small q, rho(2) ~ 2 * q^2 * (e^{1/sigma^2} - 1)-ish: halving q
+        # should shrink rho(2) by ~4x.
+        a = rdp_subsampled_gaussian(0.02, 2.0, [2])[0]
+        b = rdp_subsampled_gaussian(0.01, 2.0, [2])[0]
+        assert a / b == pytest.approx(4.0, rel=0.15)
+
+    def test_monotone_in_alpha(self):
+        rdp = rdp_subsampled_gaussian(0.05, 1.0, list(range(2, 40)))
+        assert np.all(np.diff(rdp) >= -1e-12)
+
+    def test_monotone_in_sigma(self):
+        noisy = rdp_subsampled_gaussian(0.05, 4.0, [2, 8, 32])
+        loud = rdp_subsampled_gaussian(0.05, 0.5, [2, 8, 32])
+        assert np.all(noisy < loud)
+
+    def test_fractional_matches_integer_at_integer_orders(self):
+        for q, sigma in [(0.01, 1.0), (0.1, 2.0), (0.3, 0.8)]:
+            ints = rdp_subsampled_gaussian(q, sigma, [2, 3, 5, 10])
+            fracs = rdp_subsampled_gaussian(
+                q, sigma, [2 + 1e-9, 3 + 1e-9, 5 + 1e-9, 10 + 1e-9]
+            )
+            assert np.allclose(ints, fracs, rtol=1e-6)
+
+    def test_fractional_orders_interpolate(self):
+        lo, mid, hi = rdp_subsampled_gaussian(0.05, 1.5, [2, 2.5, 3])
+        assert lo < mid < hi
+
+    def test_fractional_orders_near_one(self):
+        """Orders just above 1 must give small positive RDP."""
+        rdp = rdp_subsampled_gaussian(0.01, 1.0, [1.1, 1.5])
+        assert np.all(rdp > 0)
+        assert np.all(rdp < rdp_subsampled_gaussian(0.01, 1.0, [2])[0] * 2)
+
+    def test_fractional_grid_never_hurts_epsilon(self):
+        """Adding fractional orders can only improve (reduce) epsilon."""
+        ints = list(range(2, 64))
+        rdp_int = 100 * rdp_subsampled_gaussian(0.02, 1.0, ints)
+        eps_int, _ = rdp_to_dp(ints, rdp_int, 1e-5)
+        rdp_full = 100 * rdp_subsampled_gaussian(0.02, 1.0, DEFAULT_ALPHAS)
+        eps_full, _ = rdp_to_dp(DEFAULT_ALPHAS, rdp_full, 1e-5)
+        assert eps_full <= eps_int + 1e-12
+
+    def test_rejects_order_below_one(self):
+        with pytest.raises(ValueError):
+            rdp_subsampled_gaussian(0.1, 1.0, [0.5])
+
+    def test_alpha_two_closed_form(self):
+        # At alpha = 2 the binomial expansion collapses to
+        # rho(2) = ln(1 + q^2 (e^{1/sigma^2} - 1)).
+        for q, sigma in [(0.01, 1.0), (0.1, 2.0), (0.5, 0.7)]:
+            got = rdp_subsampled_gaussian(q, sigma, [2])[0]
+            expected = np.log(1 + q**2 * (np.exp(1 / sigma**2) - 1))
+            assert got == pytest.approx(expected, rel=1e-10)
+
+    def test_small_q_composed_epsilon_magnitude(self):
+        # Small-q heuristic: rho(alpha) ~ q^2 alpha / sigma^2, so T=1000
+        # steps at q=0.01, sigma=1 compose to epsilon ~ 0.1a + ln(1/delta)/(a-1)
+        # minimised near a ~ 12, i.e. epsilon ~ 2.2.
+        rdp = 1000 * rdp_subsampled_gaussian(0.01, 1.0, DEFAULT_ALPHAS)
+        eps, alpha = rdp_to_dp(DEFAULT_ALPHAS, rdp, 1e-5)
+        assert eps == pytest.approx(2.2, abs=0.4)
+        assert 5 <= alpha <= 25
+
+
+class TestRdpToDp:
+    def test_single_order(self):
+        eps, alpha = rdp_to_dp([10], [0.5], 1e-5)
+        assert alpha == 10
+        assert eps > 0
+
+    def test_picks_minimising_order(self):
+        alphas = [2, 10, 100]
+        rdp = [0.01, 0.05, 0.5]
+        eps, alpha = rdp_to_dp(alphas, rdp, 1e-5)
+        candidates = [rdp_to_dp([a], [r], 1e-5)[0] for a, r in zip(alphas, rdp)]
+        assert eps == pytest.approx(min(candidates))
+
+    def test_epsilon_clamped_at_zero(self):
+        eps, _ = rdp_to_dp([1000], [1e-12], 0.5)
+        assert eps == 0.0
+
+    def test_smaller_delta_larger_epsilon(self):
+        rdp = rdp_subsampled_gaussian(0.02, 1.0, DEFAULT_ALPHAS)
+        eps_tight, _ = rdp_to_dp(DEFAULT_ALPHAS, 100 * rdp, 1e-9)
+        eps_loose, _ = rdp_to_dp(DEFAULT_ALPHAS, 100 * rdp, 1e-3)
+        assert eps_tight > eps_loose
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            rdp_to_dp([2, 3], [0.1], 1e-5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(0.001, 0.5), st.floats(0.5, 10.0), st.integers(1, 500))
+    def test_epsilon_monotone_in_steps(self, q, sigma, steps):
+        rdp = rdp_subsampled_gaussian(q, sigma, DEFAULT_ALPHAS)
+        eps1, _ = rdp_to_dp(DEFAULT_ALPHAS, steps * rdp, 1e-5)
+        eps2, _ = rdp_to_dp(DEFAULT_ALPHAS, (steps + 100) * rdp, 1e-5)
+        assert eps2 >= eps1

@@ -1,0 +1,109 @@
+"""Tests for DP selection mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.selection import (
+    ExponentialMechanism,
+    SparseVectorTechnique,
+    report_noisy_max,
+)
+
+
+class TestExponentialMechanism:
+    def test_probabilities_sum_to_one(self, rng):
+        mech = ExponentialMechanism(1.0, 1.0)
+        probs = mech.probabilities(rng.normal(size=10))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_prefers_high_scores(self):
+        mech = ExponentialMechanism(2.0, 1.0)
+        probs = mech.probabilities(np.array([0.0, 5.0, 10.0]))
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_probability_ratio_matches_definition(self):
+        mech = ExponentialMechanism(1.0, 1.0)
+        probs = mech.probabilities(np.array([0.0, 2.0]))
+        # ratio = exp(eps * (s2 - s1) / (2 * Delta)) = e^1
+        assert probs[1] / probs[0] == pytest.approx(np.e)
+
+    def test_low_epsilon_near_uniform(self, rng):
+        mech = ExponentialMechanism(1e-6, 1.0)
+        probs = mech.probabilities(rng.normal(size=5))
+        assert np.allclose(probs, 0.2, atol=1e-5)
+
+    def test_select_distribution(self):
+        mech = ExponentialMechanism(4.0, 1.0)
+        scores = np.array([0.0, 3.0])
+        rng = np.random.default_rng(0)
+        picks = [mech.select(scores, rng) for _ in range(2000)]
+        expected = mech.probabilities(scores)[1]
+        assert np.mean(picks) == pytest.approx(expected, abs=0.03)
+
+    def test_overflow_safe(self):
+        probs = ExponentialMechanism(1.0, 1e-6).probabilities(np.array([0.0, 1000.0]))
+        assert np.isfinite(probs).all()
+
+    def test_empty_scores(self):
+        with pytest.raises(ValueError):
+            ExponentialMechanism(1.0, 1.0).probabilities(np.array([]))
+
+
+class TestReportNoisyMax:
+    def test_high_epsilon_returns_true_max(self, rng):
+        scores = np.array([1.0, 5.0, 2.0])
+        picks = {report_noisy_max(scores, 1000.0, 1.0, rng) for _ in range(50)}
+        assert picks == {1}
+
+    def test_low_epsilon_randomises(self, rng):
+        scores = np.array([1.0, 1.1])
+        picks = {report_noisy_max(scores, 0.01, 1.0, rng) for _ in range(200)}
+        assert picks == {0, 1}
+
+    def test_gumbel_matches_exponential_mechanism(self):
+        scores = np.array([0.0, 2.0])
+        eps = 1.0
+        rng = np.random.default_rng(0)
+        picks = [report_noisy_max(scores, eps, 1.0, rng) for _ in range(20000)]
+        expected = ExponentialMechanism(eps, 1.0).probabilities(scores)[1]
+        assert np.mean(picks) == pytest.approx(expected, abs=0.02)
+
+    def test_laplace_variant(self, rng):
+        assert report_noisy_max([0.0, 100.0], 10.0, 1.0, rng, noise="laplace") == 1
+
+    def test_unknown_noise(self):
+        with pytest.raises(ValueError, match="noise"):
+            report_noisy_max([1.0], 1.0, 1.0, noise="cauchy")
+
+
+class TestSparseVectorTechnique:
+    def test_obvious_answers(self):
+        svt = SparseVectorTechnique(100.0, threshold=0.0, cutoff=5, rng=0)
+        assert svt.query(100.0) is True
+        assert svt.query(-100.0) is False
+
+    def test_cutoff_enforced(self):
+        svt = SparseVectorTechnique(100.0, threshold=0.0, cutoff=2, rng=0)
+        svt.query(10.0)
+        svt.query(10.0)
+        assert svt.exhausted
+        with pytest.raises(RuntimeError, match="exhausted"):
+            svt.query(10.0)
+
+    def test_below_threshold_free(self):
+        svt = SparseVectorTechnique(100.0, threshold=0.0, cutoff=1, rng=0)
+        for _ in range(50):
+            assert svt.query(-50.0) is False
+        assert not svt.exhausted
+        assert svt.queries_seen == 50
+
+    def test_noise_flips_borderline(self):
+        results = set()
+        for seed in range(100):
+            svt = SparseVectorTechnique(0.5, threshold=0.0, cutoff=1, rng=seed)
+            results.add(svt.query(0.0))
+        assert results == {True, False}
+
+    def test_invalid_cutoff(self):
+        with pytest.raises(ValueError):
+            SparseVectorTechnique(1.0, 0.0, cutoff=0)

@@ -1,0 +1,183 @@
+"""Cross-cutting property-based tests of the library's core invariants.
+
+These complement the per-module unit tests with randomised checks of the
+contracts everything else relies on:
+
+* spherical conversion is a bijection (up to float error) on R^d \\ {0};
+* clipping never increases norms and preserves directions (flat);
+* zero-noise perturbation is the identity for both schemes;
+* perturbation never leaks the un-noised coordinates when sigma > 0;
+* accountants are monotone in steps, sample rate and noise;
+* the Theorem-1 decomposition is exact for arbitrary inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    clip_gradients,
+    efficiency_difference,
+    perturb_dp_batch,
+    perturb_geodp_batch,
+)
+from repro.geometry import to_cartesian_batch, to_spherical_batch
+from repro.privacy import RdpAccountant
+from repro.privacy.rdp import DEFAULT_ALPHAS, rdp_subsampled_gaussian, rdp_to_dp
+
+
+def grads_strategy(max_rows=8, max_dim=30):
+    return st.builds(
+        lambda seed, rows, dim, scale: np.random.default_rng(seed).normal(
+            size=(rows, dim)
+        )
+        * scale,
+        st.integers(0, 2**31),
+        st.integers(1, max_rows),
+        st.integers(2, max_dim),
+        st.floats(1e-3, 1e3),
+    )
+
+
+class TestSphericalBijection:
+    @settings(max_examples=80, deadline=None)
+    @given(grads_strategy())
+    def test_round_trip(self, grads):
+        r, theta = to_spherical_batch(grads)
+        back = to_cartesian_batch(r, theta)
+        assert np.allclose(back, grads, rtol=1e-8, atol=1e-8 * np.abs(grads).max())
+
+    @settings(max_examples=50, deadline=None)
+    @given(grads_strategy())
+    def test_magnitude_is_norm(self, grads):
+        r, _ = to_spherical_batch(grads)
+        assert np.allclose(r, np.linalg.norm(grads, axis=1), rtol=1e-10)
+
+    @settings(max_examples=50, deadline=None)
+    @given(grads_strategy(), st.floats(0.1, 10.0))
+    def test_scaling_changes_only_magnitude(self, grads, factor):
+        # Rows with nonzero norm keep their angles under positive scaling.
+        norms = np.linalg.norm(grads, axis=1)
+        grads = grads[norms > 1e-9]
+        if len(grads) == 0:
+            return
+        _, theta1 = to_spherical_batch(grads)
+        _, theta2 = to_spherical_batch(grads * factor)
+        assert np.allclose(theta1, theta2, atol=1e-8)
+
+
+class TestClippingInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(grads_strategy(), st.floats(0.01, 100.0))
+    def test_never_increases_norm(self, grads, clip_norm):
+        clipped = clip_gradients(grads, clip_norm)
+        assert np.all(
+            np.linalg.norm(clipped, axis=1)
+            <= np.linalg.norm(grads, axis=1) + 1e-9
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(grads_strategy(), st.floats(0.01, 100.0))
+    def test_bounded_by_threshold(self, grads, clip_norm):
+        clipped = clip_gradients(grads, clip_norm)
+        assert np.all(np.linalg.norm(clipped, axis=1) <= clip_norm * (1 + 1e-9))
+
+    @settings(max_examples=40, deadline=None)
+    @given(grads_strategy(), st.floats(0.01, 100.0))
+    def test_idempotent(self, grads, clip_norm):
+        once = clip_gradients(grads, clip_norm)
+        twice = clip_gradients(once, clip_norm)
+        assert np.allclose(once, twice)
+
+
+class TestPerturbationInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(grads_strategy(), st.integers(1, 4096))
+    def test_zero_noise_dp_identity(self, grads, batch):
+        clipped = clip_gradients(grads, 1.0)
+        out = perturb_dp_batch(clipped, 1.0, 0.0, batch, rng=0, clip=False)
+        assert np.allclose(out, clipped)
+
+    @settings(max_examples=40, deadline=None)
+    @given(grads_strategy(), st.integers(1, 4096), st.floats(0.001, 1.0))
+    def test_zero_noise_geodp_identity(self, grads, batch, beta):
+        clipped = clip_gradients(grads, 1.0)
+        out = perturb_geodp_batch(clipped, 1.0, 0.0, batch, beta, rng=0, clip=False)
+        assert np.allclose(out, clipped, atol=1e-8)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31), st.floats(0.1, 10.0))
+    def test_dp_noise_scale_shrinks_with_batch(self, seed, sigma):
+        grads = np.zeros((1, 4000))
+        small = perturb_dp_batch(grads, 1.0, sigma, 16, rng=seed)
+        large = perturb_dp_batch(grads, 1.0, sigma, 4096, rng=seed)
+        assert np.std(large) < np.std(small)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31))
+    def test_geodp_direction_noise_grows_with_beta(self, seed):
+        from repro.geometry import direction_mse
+
+        rng = np.random.default_rng(seed)
+        grads = clip_gradients(rng.normal(size=(10, 50)), 1.0)
+        _, theta0 = to_spherical_batch(grads)
+        mses = []
+        for beta in (0.01, 0.1, 1.0):
+            out = perturb_geodp_batch(grads, 1.0, 1.0, 256, beta, rng=seed, clip=False)
+            _, theta = to_spherical_batch(out)
+            mses.append(direction_mse(theta, theta0))
+        assert mses[0] < mses[1] < mses[2]
+
+
+class TestAccountantInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.floats(0.5, 5.0),
+        st.floats(0.001, 0.2),
+        st.integers(1, 200),
+        st.integers(1, 200),
+    )
+    def test_monotone_in_steps(self, sigma, q, steps_a, steps_extra):
+        acc = RdpAccountant()
+        acc.step(sigma, q, num_steps=steps_a)
+        before = acc.get_epsilon(1e-5)
+        acc.step(sigma, q, num_steps=steps_extra)
+        assert acc.get_epsilon(1e-5) >= before
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0.5, 5.0), st.floats(0.001, 0.1), st.integers(1, 500))
+    def test_monotone_in_sample_rate(self, sigma, q, steps):
+        low = steps * rdp_subsampled_gaussian(q, sigma, DEFAULT_ALPHAS)
+        high = steps * rdp_subsampled_gaussian(min(2 * q, 1.0), sigma, DEFAULT_ALPHAS)
+        eps_low, _ = rdp_to_dp(DEFAULT_ALPHAS, low, 1e-5)
+        eps_high, _ = rdp_to_dp(DEFAULT_ALPHAS, high, 1e-5)
+        assert eps_low <= eps_high + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0.5, 3.0), st.floats(0.001, 0.1), st.integers(1, 500))
+    def test_monotone_in_noise(self, sigma, q, steps):
+        quiet = steps * rdp_subsampled_gaussian(q, 2 * sigma, DEFAULT_ALPHAS)
+        loud = steps * rdp_subsampled_gaussian(q, sigma, DEFAULT_ALPHAS)
+        eps_quiet, _ = rdp_to_dp(DEFAULT_ALPHAS, quiet, 1e-5)
+        eps_loud, _ = rdp_to_dp(DEFAULT_ALPHAS, loud, 1e-5)
+        assert eps_quiet <= eps_loud + 1e-9
+
+
+class TestTheoremOneExactness:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.integers(0, 2**31),
+        st.integers(2, 50),
+        st.floats(1e-3, 10.0),
+        st.floats(1e-4, 1e2),
+    )
+    def test_decomposition_exact(self, seed, dim, eta, scale):
+        rng = np.random.default_rng(seed)
+        w_t = rng.normal(size=dim) * scale
+        w_star = rng.normal(size=dim) * scale
+        g = rng.normal(size=dim)
+        noisy = g + rng.normal(size=dim)
+        out = efficiency_difference(w_t, w_star, g, noisy, eta)
+        tolerance = 1e-7 * max(1.0, abs(out["direct"]), eta**2 * scale**2)
+        assert abs(out["total"] - out["direct"]) <= tolerance

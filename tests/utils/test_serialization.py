@@ -1,0 +1,87 @@
+"""Tests for checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import TrainingHistory
+from repro.models import build_logistic_regression
+from repro.utils.serialization import (
+    load_checkpoint,
+    load_history,
+    save_checkpoint,
+    save_history,
+)
+
+
+class TestCheckpoint:
+    def test_round_trip(self, tmp_path, rng):
+        model = build_logistic_regression((4,), 3, rng=0)
+        model.set_params(rng.normal(size=model.num_params))
+        path = tmp_path / "model.npz"
+        save_checkpoint(path, model, metadata={"iteration": 42, "sigma": 1.0})
+
+        fresh = build_logistic_regression((4,), 3, rng=1)
+        params, meta = load_checkpoint(path, fresh)
+        assert np.allclose(fresh.get_params(), model.get_params())
+        assert meta == {"iteration": 42, "sigma": 1.0}
+        assert np.allclose(params, model.get_params())
+
+    def test_load_without_model(self, tmp_path):
+        model = build_logistic_regression((4,), 3, rng=0)
+        path = tmp_path / "m.npz"
+        save_checkpoint(path, model)
+        params, meta = load_checkpoint(path)
+        assert params.shape == (model.num_params,)
+        assert meta == {}
+
+    def test_suffix_added(self, tmp_path):
+        model = build_logistic_regression((4,), 3, rng=0)
+        save_checkpoint(tmp_path / "ckpt", model)
+        params, _ = load_checkpoint(tmp_path / "ckpt")
+        assert params.shape == (model.num_params,)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        small = build_logistic_regression((4,), 3, rng=0)
+        path = tmp_path / "m.npz"
+        save_checkpoint(path, small)
+        big = build_logistic_regression((8,), 3, rng=0)
+        with pytest.raises(ValueError):
+            load_checkpoint(path, big)
+
+    def test_bad_version_rejected(self, tmp_path):
+        import json
+
+        model = build_logistic_regression((4,), 3, rng=0)
+        path = tmp_path / "m.npz"
+        np.savez(
+            path,
+            params=model.get_params(),
+            metadata=np.frombuffer(
+                json.dumps({"_format_version": 99}).encode(), dtype=np.uint8
+            ),
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)
+
+
+class TestHistory:
+    def test_round_trip(self, tmp_path):
+        history = TrainingHistory(
+            losses=[2.0, 1.5, 1.0],
+            test_accuracy=[(2, 0.5), (3, 0.7)],
+            iterations=3,
+            sur_acceptance_rate=0.8,
+        )
+        path = tmp_path / "history.json"
+        save_history(path, history)
+        loaded = load_history(path)
+        assert loaded.losses == history.losses
+        assert loaded.test_accuracy == history.test_accuracy
+        assert loaded.iterations == 3
+        assert loaded.sur_acceptance_rate == pytest.approx(0.8)
+
+    def test_none_sur_rate(self, tmp_path):
+        history = TrainingHistory(losses=[1.0], iterations=1)
+        path = tmp_path / "h.json"
+        save_history(path, history)
+        assert load_history(path).sur_acceptance_rate is None

@@ -1,0 +1,114 @@
+"""Tests for shared utilities: RNG handling, validation, table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    as_rng,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_vector,
+    format_table,
+    spawn_rngs,
+)
+from repro.utils.validation import check_matrix
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        assert as_rng(5).random() == as_rng(5).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(as_rng(np.int64(3)), np.random.Generator)
+
+    def test_invalid_type(self):
+        with pytest.raises(TypeError):
+            as_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_independent_streams(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_deterministic(self):
+        x = [g.random() for g in spawn_rngs(7, 3)]
+        y = [g.random() for g in spawn_rngs(7, 3)]
+        assert x == y
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 2) == 2.0
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+        assert check_positive("x", 0, strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+        with pytest.raises(ValueError):
+            check_positive("x", float("inf"))
+
+    def test_check_probability(self):
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability("p", 0.0)
+        assert check_probability("p", 0.0, allow_zero=True) == 0.0
+        with pytest.raises(ValueError):
+            check_probability("p", 1.1)
+
+    def test_check_in_range(self):
+        assert check_in_range("x", 0.5, 0, 1) == 0.5
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 0, 1, inclusive_high=False)
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.0, 0, 1, inclusive_low=False)
+
+    def test_check_vector(self):
+        out = check_vector("v", [1, 2, 3])
+        assert out.dtype == np.float64
+        with pytest.raises(ValueError):
+            check_vector("v", [[1, 2]])
+        with pytest.raises(ValueError):
+            check_vector("v", [1.0], min_dim=2)
+        with pytest.raises(ValueError):
+            check_vector("v", [np.nan])
+
+    def test_check_matrix(self):
+        out = check_matrix("m", [[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+        with pytest.raises(ValueError):
+            check_matrix("m", [1, 2])
+        with pytest.raises(ValueError):
+            check_matrix("m", [[1, 2]], ncols=3)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len({len(line) for line in lines[1:]}) <= 2  # aligned widths
+
+    def test_scientific_for_tiny_values(self):
+        text = format_table(["x"], [[1e-8]])
+        assert "e-08" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
