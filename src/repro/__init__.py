@@ -13,6 +13,8 @@ The package is organised as:
 * :mod:`repro.data` — procedural MNIST/CIFAR substitutes and the synthetic
   gradient dataset.
 * :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.telemetry` — opt-in per-step metrics/tracing for training
+  runs (gradient geometry diagnostics, timers, JSONL traces).
 
 Quickstart::
 
@@ -42,6 +44,7 @@ from repro.core import (
     perturb_geodp_batch,
 )
 from repro.privacy import RdpAccountant, PrivacySpent
+from repro.telemetry import MetricsRecorder
 
 __version__ = "1.0.0"
 
@@ -59,5 +62,6 @@ __all__ = [
     "perturb_geodp_batch",
     "RdpAccountant",
     "PrivacySpent",
+    "MetricsRecorder",
     "__version__",
 ]

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.privacy.clipping import ClippingStrategy, FlatClipping
+from repro.telemetry.diagnostics import record_clipping, record_release
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_matrix, check_positive
 
@@ -38,6 +39,14 @@ class DpSgdOptimizer:
         would break the sensitivity analysis); also used with gradient
         accumulation.  ``None`` (default) divides by the actual batch size,
         correct for fixed-size batches.
+    recorder:
+        Optional :class:`~repro.telemetry.MetricsRecorder`.  When attached,
+        every step records clipping statistics (pre-clip norm, clipped
+        fraction) and release geometry (noise-to-signal ratio, cosine
+        similarity / angular deviation between the clean averaged gradient
+        and the released one) plus the sensitivity and sigma used.  Purely
+        observational: the recorder never touches the RNG, so instrumented
+        runs are bit-identical to uninstrumented ones.
     """
 
     #: Trainer uses this to decide which gradient API to call.
@@ -54,7 +63,9 @@ class DpSgdOptimizer:
         sample_rate: float | None = None,
         lot_size: int | None = None,
         momentum: float = 0.0,
+        recorder=None,
     ):
+        self.recorder = recorder
         self.learning_rate = check_positive("learning_rate", learning_rate)
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
@@ -82,6 +93,14 @@ class DpSgdOptimizer:
         grads = check_matrix("per_sample_grads", per_sample_grads)
         if grads.shape[0] == 0:
             return np.zeros(grads.shape[1])
+        if self.recorder is not None:
+            with self.recorder.span("clip"):
+                clipped, norms = self.clipping.clip_with_norms(grads)
+                summed = clipped.sum(axis=0)
+            record_clipping(
+                self.recorder, grads, self.clipping.sensitivity(), norms=norms
+            )
+            return summed
         return self.clipping.clip(grads).sum(axis=0)
 
     def noisy_gradient_presummed(self, clipped_sum: np.ndarray, count: int) -> np.ndarray:
@@ -96,6 +115,22 @@ class DpSgdOptimizer:
                 "empty batch with no lot_size: set lot_size for Poisson sampling"
             )
         scale = self.noise_multiplier * self.clipping.sensitivity()
+        if self.recorder is not None:
+            with self.recorder.span("noise"):
+                noise = (
+                    self.rng.normal(0.0, scale, size=clipped_sum.shape)
+                    if scale > 0
+                    else 0.0
+                )
+                noisy = (clipped_sum + noise) / denominator
+            record_release(
+                self.recorder,
+                clipped_sum / denominator,
+                noisy,
+                sigma=self.noise_multiplier,
+                sensitivity=self.clipping.sensitivity(),
+            )
+            return noisy
         noise = (
             self.rng.normal(0.0, scale, size=clipped_sum.shape) if scale > 0 else 0.0
         )

@@ -23,8 +23,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.perturbation import perturb_geodp
-from repro.geometry.bounding import delta_prime_upper_bound, direction_sensitivity
+from repro.geometry.bounding import (
+    delta_prime_upper_bound,
+    direction_sensitivity,
+    per_angle_sensitivity,
+)
 from repro.privacy.clipping import ClippingStrategy, FlatClipping
+from repro.telemetry.diagnostics import record_clipping, record_release
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_matrix, check_positive, check_probability
 
@@ -49,7 +54,9 @@ class GeoDpSgdOptimizer:
         sensitivity_mode: str = "total",
         lot_size: int | None = None,
         momentum: float = 0.0,
+        recorder=None,
     ):
+        self.recorder = recorder
         self.learning_rate = check_positive("learning_rate", learning_rate)
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
@@ -91,7 +98,28 @@ class GeoDpSgdOptimizer:
         grads = check_matrix("per_sample_grads", per_sample_grads)
         if grads.shape[0] == 0:
             return np.zeros(grads.shape[1])
+        if self.recorder is not None:
+            with self.recorder.span("clip"):
+                clipped, norms = self.clipping.clip_with_norms(grads)
+                summed = clipped.sum(axis=0)
+            record_clipping(
+                self.recorder, grads, self.clipping.sensitivity(), norms=norms
+            )
+            return summed
         return self.clipping.clip(grads).sum(axis=0)
+
+    def _noise_split(self, d: int, denominator: int) -> dict[str, float]:
+        """GeoDP's spherical noise split: magnitude vs direction noise std."""
+        sigma = self.noise_multiplier
+        if self.sensitivity_mode == "total":
+            dir_sens = direction_sensitivity(d, self.beta)
+        else:
+            dir_sens = float(np.mean(per_angle_sensitivity(d, self.beta)))
+        return {
+            "geodp_beta": self.beta,
+            "geodp_magnitude_noise_scale": sigma * self.clipping.sensitivity() / denominator,
+            "geodp_direction_noise_scale": sigma * dir_sens / denominator,
+        }
 
     def noisy_gradient_presummed(self, clipped_sum: np.ndarray, count: int) -> np.ndarray:
         """Algorithm 1 steps 6-9 on an already clipped-and-summed gradient."""
@@ -101,6 +129,27 @@ class GeoDpSgdOptimizer:
                 "empty batch with no lot_size: set lot_size for Poisson sampling"
             )
         avg = clipped_sum / denominator
+        if self.recorder is not None:
+            with self.recorder.span("noise"):
+                noisy = perturb_geodp(
+                    avg,
+                    self.clipping.sensitivity(),
+                    self.noise_multiplier,
+                    denominator,
+                    self.beta,
+                    self.rng,
+                    clip=False,  # per-sample clipping already bounded the average
+                    sensitivity_mode=self.sensitivity_mode,
+                )
+            record_release(
+                self.recorder,
+                avg,
+                noisy,
+                sigma=self.noise_multiplier,
+                sensitivity=self.clipping.sensitivity(),
+                extras=self._noise_split(len(avg), denominator),
+            )
+            return noisy
         return perturb_geodp(
             avg,
             self.clipping.sensitivity(),

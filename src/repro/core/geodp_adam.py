@@ -14,8 +14,13 @@ import numpy as np
 
 from repro.core.perturbation import perturb_geodp
 from repro.core.sgd import AdamOptimizer
-from repro.geometry.bounding import delta_prime_upper_bound
+from repro.geometry.bounding import (
+    delta_prime_upper_bound,
+    direction_sensitivity,
+    per_angle_sensitivity,
+)
 from repro.privacy.clipping import ClippingStrategy, FlatClipping
+from repro.telemetry.diagnostics import record_clipping, record_release
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_matrix, check_positive, check_probability
 
@@ -41,8 +46,10 @@ class GeoDpAdamOptimizer(AdamOptimizer):
         accountant=None,
         sample_rate: float | None = None,
         sensitivity_mode: str = "per_angle",
+        recorder=None,
     ):
         super().__init__(learning_rate, beta1=beta1, beta2=beta2, eps=eps)
+        self.recorder = recorder
         if isinstance(clipping, (int, float)):
             clipping = FlatClipping(float(clipping))
         self.clipping = clipping
@@ -67,11 +74,27 @@ class GeoDpAdamOptimizer(AdamOptimizer):
         """Lemma 2's bound on the direction release's extra delta."""
         return delta_prime_upper_bound(self.beta)
 
+    def _noise_split(self, d: int, batch_size: int) -> dict[str, float]:
+        """GeoDP's spherical noise split: magnitude vs direction noise std."""
+        sigma = self.noise_multiplier
+        if self.sensitivity_mode == "total":
+            dir_sens = direction_sensitivity(d, self.beta)
+        else:
+            dir_sens = float(np.mean(per_angle_sensitivity(d, self.beta)))
+        return {
+            "geodp_beta": self.beta,
+            "geodp_magnitude_noise_scale": sigma * self.clipping.sensitivity() / batch_size,
+            "geodp_direction_noise_scale": sigma * dir_sens / batch_size,
+        }
+
     def step(self, params: np.ndarray, per_sample_grads) -> np.ndarray:
         """GeoDP perturbation of the clipped average, then an Adam update."""
         grads = check_matrix("per_sample_grads", per_sample_grads)
         batch_size = grads.shape[0]
-        clipped = self.clipping.clip(grads)
+        clipped, norms = self.clipping.clip_with_norms(grads)
+        record_clipping(
+            self.recorder, grads, self.clipping.sensitivity(), norms=norms
+        )
         avg = clipped.mean(axis=0)
         noisy = perturb_geodp(
             avg,
@@ -83,6 +106,15 @@ class GeoDpAdamOptimizer(AdamOptimizer):
             clip=False,
             sensitivity_mode=self.sensitivity_mode,
         )
+        if self.recorder is not None:
+            record_release(
+                self.recorder,
+                avg,
+                noisy,
+                sigma=self.noise_multiplier,
+                sensitivity=self.clipping.sensitivity(),
+                extras=self._noise_split(len(avg), batch_size),
+            )
         self.last_noisy_gradient = noisy
         if self.accountant is not None:
             self.accountant.step(max(self.noise_multiplier, 1e-12), self.sample_rate)

@@ -8,6 +8,7 @@ optional selective update/release (SUR).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -73,6 +74,16 @@ class Trainer:
         Optional callable applied to each training batch's inputs (e.g. a
         :class:`repro.data.Augmenter`).  Label-preserving augmentation does
         not change the privacy analysis (one clipped gradient per sample).
+    telemetry:
+        Optional :class:`~repro.telemetry.MetricsRecorder`.  When given,
+        every iteration emits a :class:`~repro.telemetry.StepTrace` with the
+        phase timings (``sample`` / ``forward_backward`` / ``step``, plus the
+        optimizer's nested ``clip`` / ``noise`` spans) and the step's scalar
+        diagnostics.  If the optimizer has a ``recorder`` slot that is still
+        unset, the trainer attaches this recorder to it so DP release
+        geometry (noise-to-signal, angular deviation, ...) lands in the same
+        trace.  Telemetry never consumes randomness: instrumented runs are
+        bit-identical to uninstrumented ones.
     """
 
     def __init__(
@@ -91,6 +102,7 @@ class Trainer:
         augment=None,
         sampling: str = "uniform",
         microbatch_size: int | None = None,
+        telemetry=None,
     ):
         if batch_size < 1 or batch_size > len(train_data):
             raise ValueError(
@@ -132,6 +144,10 @@ class Trainer:
                     f"{type(optimizer).__name__} does not support gradient accumulation"
                 )
         self.microbatch_size = microbatch_size
+        self.telemetry = telemetry
+        if telemetry is not None and getattr(optimizer, "recorder", None) is None:
+            if hasattr(optimizer, "recorder"):
+                optimizer.recorder = telemetry
         if sur is not None:
             eval_n = min(sur_eval_size, len(train_data))
             eval_idx = self.rng.choice(len(train_data), size=eval_n, replace=False)
@@ -140,6 +156,10 @@ class Trainer:
             self._sur_eval = None
 
     # ------------------------------------------------------------------ steps
+    def _span(self, name: str):
+        """Telemetry span for one phase, or a no-op when telemetry is off."""
+        return self.telemetry.span(name) if self.telemetry is not None else nullcontext()
+
     def _draw_indices(self, n: int) -> np.ndarray:
         if self.sampling == "poisson":
             from repro.data.sampling import poisson_indices
@@ -153,13 +173,16 @@ class Trainer:
         losses: list[float] = []
         for start in range(0, len(idx), self.microbatch_size):
             chunk = idx[start : start + self.microbatch_size]
-            x, y = self.train_data.batch(chunk)
-            if self.augment is not None:
-                x = self.augment(x)
-            chunk_losses, grads = self.model.loss_and_per_sample_gradients(x, y)
+            with self._span("sample"):
+                x, y = self.train_data.batch(chunk)
+                if self.augment is not None:
+                    x = self.augment(x)
+            with self._span("forward_backward"):
+                chunk_losses, grads = self.model.loss_and_per_sample_gradients(x, y)
             total += self.optimizer.clipped_sum(grads)
             losses.extend(chunk_losses.tolist())
-        new_params = self.optimizer.step_presummed(params, total, len(idx))
+        with self._span("step"):
+            new_params = self.optimizer.step_presummed(params, total, len(idx))
         batch_loss = float(np.mean(losses)) if losses else float("nan")
         return new_params, batch_loss
 
@@ -169,44 +192,56 @@ class Trainer:
             idx = self._draw_indices(n)
             if self.microbatch_size is not None:
                 return self._accumulated_step(params, idx)
-            x, y = self.train_data.batch(idx)
-            if self.augment is not None and len(idx):
-                x = self.augment(x)
+            with self._span("sample"):
+                x, y = self.train_data.batch(idx)
+                if self.augment is not None and len(idx):
+                    x = self.augment(x)
             if len(idx):
-                losses, grads = self.model.loss_and_per_sample_gradients(x, y)
+                with self._span("forward_backward"):
+                    losses, grads = self.model.loss_and_per_sample_gradients(x, y)
                 batch_loss = float(np.mean(losses))
             else:
                 # Empty Poisson batch: the mechanism still releases pure
                 # noise (sum of zero clipped gradients plus Gaussian).
                 grads = np.zeros((0, self.model.num_params))
                 batch_loss = float("nan")
-            return self.optimizer.step(params, grads), batch_loss
+            with self._span("step"):
+                return self.optimizer.step(params, grads), batch_loss
         if self.importance_sampling is not None:
-            pool_size = min(self.pool_factor * self.batch_size, n)
-            pool_idx = minibatch_indices(n, pool_size, self.rng)
-            x, y = self.train_data.batch(pool_idx)
-            if self.augment is not None:
-                x = self.augment(x)
-            losses, grads = self.model.loss_and_per_sample_gradients(x, y)
+            with self._span("sample"):
+                pool_size = min(self.pool_factor * self.batch_size, n)
+                pool_idx = minibatch_indices(n, pool_size, self.rng)
+                x, y = self.train_data.batch(pool_idx)
+                if self.augment is not None:
+                    x = self.augment(x)
+            with self._span("forward_backward"):
+                losses, grads = self.model.loss_and_per_sample_gradients(x, y)
             norms = np.linalg.norm(grads, axis=1)
             chosen = self.importance_sampling.select(norms, self.batch_size, self.rng)
             losses, grads = losses[chosen], grads[chosen]
         else:
-            idx = minibatch_indices(n, self.batch_size, self.rng)
-            x, y = self.train_data.batch(idx)
-            if self.augment is not None:
-                x = self.augment(x)
-            losses, grads = self.model.loss_and_per_sample_gradients(x, y)
-        new_params = self.optimizer.step(params, grads)
+            with self._span("sample"):
+                idx = minibatch_indices(n, self.batch_size, self.rng)
+                x, y = self.train_data.batch(idx)
+                if self.augment is not None:
+                    x = self.augment(x)
+            with self._span("forward_backward"):
+                losses, grads = self.model.loss_and_per_sample_gradients(x, y)
+        with self._span("step"):
+            new_params = self.optimizer.step(params, grads)
         return new_params, float(np.mean(losses))
 
     def _mean_step(self, params: np.ndarray) -> tuple[np.ndarray, float]:
-        idx = minibatch_indices(len(self.train_data), self.batch_size, self.rng)
-        x, y = self.train_data.batch(idx)
-        if self.augment is not None:
-            x = self.augment(x)
-        loss, grad = self.model.loss_and_gradient(x, y)
-        return self.optimizer.step(params, grad), loss
+        with self._span("sample"):
+            idx = minibatch_indices(len(self.train_data), self.batch_size, self.rng)
+            x, y = self.train_data.batch(idx)
+            if self.augment is not None:
+                x = self.augment(x)
+        with self._span("forward_backward"):
+            loss, grad = self.model.loss_and_gradient(x, y)
+        with self._span("step"):
+            new_params = self.optimizer.step(params, grad)
+        return new_params, loss
 
     def train_epochs(self, num_epochs: int, *, eval_every: int = 0) -> TrainingHistory:
         """Convenience: run ``ceil(N / B) * num_epochs`` iterations."""
@@ -221,8 +256,11 @@ class Trainer:
             raise ValueError(f"num_iterations must be >= 1, got {num_iterations}")
         history = TrainingHistory()
         per_sample = getattr(self.optimizer, "requires_per_sample", False)
+        recorder = self.telemetry
 
         for iteration in range(1, num_iterations + 1):
+            if recorder is not None:
+                recorder.start_step(iteration)
             params = self.model.get_params()
             if self.sur is not None:
                 loss_before = self.model.mean_loss(*self._sur_eval)
@@ -235,18 +273,35 @@ class Trainer:
 
             if self.sur is not None:
                 loss_after = self.model.mean_loss(*self._sur_eval)
-                if not self.sur.should_accept(loss_before, loss_after):
+                accepted = self.sur.should_accept(loss_before, loss_after)
+                if not accepted:
                     self.model.set_params(params)  # roll back rejected update
+                if recorder is not None:
+                    recorder.record("sur_accepted", float(accepted))
+                    recorder.increment(
+                        "sur_accepted" if accepted else "sur_rejected"
+                    )
 
             history.losses.append(batch_loss)
             history.iterations = iteration
             if eval_every and self.test_data is not None and iteration % eval_every == 0:
-                history.test_accuracy.append((iteration, self.evaluate()))
+                with self._span("eval"):
+                    history.test_accuracy.append((iteration, self.evaluate()))
+                if recorder is not None:
+                    recorder.record("test_accuracy", history.test_accuracy[-1][1])
+            if recorder is not None:
+                recorder.record("loss", batch_loss)
+                recorder.increment("iterations")
+                recorder.end_step()
 
         if eval_every and self.test_data is not None and (
             not history.test_accuracy or history.test_accuracy[-1][0] != num_iterations
         ):
             history.test_accuracy.append((num_iterations, self.evaluate()))
+            if recorder is not None:
+                recorder.record(
+                    "test_accuracy", history.test_accuracy[-1][1], step=num_iterations
+                )
         if self.sur is not None:
             history.sur_acceptance_rate = self.sur.acceptance_rate
         return history

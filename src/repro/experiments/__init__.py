@@ -26,6 +26,7 @@ from repro.experiments.theory_validation import (
 from repro.experiments.privacy_utility import run_privacy_utility, format_privacy_utility
 from repro.experiments.mia import run_mia, format_mia
 from repro.experiments.concentration import run_concentration, format_concentration
+from repro.experiments.trace import run_trace, format_trace
 
 __all__ = [
     "run_fig1",
@@ -50,4 +51,6 @@ __all__ = [
     "format_mia",
     "run_concentration",
     "format_concentration",
+    "run_trace",
+    "format_trace",
 ]

@@ -4,12 +4,14 @@ Usage::
 
     python -m repro.experiments.cli fig1 --scale ci --seed 0
     python -m repro.experiments.cli all --scale smoke
+    python -m repro.experiments.cli trace --telemetry out.jsonl
     python -m repro.experiments.cli list
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -25,6 +27,7 @@ from repro.experiments import (
     format_table2,
     format_table3,
     format_theory_validation,
+    format_trace,
     run_fig1,
     run_fig3,
     run_fig4,
@@ -36,6 +39,7 @@ from repro.experiments import (
     run_table2,
     run_table3,
     run_theory_validation,
+    run_trace,
 )
 
 EXPERIMENTS = {
@@ -66,6 +70,11 @@ EXPERIMENTS = {
         format_concentration,
         "Extension: Theorem 3's direction concentration on real gradients",
     ),
+    "trace": (
+        run_trace,
+        format_trace,
+        "Telemetry: instrumented DP-SGD vs GeoDP run (supports --telemetry)",
+    ),
 }
 
 
@@ -86,16 +95,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="parameter preset (default: smoke)",
     )
     parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a JSONL telemetry trace to PATH (experiments whose runner "
+            "has no telemetry support ignore the flag with a notice)"
+        ),
+    )
     return parser
 
 
-def run_one(name: str, scale: str, seed: int) -> str:
+def supports_telemetry(name: str) -> bool:
+    """Whether an experiment's runner accepts a ``telemetry=`` path."""
+    run, _, _ = EXPERIMENTS[name]
+    return "telemetry" in inspect.signature(run).parameters
+
+
+def run_one(name: str, scale: str, seed: int, telemetry: str | None = None) -> str:
     """Run one experiment and return its formatted table."""
     run, fmt, _ = EXPERIMENTS[name]
+    notice = ""
+    kwargs = {}
+    if telemetry is not None:
+        if supports_telemetry(name):
+            kwargs["telemetry"] = telemetry
+        else:
+            notice = f"[{name} does not support --telemetry; flag ignored]\n"
     start = time.perf_counter()
-    result = run(scale, rng=seed)
+    result = run(scale, rng=seed, **kwargs)
     elapsed = time.perf_counter() - start
-    return f"{fmt(result)}\n[{name} completed in {elapsed:.1f}s]"
+    return f"{notice}{fmt(result)}\n[{name} completed in {elapsed:.1f}s]"
 
 
 def main(argv=None) -> int:
@@ -106,7 +137,7 @@ def main(argv=None) -> int:
         return 0
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        print(run_one(name, args.scale, args.seed))
+        print(run_one(name, args.scale, args.seed, telemetry=args.telemetry))
         print()
     return 0
 

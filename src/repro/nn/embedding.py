@@ -35,7 +35,8 @@ class Embedding(Layer):
         if not np.issubdtype(tokens.dtype, np.integer):
             if not np.allclose(tokens, np.round(tokens)):
                 raise ValueError("token ids must be integers")
-            tokens = tokens.astype(np.int64)
+            # Round, don't truncate: 2.999999 must map to token 3.
+            tokens = np.round(tokens).astype(np.int64)
         if tokens.min(initial=0) < 0 or tokens.max(initial=0) >= self.vocab_size:
             raise ValueError(f"token ids must lie in [0, {self.vocab_size})")
         if train:

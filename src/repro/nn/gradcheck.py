@@ -49,6 +49,8 @@ class GradCheckReport:
     param_errors: dict[str, float] = field(default_factory=dict)
     #: Maximum per-sample-vs-summed inconsistency per parameter.
     per_sample_errors: dict[str, float] = field(default_factory=dict)
+    #: Maximum error of one sample's gradient vs finite differences.
+    per_sample_fd_errors: dict[str, float] = field(default_factory=dict)
 
     def __str__(self) -> str:
         lines = [f"GradCheck {'PASSED' if self.passed else 'FAILED'}"]
@@ -57,6 +59,8 @@ class GradCheckReport:
             lines.append(f"  d/d{name} max error: {err:.3e}")
         for name, err in self.per_sample_errors.items():
             lines.append(f"  per-sample({name}) max inconsistency: {err:.3e}")
+        for name, err in self.per_sample_fd_errors.items():
+            lines.append(f"  per-sample-fd({name}) max error: {err:.3e}")
         return "\n".join(lines)
 
 
@@ -67,16 +71,29 @@ def check_layer(
     atol: float = 1e-5,
     rng=None,
     check_per_sample: bool = True,
+    train: bool = False,
 ) -> GradCheckReport:
     """Verify a layer's backward pass numerically.
 
     Checks (1) the input gradient against central differences of
     ``sum(forward(x) * R)`` for a random cotangent ``R``, (2) every
-    parameter gradient the same way, and (3) that per-sample parameter
-    gradients sum to the batch gradients.
+    parameter gradient the same way, (3) that per-sample parameter
+    gradients sum to the batch gradients, and (4) that the *first sample's*
+    per-sample gradient matches central differences of that sample's own
+    contribution ``sum(forward(x)[0] * R[0])`` — the quantity DP-SGD clips.
+
+    ``train`` selects the forward mode used for the numerical evaluations.
+    The default ``False`` is right for layers whose train and eval paths
+    agree; pass ``True`` for layers that differentiate through train-only
+    statistics (e.g. ``BatchNorm2d``, whose train-mode gradient flows
+    through the batch mean/var).  Train-mode checking requires the train
+    forward to be deterministic, so it cannot be combined with active
+    dropout.  Check (4) assumes sample outputs depend only on their own
+    input (true for everything here except ``BatchNorm2d``, which refuses
+    per-sample gradients anyway).
 
     The layer must follow the :class:`repro.nn.Layer` contract.  Stateless
-    layers simply skip checks (2) and (3).
+    layers simply skip checks (2)-(4).
     """
     rng = as_rng(rng)
     x = np.asarray(x, dtype=np.float64)
@@ -86,7 +103,7 @@ def check_layer(
     grad_in, grads = layer.backward(cotangent, per_sample=False)
 
     def scalar(x_):
-        return float(np.sum(layer.forward(x_, train=False) * cotangent))
+        return float(np.sum(layer.forward(x_, train=train) * cotangent))
 
     input_error = float(
         np.abs(grad_in - numerical_gradient(scalar, x.copy())).max()
@@ -99,7 +116,7 @@ def check_layer(
 
         def param_scalar(p, _name=name, _orig=original):
             layer.set_param(_name, p)
-            value = float(np.sum(layer.forward(x, train=False) * cotangent))
+            value = float(np.sum(layer.forward(x, train=train) * cotangent))
             layer.set_param(_name, _orig)
             return value
 
@@ -109,6 +126,7 @@ def check_layer(
         passed = passed and err <= atol
 
     per_sample_errors: dict[str, float] = {}
+    per_sample_fd_errors: dict[str, float] = {}
     if check_per_sample and layer.params():
         layer.forward(x, train=True)
         _, per_sample = layer.backward(cotangent, per_sample=True)
@@ -119,4 +137,22 @@ def check_layer(
             per_sample_errors[name] = err
             passed = passed and err <= max(atol, 1e-8)
 
-    return GradCheckReport(passed, input_error, param_errors, per_sample_errors)
+        for name, param in layer.params().items():
+            original = param.copy()
+
+            def sample_scalar(p, _name=name, _orig=original):
+                layer.set_param(_name, p)
+                value = float(
+                    np.sum(layer.forward(x, train=train)[0] * cotangent[0])
+                )
+                layer.set_param(_name, _orig)
+                return value
+
+            num = numerical_gradient(sample_scalar, original.copy())
+            err = float(np.abs(per_sample[name][0] - num).max())
+            per_sample_fd_errors[name] = err
+            passed = passed and err <= atol
+
+    return GradCheckReport(
+        passed, input_error, param_errors, per_sample_errors, per_sample_fd_errors
+    )

@@ -46,6 +46,15 @@ class ClippingStrategy:
 
     def clip(self, per_sample_grads) -> np.ndarray:
         """Return clipped per-sample gradients with norms <= :meth:`sensitivity`."""
+        return self.clip_with_norms(per_sample_grads)[0]
+
+    def clip_with_norms(self, per_sample_grads) -> tuple[np.ndarray, np.ndarray]:
+        """Clip and also return the *pre-clip* per-sample L2 norms.
+
+        The norms are a byproduct of every strategy's own computation;
+        returning them lets telemetry record clipping statistics without a
+        second pass over the ``(B, d)`` gradient matrix.
+        """
         raise NotImplementedError
 
     def sensitivity(self) -> float:
@@ -54,7 +63,9 @@ class ClippingStrategy:
 
     @staticmethod
     def _norms(grads: np.ndarray) -> np.ndarray:
-        return np.linalg.norm(grads, axis=1)
+        # Row norms on the hot path: single-pass einsum is ~3x faster than
+        # np.linalg.norm(axis=1) on large per-sample gradient matrices.
+        return np.sqrt(np.einsum("ij,ij->i", grads, grads))
 
 
 class FlatClipping(ClippingStrategy):
@@ -63,11 +74,11 @@ class FlatClipping(ClippingStrategy):
     def __init__(self, clip_norm: float):
         self.clip_norm = check_positive("clip_norm", clip_norm)
 
-    def clip(self, per_sample_grads) -> np.ndarray:
+    def clip_with_norms(self, per_sample_grads) -> tuple[np.ndarray, np.ndarray]:
         grads = check_matrix("per_sample_grads", per_sample_grads)
         norms = self._norms(grads)
         scale = 1.0 / np.maximum(1.0, norms / self.clip_norm)
-        return grads * scale[:, None]
+        return grads * scale[:, None], norms
 
     def sensitivity(self) -> float:
         return self.clip_norm
@@ -89,11 +100,11 @@ class AutoSClipping(ClippingStrategy):
         self.clip_norm = check_positive("clip_norm", clip_norm)
         self.gamma = check_positive("gamma", gamma)
 
-    def clip(self, per_sample_grads) -> np.ndarray:
+    def clip_with_norms(self, per_sample_grads) -> tuple[np.ndarray, np.ndarray]:
         grads = check_matrix("per_sample_grads", per_sample_grads)
         norms = self._norms(grads)
         scale = self.clip_norm / (norms + self.gamma)
-        return grads * scale[:, None]
+        return grads * scale[:, None], norms
 
     def sensitivity(self) -> float:
         return self.clip_norm
@@ -116,12 +127,12 @@ class PsacClipping(ClippingStrategy):
         self.clip_norm = check_positive("clip_norm", clip_norm)
         self.gamma = check_positive("gamma", gamma)
 
-    def clip(self, per_sample_grads) -> np.ndarray:
+    def clip_with_norms(self, per_sample_grads) -> tuple[np.ndarray, np.ndarray]:
         grads = check_matrix("per_sample_grads", per_sample_grads)
         norms = self._norms(grads)
         # ||clipped|| = C * ||g||^2 / (||g||^2 + gamma) < C
         scale = self.clip_norm * norms / (norms**2 + self.gamma)
-        return grads * scale[:, None]
+        return grads * scale[:, None], norms
 
     def sensitivity(self) -> float:
         return self.clip_norm
@@ -162,7 +173,7 @@ class AdaptiveQuantileClipping(ClippingStrategy):
         #: Threshold trajectory, one value per clip() call (before update).
         self.history: list[float] = []
 
-    def clip(self, per_sample_grads) -> np.ndarray:
+    def clip_with_norms(self, per_sample_grads) -> tuple[np.ndarray, np.ndarray]:
         grads = check_matrix("per_sample_grads", per_sample_grads)
         norms = self._norms(grads)
         scale = 1.0 / np.maximum(1.0, norms / self.clip_norm)
@@ -175,7 +186,7 @@ class AdaptiveQuantileClipping(ClippingStrategy):
         self.clip_norm *= float(
             np.exp(-self.learning_rate * (fraction_below - self.target_quantile))
         )
-        return clipped
+        return clipped, norms
 
     def sensitivity(self) -> float:
         """Sensitivity of the *next* release (the threshold used last)."""
@@ -213,22 +224,24 @@ class PerLayerClipping(ClippingStrategy):
                 f"{len(self.blocks)} blocks but {len(self.clip_norms)} thresholds"
             )
 
-    def clip(self, per_sample_grads) -> np.ndarray:
+    def clip_with_norms(self, per_sample_grads) -> tuple[np.ndarray, np.ndarray]:
         grads = check_matrix("per_sample_grads", per_sample_grads)
         out = grads.copy()
         covered = 0
+        total_sq = np.zeros(grads.shape[0])
         for block, clip_norm in zip(self.blocks, self.clip_norms):
             part = grads[:, block]
             covered += part.shape[1]
-            norms = np.linalg.norm(part, axis=1)
-            scale = 1.0 / np.maximum(1.0, norms / clip_norm)
+            norms_sq = np.einsum("ij,ij->i", part, part)
+            total_sq += norms_sq
+            scale = 1.0 / np.maximum(1.0, np.sqrt(norms_sq) / clip_norm)
             out[:, block] = part * scale[:, None]
         if covered != grads.shape[1]:
             raise ValueError(
                 f"blocks cover {covered} of {grads.shape[1]} coordinates; "
                 "per-layer clipping requires a full partition"
             )
-        return out
+        return out, np.sqrt(total_sq)
 
     def sensitivity(self) -> float:
         return float(np.sqrt(np.sum(np.square(self.clip_norms))))

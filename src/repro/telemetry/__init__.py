@@ -1,0 +1,36 @@
+"""Telemetry for DP training runs: metrics, step traces, JSONL export.
+
+The paper's analysis is geometric — what matters per step is not just the
+loss but *where the released gradient points* relative to the true one.
+This package gives the trainer and the DP optimizers a shared, optional
+recorder so those per-step quantities (pre/post-clip norms, clipped
+fraction, noise-to-signal ratio, angular deviation, GeoDP's noise split)
+become first-class observable series, exportable to JSONL and assertable in
+tests.  Telemetry is strictly opt-in: nothing is recorded (and no overhead
+is paid) unless a :class:`MetricsRecorder` is passed in.
+"""
+
+from repro.telemetry.diagnostics import (
+    clip_diagnostics,
+    record_clipping,
+    record_release,
+    release_diagnostics,
+)
+from repro.telemetry.events import StepTrace
+from repro.telemetry.export import export_trace, load_trace, load_traces
+from repro.telemetry.recorder import MetricsRecorder
+from repro.telemetry.report import metric_summary, summarize
+
+__all__ = [
+    "MetricsRecorder",
+    "StepTrace",
+    "clip_diagnostics",
+    "release_diagnostics",
+    "record_clipping",
+    "record_release",
+    "export_trace",
+    "load_trace",
+    "load_traces",
+    "metric_summary",
+    "summarize",
+]

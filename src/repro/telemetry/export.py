@@ -1,0 +1,107 @@
+"""JSONL export/import of telemetry traces.
+
+One exported recorder becomes a block of lines, each a JSON object with a
+``kind`` discriminator and a ``run`` label (so several runs — e.g. a DP-SGD
+and a GeoDP training at equal budget — can share one file):
+
+``{"kind": "meta", "version": 1, "run": "dpsgd"}``
+    header of one run's block;
+``{"kind": "step", "run": ..., "iteration": ..., "metrics": {...}, "timings": {...}}``
+    one :class:`~repro.telemetry.events.StepTrace` per training iteration;
+``{"kind": "series", "run": ..., "name": ..., "points": [[step, value], ...]}``
+    one line per scalar series;
+``{"kind": "counters"|"timers", "run": ..., "values": {...}}``
+    the run's counters and accumulated span times.
+
+The loader rebuilds :class:`~repro.telemetry.recorder.MetricsRecorder`
+instances exactly, so ``load_trace(export_trace(...))`` round-trips.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.events import StepTrace
+from repro.telemetry.recorder import MetricsRecorder
+from repro.utils.serialization import load_jsonl, save_jsonl
+
+__all__ = ["export_trace", "load_trace", "load_traces", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def _lines(recorder: MetricsRecorder, run: str):
+    yield {"kind": "meta", "version": FORMAT_VERSION, "run": run}
+    for event in recorder.events:
+        yield {"kind": "step", "run": run, **event.to_dict()}
+    for name, points in recorder.series.items():
+        yield {
+            "kind": "series",
+            "run": run,
+            "name": name,
+            "points": [[int(s), float(v)] for s, v in points],
+        }
+    yield {"kind": "counters", "run": run, "values": dict(recorder.counters)}
+    yield {"kind": "timers", "run": run, "values": dict(recorder.timers)}
+
+
+def export_trace(path, recorder: MetricsRecorder, *, run: str = "default", append: bool = False) -> None:
+    """Write ``recorder`` to ``path`` as one JSONL block labelled ``run``.
+
+    ``append=True`` adds another run's block to an existing trace file;
+    labels within one file must be unique for :func:`load_traces` to keep
+    them apart.
+    """
+    save_jsonl(path, _lines(recorder, run), append=append)
+
+
+def load_traces(path) -> dict[str, MetricsRecorder]:
+    """Load every run block in a trace file, keyed by run label."""
+    recorders: dict[str, MetricsRecorder] = {}
+    for record in load_jsonl(path):
+        kind = record.get("kind")
+        run = record.get("run", "default")
+        if kind == "meta":
+            version = record.get("version")
+            if version != FORMAT_VERSION:
+                raise ValueError(f"unsupported trace format version {version!r}")
+            if run in recorders:
+                raise ValueError(f"duplicate run label {run!r} in {path}")
+            recorders[run] = MetricsRecorder()
+            continue
+        if run not in recorders:
+            raise ValueError(f"line of kind {kind!r} before meta line for run {run!r}")
+        recorder = recorders[run]
+        if kind == "step":
+            recorder.events.append(StepTrace.from_dict(record))
+        elif kind == "series":
+            recorder.series[record["name"]] = [
+                (int(s), float(v)) for s, v in record["points"]
+            ]
+        elif kind == "counters":
+            recorder.counters.update(record["values"])
+        elif kind == "timers":
+            recorder.timers.update(
+                {k: float(v) for k, v in record["values"].items()}
+            )
+        else:
+            raise ValueError(f"unknown trace line kind {kind!r}")
+    return recorders
+
+
+def load_trace(path, run: str | None = None) -> MetricsRecorder:
+    """Load a single run from a trace file.
+
+    With ``run=None`` the file must contain exactly one run; otherwise the
+    requested label is selected.
+    """
+    recorders = load_traces(path)
+    if not recorders:
+        raise ValueError(f"no trace blocks found in {path}")
+    if run is None:
+        if len(recorders) != 1:
+            raise ValueError(
+                f"{path} holds runs {sorted(recorders)}; pass run=... to pick one"
+            )
+        return next(iter(recorders.values()))
+    if run not in recorders:
+        raise ValueError(f"run {run!r} not in {path} (has {sorted(recorders)})")
+    return recorders[run]

@@ -1,0 +1,109 @@
+"""Lightweight metrics recorder for training runs.
+
+A :class:`MetricsRecorder` collects three kinds of telemetry:
+
+* **scalar series** — ``record(name, value)`` appends ``(step, value)``
+  points, e.g. per-iteration loss or noise-to-signal ratio;
+* **counters** — ``increment(name)`` for monotone event counts;
+* **timers** — ``with recorder.span(name):`` accumulates wall-clock seconds
+  per phase; spans may nest (outer spans include inner time).
+
+While a step is open (:meth:`start_step` / :meth:`end_step`) every recorded
+scalar and span is additionally attached to that step's
+:class:`~repro.telemetry.events.StepTrace`, giving a per-iteration event
+stream alongside the flat series.
+
+The recorder never touches any random state, so an instrumented run is
+bit-identical to an uninstrumented one; telemetry is off unless a recorder
+is explicitly passed to the trainer/optimizers.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.telemetry.events import StepTrace
+
+__all__ = ["MetricsRecorder"]
+
+
+class MetricsRecorder:
+    """In-memory telemetry sink for one training run."""
+
+    def __init__(self):
+        #: ``name -> [(step, value), ...]`` scalar series.
+        self.series: dict[str, list[tuple[int, float]]] = {}
+        #: ``name -> count`` monotone counters.
+        self.counters: dict[str, float] = {}
+        #: ``name -> accumulated seconds`` wall-clock timers.
+        self.timers: dict[str, float] = {}
+        #: Closed per-iteration events, in order.
+        self.events: list[StepTrace] = []
+        self._open_step: StepTrace | None = None
+
+    # ------------------------------------------------------------- scalars
+    def record(self, name: str, value, *, step: int | None = None) -> None:
+        """Append one ``(step, value)`` point to the series ``name``.
+
+        ``step`` defaults to the open step's iteration, or to the series
+        length when no step is open.  While a step is open the value is also
+        stored in that step's ``metrics`` (last write wins within a step).
+        """
+        value = float(value)
+        if self._open_step is not None:
+            self._open_step.metrics[name] = value
+            if step is None:
+                step = self._open_step.iteration
+        points = self.series.setdefault(name, [])
+        if step is None:
+            step = len(points)
+        points.append((int(step), value))
+
+    def values(self, name: str) -> list[float]:
+        """The values of series ``name`` (empty list if never recorded)."""
+        return [v for _, v in self.series.get(name, [])]
+
+    def increment(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    # -------------------------------------------------------------- timers
+    @contextmanager
+    def span(self, name: str):
+        """Context manager timing one phase; accumulates into ``timers``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.timers[name] = self.timers.get(name, 0.0) + elapsed
+            if self._open_step is not None:
+                step = self._open_step
+                step.timings[name] = step.timings.get(name, 0.0) + elapsed
+
+    # --------------------------------------------------------------- steps
+    def start_step(self, iteration: int) -> StepTrace:
+        """Open the :class:`StepTrace` for ``iteration``."""
+        if self._open_step is not None:
+            raise RuntimeError(
+                f"step {self._open_step.iteration} is still open; "
+                "call end_step() first"
+            )
+        self._open_step = StepTrace(int(iteration))
+        return self._open_step
+
+    def end_step(self) -> StepTrace:
+        """Close the open step and append it to ``events``."""
+        if self._open_step is None:
+            raise RuntimeError("no step is open; call start_step() first")
+        step, self._open_step = self._open_step, None
+        self.events.append(step)
+        return step
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRecorder(series={len(self.series)}, "
+            f"counters={len(self.counters)}, timers={len(self.timers)}, "
+            f"events={len(self.events)})"
+        )

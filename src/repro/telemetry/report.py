@@ -1,0 +1,65 @@
+"""Summary tables over recorded telemetry.
+
+Turns a :class:`~repro.telemetry.recorder.MetricsRecorder` into the compact
+plain-text report the experiments CLI prints after a ``--telemetry`` run:
+per-metric summary statistics, phase timings with shares, and counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.tables import format_table
+
+__all__ = ["metric_summary", "summarize"]
+
+
+def metric_summary(recorder, name: str) -> dict[str, float]:
+    """Count / mean / min / max / last of one scalar series."""
+    values = recorder.values(name)
+    if not values:
+        raise KeyError(f"no series named {name!r} recorded")
+    arr = np.asarray(values, dtype=np.float64)
+    finite = arr[np.isfinite(arr)]
+    stats = finite if finite.size else arr
+    return {
+        "count": float(arr.size),
+        "mean": float(stats.mean()),
+        "min": float(stats.min()),
+        "max": float(stats.max()),
+        "last": float(arr[-1]),
+    }
+
+
+def summarize(recorder, *, title: str | None = None) -> str:
+    """Render a recorder's series, timers and counters as text tables."""
+    sections: list[str] = []
+    if recorder.series:
+        rows = []
+        for name in sorted(recorder.series):
+            stats = metric_summary(recorder, name)
+            rows.append(
+                [name, int(stats["count"]), stats["mean"], stats["min"], stats["max"], stats["last"]]
+            )
+        sections.append(
+            format_table(
+                ["metric", "n", "mean", "min", "max", "last"], rows, title=title
+            )
+        )
+    if recorder.timers:
+        # Only top-level shares are meaningful (spans nest), so report raw
+        # totals and the share of the largest accumulated span.
+        largest = max(recorder.timers.values())
+        rows = [
+            [name, total, (total / largest if largest > 0 else 0.0)]
+            for name, total in sorted(
+                recorder.timers.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        sections.append(format_table(["span", "seconds", "vs longest"], rows))
+    if recorder.counters:
+        rows = [[name, value] for name, value in sorted(recorder.counters.items())]
+        sections.append(format_table(["counter", "total"], rows))
+    if not sections:
+        return "(no telemetry recorded)"
+    return "\n\n".join(sections)

@@ -12,7 +12,14 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["save_checkpoint", "load_checkpoint", "save_history", "load_history"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_history",
+    "load_history",
+    "save_jsonl",
+    "load_jsonl",
+]
 
 _FORMAT_VERSION = 1
 
@@ -88,3 +95,34 @@ def load_history(path):
         sur_acceptance_rate=payload["sur_acceptance_rate"],
     )
     return history
+
+
+def save_jsonl(path, records, *, append: bool = False) -> None:
+    """Write an iterable of JSON-serialisable dicts as one-object-per-line.
+
+    JSONL is the interchange format of the telemetry subsystem
+    (:mod:`repro.telemetry.export`): it streams, appends cheaply and is
+    greppable.  ``append=True`` adds to an existing file instead of
+    truncating it.
+    """
+    path = Path(path)
+    mode = "a" if append else "w"
+    with path.open(mode, encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, separators=(",", ":")))
+            handle.write("\n")
+
+
+def load_jsonl(path) -> list[dict]:
+    """Read a JSONL file back into a list of dicts (blank lines skipped)."""
+    path = Path(path)
+    records = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: invalid JSONL line: {exc}") from exc
+    return records

@@ -152,6 +152,74 @@ class TestTechniquesIntegration:
         assert len(trainer.train(8).losses) == 8
 
 
+class TestTrainingHistoryEdgeCases:
+    def test_defaults(self):
+        from repro.core import TrainingHistory
+
+        history = TrainingHistory()
+        assert history.iterations == 0
+        assert history.losses == []
+        assert history.test_accuracy == []
+        assert history.sur_acceptance_rate is None
+
+    def test_final_properties_return_last_values(self):
+        from repro.core import TrainingHistory
+
+        history = TrainingHistory(
+            losses=[2.0, 1.0], test_accuracy=[(5, 0.4), (10, 0.6)]
+        )
+        assert history.final_loss == 1.0
+        assert history.final_accuracy == 0.6
+
+    def test_iterations_matches_losses(self, small_data):
+        train, _ = small_data
+        trainer = Trainer(lr_model(), SgdOptimizer(1.0), train, batch_size=64, rng=1)
+        for n in (1, 7):
+            history = trainer.train(n)
+            assert history.iterations == n == len(history.losses)
+
+    def test_no_eval_means_final_accuracy_raises(self, small_data):
+        """eval_every=0 records no accuracy even when test data is attached."""
+        train, test = small_data
+        trainer = Trainer(
+            lr_model(), SgdOptimizer(1.0), train, test_data=test, batch_size=64, rng=1
+        )
+        history = trainer.train(3)
+        assert history.test_accuracy == []
+        with pytest.raises(ValueError, match="accuracy"):
+            history.final_accuracy
+
+    def test_sur_rate_none_without_sur(self, small_data):
+        train, _ = small_data
+        trainer = Trainer(lr_model(), SgdOptimizer(1.0), train, batch_size=64, rng=1)
+        assert trainer.train(2).sur_acceptance_rate is None
+
+    def test_sur_rate_is_one_before_any_decision(self):
+        assert SelectiveUpdateRelease().acceptance_rate == 1.0
+
+    def test_sur_rate_matches_counters(self, small_data):
+        train, _ = small_data
+        sur = SelectiveUpdateRelease(threshold=0.0)
+        opt = DpSgdOptimizer(5.0, 0.1, 50.0, rng=2)
+        history = Trainer(
+            lr_model(), opt, train, batch_size=32, rng=1, sur=sur
+        ).train(12)
+        assert history.sur_acceptance_rate == sur.accepted / 12
+        assert sur.accepted + sur.rejected == 12
+
+    def test_sur_rate_accumulates_across_train_calls(self, small_data):
+        """The SUR object owns the counters, so a reused trainer reports the
+        cumulative rate — callers wanting a fresh rate pass a fresh SUR."""
+        train, _ = small_data
+        sur = SelectiveUpdateRelease(threshold=0.0)
+        opt = DpSgdOptimizer(5.0, 0.1, 50.0, rng=2)
+        trainer = Trainer(lr_model(), opt, train, batch_size=32, rng=1, sur=sur)
+        trainer.train(5)
+        history = trainer.train(5)
+        assert sur.accepted + sur.rejected == 10
+        assert history.sur_acceptance_rate == sur.accepted / 10
+
+
 class TestTrainerExtensions:
     def test_augmentation_hook_applied(self, small_data):
         train, _ = small_data

@@ -147,3 +147,38 @@ class TestAdaptiveQuantileClipping:
         a.clip(grads)
         b.clip(grads)
         assert a.clip_norm == b.clip_norm
+
+
+class TestClipWithNorms:
+    """clip() is now a view onto clip_with_norms(); the returned norms must
+    be the exact pre-clip per-sample L2 norms for every strategy."""
+
+    @pytest.mark.parametrize(
+        "clipper",
+        [
+            FlatClipping(0.5),
+            AutoSClipping(0.5),
+            PsacClipping(0.5),
+            AdaptiveQuantileClipping(0.5),
+        ],
+        ids=lambda c: type(c).__name__,
+    )
+    def test_norms_match_pre_clip_norms(self, clipper, rng):
+        grads = rng.normal(size=(12, 7))
+        clipped, returned = clipper.clip_with_norms(grads)
+        assert np.allclose(returned, norms(grads))
+        assert clipped.shape == grads.shape
+
+    def test_clip_equals_clip_with_norms(self, rng):
+        grads = rng.normal(size=(12, 7))
+        assert np.array_equal(
+            FlatClipping(0.5).clip(grads), FlatClipping(0.5).clip_with_norms(grads)[0]
+        )
+
+    def test_per_layer_returns_total_norms(self, rng):
+        from repro.privacy import PerLayerClipping
+
+        grads = rng.normal(size=(6, 10))
+        clipper = PerLayerClipping([slice(0, 4), slice(4, 10)], 0.3)
+        _, returned = clipper.clip_with_norms(grads)
+        assert np.allclose(returned, norms(grads))

@@ -1,0 +1,143 @@
+"""Tests for MetricsRecorder, StepTrace and the summary reporter."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.telemetry import MetricsRecorder, StepTrace, metric_summary, summarize
+
+
+class TestSeries:
+    def test_record_appends_points(self):
+        rec = MetricsRecorder()
+        rec.record("loss", 2.0)
+        rec.record("loss", 1.5)
+        assert rec.series["loss"] == [(0, 2.0), (1, 1.5)]
+        assert rec.values("loss") == [2.0, 1.5]
+
+    def test_explicit_step(self):
+        rec = MetricsRecorder()
+        rec.record("acc", 0.5, step=10)
+        assert rec.series["acc"] == [(10, 0.5)]
+
+    def test_values_of_unknown_series_empty(self):
+        assert MetricsRecorder().values("nope") == []
+
+    def test_values_are_floats(self):
+        rec = MetricsRecorder()
+        rec.record("x", np.float32(1.25))
+        assert isinstance(rec.values("x")[0], float)
+
+
+class TestCounters:
+    def test_increment(self):
+        rec = MetricsRecorder()
+        rec.increment("steps")
+        rec.increment("steps", 2)
+        assert rec.counters["steps"] == 3
+
+
+class TestSpans:
+    def test_span_accumulates(self):
+        rec = MetricsRecorder()
+        with rec.span("phase"):
+            time.sleep(0.01)
+        with rec.span("phase"):
+            pass
+        assert rec.timers["phase"] >= 0.01
+
+    def test_nested_spans_both_counted(self):
+        rec = MetricsRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                time.sleep(0.005)
+        assert rec.timers["outer"] >= rec.timers["inner"] >= 0.005
+
+    def test_span_records_on_exception(self):
+        rec = MetricsRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("boom"):
+                raise RuntimeError("x")
+        assert "boom" in rec.timers
+
+
+class TestSteps:
+    def test_step_captures_metrics_and_timings(self):
+        rec = MetricsRecorder()
+        rec.start_step(1)
+        rec.record("loss", 3.0)
+        with rec.span("clip"):
+            pass
+        step = rec.end_step()
+        assert step.iteration == 1
+        assert step.metrics == {"loss": 3.0}
+        assert "clip" in step.timings
+        assert rec.events == [step]
+        # The flat series got the same point, keyed by the iteration.
+        assert rec.series["loss"] == [(1, 3.0)]
+
+    def test_double_start_raises(self):
+        rec = MetricsRecorder()
+        rec.start_step(1)
+        with pytest.raises(RuntimeError, match="still open"):
+            rec.start_step(2)
+
+    def test_end_without_start_raises(self):
+        with pytest.raises(RuntimeError, match="no step is open"):
+            MetricsRecorder().end_step()
+
+    def test_last_write_wins_within_step(self):
+        rec = MetricsRecorder()
+        rec.start_step(5)
+        rec.record("x", 1.0)
+        rec.record("x", 2.0)
+        step = rec.end_step()
+        assert step.metrics["x"] == 2.0
+        assert rec.values("x") == [1.0, 2.0]  # series keeps both points
+
+
+class TestStepTrace:
+    def test_round_trip_dict(self):
+        step = StepTrace(3, metrics={"loss": 1.0}, timings={"clip": 0.5})
+        assert StepTrace.from_dict(step.to_dict()) == step
+
+    def test_from_dict_defaults(self):
+        step = StepTrace.from_dict({"iteration": 7})
+        assert step == StepTrace(7)
+
+
+class TestReport:
+    def test_metric_summary(self):
+        rec = MetricsRecorder()
+        for v in (1.0, 3.0, 2.0):
+            rec.record("loss", v)
+        stats = metric_summary(rec, "loss")
+        assert stats["count"] == 3
+        assert stats["mean"] == 2.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        assert stats["last"] == 2.0
+
+    def test_metric_summary_ignores_nan(self):
+        rec = MetricsRecorder()
+        rec.record("loss", float("nan"))
+        rec.record("loss", 4.0)
+        assert metric_summary(rec, "loss")["mean"] == 4.0
+
+    def test_metric_summary_unknown_raises(self):
+        with pytest.raises(KeyError):
+            metric_summary(MetricsRecorder(), "nope")
+
+    def test_summarize_contains_sections(self):
+        rec = MetricsRecorder()
+        rec.record("loss", 1.0)
+        rec.increment("steps")
+        with rec.span("clip"):
+            pass
+        text = summarize(rec, title="demo")
+        assert "demo" in text
+        assert "loss" in text and "clip" in text and "steps" in text
+
+    def test_summarize_empty(self):
+        assert "no telemetry" in summarize(MetricsRecorder())
