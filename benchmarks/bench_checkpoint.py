@@ -1,0 +1,140 @@
+"""Checkpointing overhead benchmarks.
+
+Periodic snapshots are only viable if they cost almost nothing amortised
+over training: the headline check trains the paper's MNIST-like
+logistic-regression workload for 200 DP-SGD iterations with and without
+``checkpoint_every=50`` and asserts the checkpointed run is less than 5%
+slower.  Micro-benchmarks cover the snapshot save/load primitives.
+
+Measurement notes: same interleaved-chunk methodology as
+``bench_telemetry.py`` — wall-clock noise on shared machines is one-sided,
+so the two variants alternate in chunks and the overhead claim is checked
+against the smaller of two robust estimators (ratio of per-variant chunk
+minima, median of adjacent-pair chunk ratios).  Each chunk is one
+``train()`` call of ``CHUNK`` iterations with ``resume=False`` (iteration
+numbering restarts per call, so resuming would skip the work being timed);
+``CHUNK == checkpoint_every`` so every checkpointed chunk writes exactly
+one snapshot.
+"""
+
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    capture_training_state,
+    load_snapshot,
+    restore_training_state,
+    save_snapshot,
+)
+from repro.core import DpSgdOptimizer, Trainer, TrainingHistory
+from repro.data import make_mnist_like, train_test_split
+from repro.models import build_logistic_regression
+
+ITERATIONS = 200
+BATCH = 512  # paper-style large lots; per-sample work dominates each step
+MAX_OVERHEAD = 0.05
+CHECKPOINT_EVERY = 50
+CHUNK = CHECKPOINT_EVERY  # one snapshot per checkpointed chunk
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = make_mnist_like(4000, rng=0, size=12)
+    train, _ = train_test_split(data, rng=0)
+    return train
+
+
+def _make_trainer(train):
+    model = build_logistic_regression((1, 12, 12), rng=0)
+    optimizer = DpSgdOptimizer(1.0, 0.1, 1.0, rng=2)
+    return Trainer(model, optimizer, train, batch_size=BATCH, rng=1)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_checkpoint_overhead_under_5_percent(workload, report, tmp_path):
+    bare = _make_trainer(workload)
+    checkpointed = _make_trainer(workload)
+    bare.train(CHUNK)
+    checkpointed.train(
+        CHUNK, checkpoint_every=CHECKPOINT_EVERY, checkpoint_dir=tmp_path,
+        resume=False,
+    )  # warm caches (and the snapshot write path) before timing
+
+    bare_chunks, ckpt_chunks = [], []
+    for _ in range(ITERATIONS // CHUNK):
+        bare_chunks.append(_timed(lambda: bare.train(CHUNK)))
+        ckpt_chunks.append(
+            _timed(
+                lambda: checkpointed.train(
+                    CHUNK,
+                    checkpoint_every=CHECKPOINT_EVERY,
+                    checkpoint_dir=tmp_path,
+                    resume=False,
+                )
+            )
+        )
+
+    by_minima = min(ckpt_chunks) / min(bare_chunks) - 1.0
+    by_median = (
+        statistics.median(c / b for c, b in zip(ckpt_chunks, bare_chunks)) - 1.0
+    )
+    overhead = min(by_minima, by_median)
+    report(
+        "bench_checkpoint",
+        "\n".join(
+            [
+                f"checkpoint overhead, {ITERATIONS}-iteration DP-SGD LR run "
+                f"(batch {BATCH}, snapshot every {CHECKPOINT_EVERY} iterations, "
+                f"interleaved {CHUNK}-iteration chunks):",
+                f"  bare chunk min:         {min(bare_chunks) * 1e3:.1f} ms",
+                f"  checkpointed chunk min: {min(ckpt_chunks) * 1e3:.1f} ms",
+                f"  overhead (chunk minima):  {by_minima:+.2%}",
+                f"  overhead (median ratio):  {by_median:+.2%}",
+                f"  overhead:                 {overhead:+.2%} "
+                f"(budget {MAX_OVERHEAD:.0%})",
+            ]
+        ),
+    )
+    assert overhead < MAX_OVERHEAD
+
+
+def _trained_state(workload, iterations=5):
+    trainer = _make_trainer(workload)
+    history = trainer.train(iterations)
+    return trainer, capture_training_state(trainer, history, iterations)
+
+
+def test_capture_training_state(benchmark, workload):
+    trainer = _make_trainer(workload)
+    history = trainer.train(5)
+    benchmark(capture_training_state, trainer, history, 5)
+
+
+def test_save_snapshot(benchmark, workload, tmp_path):
+    _, state = _trained_state(workload)
+    benchmark(save_snapshot, tmp_path / "snap.npz", state)
+
+
+def test_load_snapshot(benchmark, workload, tmp_path):
+    _, state = _trained_state(workload)
+    path = save_snapshot(tmp_path / "snap.npz", state)
+    loaded = benchmark(load_snapshot, path)
+    assert np.array_equal(loaded["model_params"], state["model_params"])
+
+
+def test_restore_training_state(benchmark, workload, tmp_path):
+    _, state = _trained_state(workload)
+    state = load_snapshot(save_snapshot(tmp_path / "snap.npz", state))
+    fresh = _make_trainer(workload)
+
+    history, iteration = benchmark(restore_training_state, fresh, state)
+    assert iteration == 5
+    assert isinstance(history, TrainingHistory)

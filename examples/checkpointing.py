@@ -5,6 +5,11 @@ training history, and — crucially — the privacy spent so far, so the
 resumed run keeps accounting from where it left off rather than resetting
 epsilon to zero.
 
+Two levels are shown: portable parameter checkpoints with a manually
+replayed accountant (phases 1-2), and the ``repro.checkpoint`` subsystem
+(phase 3), which snapshots the *complete* training state automatically and
+resumes a killed run bit-identically to one that was never interrupted.
+
 Usage::
 
     python examples/checkpointing.py
@@ -78,6 +83,41 @@ def main():
     print(
         "\nThe resumed accountant includes phase 1's steps, so the reported "
         "epsilon covers the whole training history."
+    )
+
+    # ---- Phase 3: automatic full-state snapshots (repro.checkpoint). -------
+    # The manual route above carries parameters + replayed privacy spend, but
+    # the resumed run is a *different* run (fresh RNG streams, reset momentum).
+    # The checkpoint subsystem snapshots everything and resumes bit-identically.
+    ckpt_dir = workdir / "snapshots"
+
+    def fresh_run():
+        model = build_logistic_regression((1, 16, 16), rng=0)
+        accountant = RdpAccountant()
+        trainer = make_trainer(model, accountant, train, test, sample_rate, seed=1)
+        return model, accountant, trainer
+
+    model_a, acc_a, trainer_a = fresh_run()
+    uninterrupted = trainer_a.train(2 * PHASE_ITERS)
+
+    _, _, trainer_b = fresh_run()
+    trainer_b.train(  # "crashes" at PHASE_ITERS + 30; snapshots every 25
+        PHASE_ITERS + 30, checkpoint_every=25, checkpoint_dir=ckpt_dir
+    )
+    model_c, acc_c, trainer_c = fresh_run()  # new process: rebuild, same seeds
+    resumed = trainer_c.train(
+        2 * PHASE_ITERS, checkpoint_every=25, checkpoint_dir=ckpt_dir
+    )
+
+    identical = (
+        (model_c.get_params() == model_a.get_params()).all()
+        and resumed.losses == uninterrupted.losses
+        and acc_c.get_epsilon(1e-5) == acc_a.get_epsilon(1e-5)
+    )
+    print(
+        f"\nphase 3: killed at iteration {PHASE_ITERS + 30}, resumed from "
+        f"snapshot, finished {resumed.iterations} iterations; bit-identical "
+        f"to the uninterrupted run: {identical}"
     )
 
 

@@ -15,6 +15,8 @@ The package is organised as:
 * :mod:`repro.experiments` — one module per paper table/figure.
 * :mod:`repro.telemetry` — opt-in per-step metrics/tracing for training
   runs (gradient geometry diagnostics, timers, JSONL traces).
+* :mod:`repro.checkpoint` — fault-tolerant training: atomic snapshots of
+  complete training state with bit-identical resume.
 
 Quickstart::
 

@@ -1,0 +1,184 @@
+"""Atomic, versioned snapshot files for training state.
+
+A snapshot is a single ``.npz`` archive holding a JSON metadata channel
+(the nested state tree, with every numpy array replaced by a reference)
+plus one channel per array.  Arrays round-trip bit-exactly through the
+binary channels; scalars round-trip exactly through JSON (Python floats
+serialise via ``repr``, which is lossless).
+
+Durability guarantees:
+
+* **Atomicity** — :func:`save_snapshot` writes to a temporary file in the
+  destination directory, fsyncs it, and ``os.replace``\\ s it into place, so
+  a crash mid-write never leaves a truncated file under the final name.
+* **Corruption detection** — :func:`load_snapshot` validates the archive's
+  magic string and schema version and re-raises any parse failure as
+  :class:`SnapshotError`; :func:`latest_snapshot` walks snapshots newest
+  first, skipping invalid files with a warning, so a partial file from a
+  hard kill only costs the progress since the previous snapshot.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils.serialization import atomic_write_bytes
+
+__all__ = [
+    "SnapshotError",
+    "SCHEMA_VERSION",
+    "save_snapshot",
+    "load_snapshot",
+    "snapshot_path",
+    "list_snapshots",
+    "latest_snapshot",
+]
+
+SCHEMA_VERSION = 1
+_MAGIC = "repro-training-snapshot"
+_ARRAY_KEY = "__ndarray__"
+_FILE_RE = re.compile(r"^snapshot-(\d+)\.npz$")
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot file is missing, corrupted, or schema-incompatible."""
+
+
+def _encode(obj, arrays: dict[str, np.ndarray]):
+    """Replace ndarrays with channel references; normalise to JSON-safe types."""
+    if isinstance(obj, np.ndarray):
+        key = f"array_{len(arrays)}"
+        arrays[key] = obj
+        return {_ARRAY_KEY: key}
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise TypeError(f"state keys must be strings, got {key!r}")
+            if key == _ARRAY_KEY:
+                raise ValueError(f"state key {_ARRAY_KEY!r} is reserved")
+            out[key] = _encode(value, arrays)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [_encode(value, arrays) for value in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot snapshot value of type {type(obj)!r}")
+
+
+def _decode(obj, arrays):
+    """Inverse of :func:`_encode`."""
+    if isinstance(obj, dict):
+        if set(obj) == {_ARRAY_KEY}:
+            key = obj[_ARRAY_KEY]
+            if key not in arrays:
+                raise SnapshotError(f"snapshot references missing array {key!r}")
+            return arrays[key]
+        return {key: _decode(value, arrays) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [_decode(value, arrays) for value in obj]
+    return obj
+
+
+def save_snapshot(path, state: dict) -> Path:
+    """Atomically write ``state`` (a nested dict, ndarrays allowed) to ``path``.
+
+    The file appears under its final name only once fully written: the
+    archive is serialised to ``<name>.tmp-<pid>`` in the same directory,
+    flushed and fsynced, then renamed over ``path`` in one ``os.replace``.
+    Returns the final path.
+    """
+    path = Path(path)
+    if not isinstance(state, dict):
+        raise TypeError(f"state must be a dict, got {type(state)!r}")
+    arrays: dict[str, np.ndarray] = {}
+    payload = {
+        "magic": _MAGIC,
+        "schema_version": SCHEMA_VERSION,
+        "state": _encode(state, arrays),
+    }
+    metadata = np.frombuffer(json.dumps(payload).encode(), dtype=np.uint8)
+    buffer = io.BytesIO()
+    np.savez(buffer, metadata=metadata, **arrays)
+    return atomic_write_bytes(path, buffer.getvalue())
+
+
+def load_snapshot(path) -> dict:
+    """Load and validate a snapshot; raises :class:`SnapshotError` if invalid."""
+    path = Path(path)
+    if not path.exists():
+        raise SnapshotError(f"no snapshot at {path}")
+    try:
+        with np.load(path) as archive:
+            metadata = bytes(archive["metadata"].tobytes())
+            arrays = {key: archive[key] for key in archive.files if key != "metadata"}
+    except SnapshotError:
+        raise
+    except Exception as exc:  # truncated zip, missing channel, bad pickle, ...
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    try:
+        payload = json.loads(metadata.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"snapshot {path} has corrupt metadata: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise SnapshotError(f"{path} is not a training snapshot")
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SnapshotError(
+            f"snapshot {path} has schema version {version!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
+    return _decode(payload["state"], arrays)
+
+
+def snapshot_path(directory, iteration: int) -> Path:
+    """Canonical snapshot filename for ``iteration`` inside ``directory``."""
+    if iteration < 0:
+        raise ValueError(f"iteration must be >= 0, got {iteration}")
+    return Path(directory) / f"snapshot-{int(iteration):09d}.npz"
+
+
+def list_snapshots(directory) -> list[Path]:
+    """Snapshot files in ``directory``, sorted by iteration ascending."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = []
+    for entry in directory.iterdir():
+        match = _FILE_RE.match(entry.name)
+        if match:
+            found.append((int(match.group(1)), entry))
+    return [path for _, path in sorted(found)]
+
+
+def latest_snapshot(directory, *, max_iteration: int | None = None):
+    """Newest valid snapshot in ``directory``, or ``None``.
+
+    Walks the snapshots newest-first; corrupted or schema-incompatible
+    files (e.g. a partial write from a hard kill) are skipped with a
+    warning.  ``max_iteration`` ignores snapshots taken beyond that
+    iteration, so resuming never overshoots the requested run length.
+    Returns ``(path, state)``.
+    """
+    for path in reversed(list_snapshots(directory)):
+        if max_iteration is not None:
+            iteration = int(_FILE_RE.match(path.name).group(1))
+            if iteration > max_iteration:
+                continue
+        try:
+            return path, load_snapshot(path)
+        except SnapshotError as exc:
+            warnings.warn(f"skipping invalid snapshot {path}: {exc}", stacklevel=2)
+    return None

@@ -170,6 +170,40 @@ class DpSgdOptimizer:
             self.accountant.step(max(self.noise_multiplier, 1e-12), self.sample_rate)
         return self._descend(params, noisy)
 
+    def state_dict(self) -> dict:
+        """Mutable optimizer state for checkpointing (see :mod:`repro.checkpoint`).
+
+        Covers everything a resumed run needs to continue bit-identically:
+        momentum velocity, the fixed lot size, the noise stream's
+        bit-generator state, and the nested clipping / accountant state.
+        """
+        from repro.core.sgd import _copy_or_none
+        from repro.utils.rng import get_rng_state
+
+        return {
+            "velocity": _copy_or_none(self._velocity),
+            "lot_size": None if self.lot_size is None else int(self.lot_size),
+            "rng": get_rng_state(self.rng),
+            "clipping": self.clipping.state_dict(),
+            "accountant": (
+                None if self.accountant is None else self.accountant.state_dict()
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        from repro.core.sgd import _copy_or_none
+        from repro.utils.rng import set_rng_state
+
+        self._velocity = _copy_or_none(state["velocity"])
+        self.lot_size = None if state["lot_size"] is None else int(state["lot_size"])
+        set_rng_state(self.rng, state["rng"])
+        self.clipping.load_state_dict(state["clipping"])
+        if state["accountant"] is not None:
+            if self.accountant is None:
+                raise ValueError("snapshot has accountant state but none is attached")
+            self.accountant.load_state_dict(state["accountant"])
+
     def __repr__(self) -> str:
         return (
             f"DpSgdOptimizer(lr={self.learning_rate}, clipping={self.clipping!r}, "

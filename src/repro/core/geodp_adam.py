@@ -120,6 +120,30 @@ class GeoDpAdamOptimizer(AdamOptimizer):
             self.accountant.step(max(self.noise_multiplier, 1e-12), self.sample_rate)
         return AdamOptimizer.step(self, params, noisy)
 
+    def state_dict(self) -> dict:
+        """Adam moments plus noise stream, clipping and accountant state."""
+        from repro.utils.rng import get_rng_state
+
+        state = AdamOptimizer.state_dict(self)
+        state["rng"] = get_rng_state(self.rng)
+        state["clipping"] = self.clipping.state_dict()
+        state["accountant"] = (
+            None if self.accountant is None else self.accountant.state_dict()
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        from repro.utils.rng import set_rng_state
+
+        AdamOptimizer.load_state_dict(self, {k: state[k] for k in ("m", "v", "t")})
+        set_rng_state(self.rng, state["rng"])
+        self.clipping.load_state_dict(state["clipping"])
+        if state["accountant"] is not None:
+            if self.accountant is None:
+                raise ValueError("snapshot has accountant state but none is attached")
+            self.accountant.load_state_dict(state["accountant"])
+
     def __repr__(self) -> str:
         return (
             f"GeoDpAdamOptimizer(lr={self.learning_rate}, clipping={self.clipping!r}, "

@@ -73,6 +73,11 @@ def perturb_dp_batch(
     rng = as_rng(rng)
 
     clipped = clip_gradients(grads, clip_norm) if clip else grads
+    if noise_multiplier == 0:
+        # sigma = 0 must consume no randomness, matching the optimizers'
+        # noiseless path, so DP runs and their noise-free baselines share
+        # one RNG stream.  Copy so callers never alias the input.
+        return clipped if clip else clipped.copy()
     noise = rng.normal(0.0, noise_multiplier, size=clipped.shape)
     return clipped + (clip_norm / batch_size) * noise
 
@@ -138,6 +143,10 @@ def perturb_geodp_batch(
             f"sensitivity_mode must be 'total' or 'per_angle', got {sensitivity_mode!r}"
         )
 
+    if noise_multiplier == 0:
+        # sigma = 0 consumes no randomness (see perturb_dp_batch); the
+        # spherical round-trip is kept so the numerical path is unchanged.
+        return to_cartesian_batch(magnitudes, thetas)
     noisy_mag = magnitudes + mag_scale * rng.normal(0.0, noise_multiplier, size=magnitudes.shape)
     noisy_theta = thetas + dir_scale * rng.normal(0.0, noise_multiplier, size=thetas.shape)
     return to_cartesian_batch(noisy_mag, noisy_theta)

@@ -16,6 +16,11 @@ from repro.utils.validation import check_in_range, check_matrix, check_positive
 __all__ = ["SgdOptimizer", "AdamOptimizer", "DpAdamOptimizer"]
 
 
+def _copy_or_none(value) -> np.ndarray | None:
+    """Defensive copy of an optional state array (checkpoint helper)."""
+    return None if value is None else np.asarray(value, dtype=np.float64).copy()
+
+
 class SgdOptimizer:
     """Plain SGD, optionally with classical momentum."""
 
@@ -34,6 +39,14 @@ class SgdOptimizer:
             self._velocity = np.zeros_like(params)
         self._velocity = self.momentum * self._velocity + grad
         return params - self.learning_rate * self._velocity
+
+    def state_dict(self) -> dict:
+        """Mutable optimizer state for checkpointing (see :mod:`repro.checkpoint`)."""
+        return {"velocity": _copy_or_none(self._velocity)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._velocity = _copy_or_none(state["velocity"])
 
     def __repr__(self) -> str:
         return f"SgdOptimizer(lr={self.learning_rate}, momentum={self.momentum})"
@@ -75,6 +88,20 @@ class AdamOptimizer:
         """One Adam update on the mean gradient."""
         m_hat, v_hat = self._moments(grad)
         return params - self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        """Mutable optimizer state for checkpointing (see :mod:`repro.checkpoint`)."""
+        return {
+            "m": _copy_or_none(self._m),
+            "v": _copy_or_none(self._v),
+            "t": int(self._t),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._m = _copy_or_none(state["m"])
+        self._v = _copy_or_none(state["v"])
+        self._t = int(state["t"])
 
     def __repr__(self) -> str:
         return f"AdamOptimizer(lr={self.learning_rate})"
@@ -128,6 +155,29 @@ class DpAdamOptimizer(AdamOptimizer):
         if self.accountant is not None:
             self.accountant.step(max(self.noise_multiplier, 1e-12), self.sample_rate)
         return super().step(params, noisy_avg)
+
+    def state_dict(self) -> dict:
+        """Adam moments plus noise stream, clipping and accountant state."""
+        from repro.utils.rng import get_rng_state
+
+        state = super().state_dict()
+        state["rng"] = get_rng_state(self.rng)
+        state["clipping"] = self.clipping.state_dict()
+        state["accountant"] = (
+            None if self.accountant is None else self.accountant.state_dict()
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.utils.rng import set_rng_state
+
+        super().load_state_dict({k: state[k] for k in ("m", "v", "t")})
+        set_rng_state(self.rng, state["rng"])
+        self.clipping.load_state_dict(state["clipping"])
+        if state["accountant"] is not None:
+            if self.accountant is None:
+                raise ValueError("snapshot has accountant state but none is attached")
+            self.accountant.load_state_dict(state["accountant"])
 
     def __repr__(self) -> str:
         return (

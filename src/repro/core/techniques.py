@@ -99,6 +99,24 @@ class SelectiveUpdateRelease:
         total = self.accepted + self.rejected
         return self.accepted / total if total else 1.0
 
+    def state_dict(self) -> dict:
+        """Mutable state (counters + noise stream) for checkpointing."""
+        from repro.utils.rng import get_rng_state
+
+        return {
+            "accepted": int(self.accepted),
+            "rejected": int(self.rejected),
+            "rng": get_rng_state(self._rng),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        from repro.utils.rng import set_rng_state
+
+        self.accepted = int(state["accepted"])
+        self.rejected = int(state["rejected"])
+        set_rng_state(self._rng, state["rng"])
+
     def __repr__(self) -> str:
         return (
             f"SelectiveUpdateRelease(threshold={self.threshold}, "

@@ -19,6 +19,36 @@ from repro.utils.rng import as_rng
 
 __all__ = ["Trainer", "TrainingHistory"]
 
+#: Optimizer attributes that the descent step mutates (momentum velocity,
+#: Adam moments).  SUR must roll these back together with the parameters
+#: when it rejects an update, otherwise the rejected noisy gradient keeps
+#: steering every subsequent accepted step through the momentum buffer.
+_UPDATE_STATE_ATTRS = ("_velocity", "_m", "_v", "_t")
+
+
+def _unwrap_optimizer(optimizer):
+    """Follow ScheduledOptimizer-style wrappers to the stateful optimizer."""
+    inner = getattr(optimizer, "optimizer", None)
+    return inner if inner is not None else optimizer
+
+
+def _capture_update_state(optimizer) -> dict:
+    """Copy the optimizer attributes mutated by a descent step."""
+    optimizer = _unwrap_optimizer(optimizer)
+    state = {}
+    for name in _UPDATE_STATE_ATTRS:
+        if hasattr(optimizer, name):
+            value = getattr(optimizer, name)
+            state[name] = value.copy() if isinstance(value, np.ndarray) else value
+    return state
+
+
+def _restore_update_state(optimizer, state: dict) -> None:
+    """Undo a descent step's mutations (inverse of :func:`_capture_update_state`)."""
+    optimizer = _unwrap_optimizer(optimizer)
+    for name, value in state.items():
+        setattr(optimizer, name, value.copy() if isinstance(value, np.ndarray) else value)
+
 
 @dataclass
 class TrainingHistory:
@@ -168,19 +198,33 @@ class Trainer:
         return minibatch_indices(n, self.batch_size, self.rng)
 
     def _accumulated_step(self, params: np.ndarray, idx: np.ndarray) -> tuple[np.ndarray, float]:
-        """Gradient-accumulation path: clip+sum per microbatch, noise once."""
+        """Gradient-accumulation path: clip+sum per microbatch, noise once.
+
+        The chunks of one lot are one DP release, so adaptive clipping is
+        bracketed with ``begin_lot``/``end_lot``: every chunk is clipped at
+        the same frozen threshold (which is what ``sensitivity()`` reports
+        when the noise is calibrated) and the threshold adapts once per
+        optimizer step, not once per microbatch.
+        """
+        clipping = getattr(self.optimizer, "clipping", None)
+        if clipping is not None:
+            clipping.begin_lot()
         total = np.zeros(self.model.num_params)
         losses: list[float] = []
-        for start in range(0, len(idx), self.microbatch_size):
-            chunk = idx[start : start + self.microbatch_size]
-            with self._span("sample"):
-                x, y = self.train_data.batch(chunk)
-                if self.augment is not None:
-                    x = self.augment(x)
-            with self._span("forward_backward"):
-                chunk_losses, grads = self.model.loss_and_per_sample_gradients(x, y)
-            total += self.optimizer.clipped_sum(grads)
-            losses.extend(chunk_losses.tolist())
+        try:
+            for start in range(0, len(idx), self.microbatch_size):
+                chunk = idx[start : start + self.microbatch_size]
+                with self._span("sample"):
+                    x, y = self.train_data.batch(chunk)
+                    if self.augment is not None:
+                        x = self.augment(x)
+                with self._span("forward_backward"):
+                    chunk_losses, grads = self.model.loss_and_per_sample_gradients(x, y)
+                total += self.optimizer.clipped_sum(grads)
+                losses.extend(chunk_losses.tolist())
+        finally:
+            if clipping is not None:
+                clipping.end_lot()
         with self._span("step"):
             new_params = self.optimizer.step_presummed(params, total, len(idx))
         batch_loss = float(np.mean(losses)) if losses else float("nan")
@@ -250,20 +294,74 @@ class Trainer:
         steps_per_epoch = -(-len(self.train_data) // self.batch_size)
         return self.train(steps_per_epoch * num_epochs, eval_every=eval_every)
 
-    def train(self, num_iterations: int, *, eval_every: int = 0) -> TrainingHistory:
-        """Run ``num_iterations`` optimizer steps; returns the metric history."""
+    def train(
+        self,
+        num_iterations: int,
+        *,
+        eval_every: int = 0,
+        checkpoint_every: int = 0,
+        checkpoint_dir=None,
+        resume: bool = True,
+    ) -> TrainingHistory:
+        """Run ``num_iterations`` optimizer steps; returns the metric history.
+
+        Parameters
+        ----------
+        eval_every:
+            Evaluate on ``test_data`` every this many iterations (0: never).
+        checkpoint_every / checkpoint_dir:
+            When both are set, a full training-state snapshot (see
+            :mod:`repro.checkpoint`) is written atomically to
+            ``checkpoint_dir`` every ``checkpoint_every`` iterations.
+        resume:
+            When ``checkpoint_dir`` holds a valid snapshot (at or before
+            ``num_iterations``), restore it and continue from there instead
+            of starting over; corrupted or partial snapshot files are
+            skipped with a warning.  The resumed run is bit-identical to an
+            uninterrupted one.  Pass ``resume=False`` to ignore existing
+            snapshots (they are then overwritten as training progresses).
+        """
         if num_iterations < 1:
             raise ValueError(f"num_iterations must be >= 1, got {num_iterations}")
+        if checkpoint_every < 0:
+            raise ValueError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+        if checkpoint_every and checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
         history = TrainingHistory()
+        start_iteration = 0
+        if checkpoint_dir is not None:
+            from pathlib import Path
+
+            from repro.checkpoint import (
+                capture_training_state,
+                latest_snapshot,
+                restore_training_state,
+                save_snapshot,
+                snapshot_path,
+            )
+
+            checkpoint_dir = Path(checkpoint_dir)
+            checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            if resume:
+                found = latest_snapshot(checkpoint_dir, max_iteration=num_iterations)
+                if found is not None:
+                    _, snapshot_state = found
+                    history, start_iteration = restore_training_state(
+                        self, snapshot_state
+                    )
         per_sample = getattr(self.optimizer, "requires_per_sample", False)
         recorder = self.telemetry
 
-        for iteration in range(1, num_iterations + 1):
+        for iteration in range(start_iteration + 1, num_iterations + 1):
             if recorder is not None:
                 recorder.start_step(iteration)
             params = self.model.get_params()
             if self.sur is not None:
                 loss_before = self.model.mean_loss(*self._sur_eval)
+                # The descent step also advances momentum/Adam buffers; a
+                # rejected update must roll those back too, or the rejected
+                # noisy gradient keeps steering later accepted steps.
+                update_state = _capture_update_state(self.optimizer)
 
             if per_sample:
                 new_params, batch_loss = self._per_sample_step(params)
@@ -276,6 +374,7 @@ class Trainer:
                 accepted = self.sur.should_accept(loss_before, loss_after)
                 if not accepted:
                     self.model.set_params(params)  # roll back rejected update
+                    _restore_update_state(self.optimizer, update_state)
                 if recorder is not None:
                     recorder.record("sur_accepted", float(accepted))
                     recorder.increment(
@@ -293,6 +392,12 @@ class Trainer:
                 recorder.record("loss", batch_loss)
                 recorder.increment("iterations")
                 recorder.end_step()
+            if checkpoint_every and iteration % checkpoint_every == 0:
+                with self._span("checkpoint"):
+                    save_snapshot(
+                        snapshot_path(checkpoint_dir, iteration),
+                        capture_training_state(self, history, iteration),
+                    )
 
         if eval_every and self.test_data is not None and (
             not history.test_accuracy or history.test_accuracy[-1][0] != num_iterations

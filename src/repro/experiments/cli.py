@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments.cli fig1 --scale ci --seed 0
     python -m repro.experiments.cli all --scale smoke
     python -m repro.experiments.cli trace --telemetry out.jsonl
+    python -m repro.experiments.cli table2 --checkpoint-dir ckpt --resume
     python -m repro.experiments.cli list
 """
 
@@ -104,16 +105,51 @@ def build_parser() -> argparse.ArgumentParser:
             "has no telemetry support ignore the flag with a notice)"
         ),
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "checkpoint training state into DIR (training-grid experiments "
+            "only; others ignore the flag with a notice)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from the latest valid snapshots in --checkpoint-dir "
+            "(bit-identical to an uninterrupted run); without this flag, "
+            "existing snapshots are ignored and overwritten"
+        ),
+    )
     return parser
+
+
+def _supports_kwarg(name: str, kwarg: str) -> bool:
+    """Whether an experiment's runner accepts the given keyword argument."""
+    run, _, _ = EXPERIMENTS[name]
+    return kwarg in inspect.signature(run).parameters
 
 
 def supports_telemetry(name: str) -> bool:
     """Whether an experiment's runner accepts a ``telemetry=`` path."""
-    run, _, _ = EXPERIMENTS[name]
-    return "telemetry" in inspect.signature(run).parameters
+    return _supports_kwarg(name, "telemetry")
 
 
-def run_one(name: str, scale: str, seed: int, telemetry: str | None = None) -> str:
+def supports_checkpointing(name: str) -> bool:
+    """Whether an experiment's runner accepts a ``checkpoint_dir=`` path."""
+    return _supports_kwarg(name, "checkpoint_dir")
+
+
+def run_one(
+    name: str,
+    scale: str,
+    seed: int,
+    telemetry: str | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+) -> str:
     """Run one experiment and return its formatted table."""
     run, fmt, _ = EXPERIMENTS[name]
     notice = ""
@@ -122,7 +158,13 @@ def run_one(name: str, scale: str, seed: int, telemetry: str | None = None) -> s
         if supports_telemetry(name):
             kwargs["telemetry"] = telemetry
         else:
-            notice = f"[{name} does not support --telemetry; flag ignored]\n"
+            notice += f"[{name} does not support --telemetry; flag ignored]\n"
+    if checkpoint_dir is not None:
+        if supports_checkpointing(name):
+            kwargs["checkpoint_dir"] = checkpoint_dir
+            kwargs["resume"] = resume
+        else:
+            notice += f"[{name} does not support --checkpoint-dir; flag ignored]\n"
     start = time.perf_counter()
     result = run(scale, rng=seed, **kwargs)
     elapsed = time.perf_counter() - start
@@ -135,9 +177,21 @@ def main(argv=None) -> int:
         for name, (_, _, description) in sorted(EXPERIMENTS.items()):
             print(f"{name:8s} {description}")
         return 0
+    if args.resume and args.checkpoint_dir is None:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        print(run_one(name, args.scale, args.seed, telemetry=args.telemetry))
+        print(
+            run_one(
+                name,
+                args.scale,
+                args.seed,
+                telemetry=args.telemetry,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+            )
+        )
         print()
     return 0
 

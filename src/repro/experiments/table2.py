@@ -54,8 +54,16 @@ _BETA_GOOD = 0.1
 _BETA_BAD = 0.5
 
 
-def run_table2(scale: str = "smoke", rng=None) -> dict:
-    """Run the Table II accuracy grid at the requested scale."""
+def run_table2(
+    scale: str = "smoke", rng=None, *, checkpoint_dir=None, resume: bool = True
+) -> dict:
+    """Run the Table II accuracy grid at the requested scale.
+
+    ``checkpoint_dir`` enables fault-tolerant training: every grid cell
+    snapshots its state there (one sub-directory per cell) and, with
+    ``resume=True``, an interrupted grid picks up from the latest valid
+    snapshots with bit-identical results (see :mod:`repro.checkpoint`).
+    """
     check_scale(scale)
     cfg = _PRESETS[scale]
     rng = as_rng(rng)
@@ -79,6 +87,8 @@ def run_table2(scale: str = "smoke", rng=None) -> dict:
         learning_rate=cfg["lr"],
         clip_norm=_CLIP,
         rng=rng,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )
     result["scale"] = scale
     result["dataset"] = "MNIST-like"

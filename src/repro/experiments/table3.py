@@ -53,8 +53,16 @@ _BETA_GOOD = 0.1
 _BETA_BAD = 1.0  # Table III's second beta column is beta = 1
 
 
-def run_table3(scale: str = "smoke", rng=None) -> dict:
-    """Run the Table III accuracy grid at the requested scale."""
+def run_table3(
+    scale: str = "smoke", rng=None, *, checkpoint_dir=None, resume: bool = True
+) -> dict:
+    """Run the Table III accuracy grid at the requested scale.
+
+    ``checkpoint_dir`` enables fault-tolerant training: every grid cell
+    snapshots its state there (one sub-directory per cell) and, with
+    ``resume=True``, an interrupted grid picks up from the latest valid
+    snapshots with bit-identical results (see :mod:`repro.checkpoint`).
+    """
     check_scale(scale)
     cfg = _PRESETS[scale]
     rng = as_rng(rng)
@@ -80,6 +88,8 @@ def run_table3(scale: str = "smoke", rng=None) -> dict:
         learning_rate=cfg["lr"],
         clip_norm=_CLIP,
         rng=rng,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )
     result["scale"] = scale
     result["dataset"] = "CIFAR-like"

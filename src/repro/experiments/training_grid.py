@@ -8,7 +8,9 @@ cell and reports test accuracy, which is exactly the paper's table format.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.core.dpsgd import DpSgdOptimizer
 from repro.core.geodp import GeoDpSgdOptimizer
@@ -16,7 +18,7 @@ from repro.core.techniques import ImportanceSampling, SelectiveUpdateRelease
 from repro.core.trainer import Trainer
 from repro.privacy.clipping import AutoSClipping, FlatClipping, PsacClipping
 
-__all__ = ["MethodSpec", "run_grid", "standard_method_grid"]
+__all__ = ["MethodSpec", "cell_checkpoint_dir", "run_grid", "run_method", "standard_method_grid"]
 
 
 @dataclass(frozen=True)
@@ -57,6 +59,12 @@ def _make_optimizer(spec: MethodSpec, sigma: float, lr: float, clip_norm: float,
     )
 
 
+def cell_checkpoint_dir(checkpoint_dir, label: str, sigma: float) -> Path:
+    """Per-cell snapshot directory: one sub-directory per (method, sigma)."""
+    slug = re.sub(r"[^A-Za-z0-9.=+-]+", "_", label).strip("_")
+    return Path(checkpoint_dir) / f"{slug}-sigma{sigma:g}"
+
+
 def run_method(
     spec: MethodSpec,
     model_builder,
@@ -68,6 +76,9 @@ def run_method(
     learning_rate: float,
     clip_norm: float,
     rng,
+    checkpoint_dir=None,
+    checkpoint_every: int = 0,
+    resume: bool = True,
 ) -> float:
     """Train one model under ``spec``; returns final test accuracy."""
     model = model_builder()
@@ -84,7 +95,13 @@ def run_method(
         importance_sampling=importance,
         sur=sur,
     )
-    history = trainer.train(iterations, eval_every=iterations)
+    history = trainer.train(
+        iterations,
+        eval_every=iterations,
+        checkpoint_every=checkpoint_every if checkpoint_dir is not None else 0,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
     return history.final_accuracy
 
 
@@ -134,12 +151,29 @@ def run_grid(
     learning_rate: float,
     clip_norm: float,
     rng,
+    checkpoint_dir=None,
+    checkpoint_every: int = 50,
+    resume: bool = True,
 ) -> dict:
-    """Run every (method, sigma) cell plus the noise-free reference."""
+    """Run every (method, sigma) cell plus the noise-free reference.
+
+    With ``checkpoint_dir`` set, every cell checkpoints its training state
+    into its own sub-directory every ``checkpoint_every`` iterations, and
+    (unless ``resume=False``) resumes from the latest valid snapshot — an
+    interrupted grid re-run skips finished work inside each cell and
+    produces bit-identical accuracies.  The per-cell RNGs are spawned
+    deterministically from the master seed, so re-running with the same
+    seed reconstructs each cell exactly as the interrupted run built it.
+    """
     from repro.utils.rng import spawn_rngs
 
     seeds = spawn_rngs(rng, len(methods) * len(sigmas) + 1)
     seed_iter = iter(seeds)
+
+    def cell_dir(label: str, sigma: float):
+        if checkpoint_dir is None:
+            return None
+        return cell_checkpoint_dir(checkpoint_dir, label, sigma)
 
     # Noise-free reference (the paper quotes it in the table caption).  The
     # private rows are clipping-limited, so the fair reference is clipped
@@ -154,7 +188,14 @@ def run_grid(
         batch_size=min(max(spec.batch_size for spec in methods), len(train)),
         rng=ref_rng,
     )
-    noise_free = ref_trainer.train(iterations, eval_every=iterations).final_accuracy
+    ref_dir = cell_dir("noise-free-reference", 0.0)
+    noise_free = ref_trainer.train(
+        iterations,
+        eval_every=iterations,
+        checkpoint_every=checkpoint_every if ref_dir is not None else 0,
+        checkpoint_dir=ref_dir,
+        resume=resume,
+    ).final_accuracy
 
     rows = []
     for spec in methods:
@@ -170,6 +211,9 @@ def run_grid(
                 learning_rate=learning_rate,
                 clip_norm=clip_norm,
                 rng=next(seed_iter),
+                checkpoint_dir=cell_dir(spec.label, sigma),
+                checkpoint_every=checkpoint_every,
+                resume=resume,
             )
         rows.append({"label": spec.label, "accuracies": accs})
     return {"noise_free": noise_free, "sigmas": sigmas, "rows": rows}

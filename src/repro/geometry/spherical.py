@@ -137,8 +137,16 @@ def canonicalize_angles(thetas) -> np.ndarray:
     on the remaining angles (every later polar angle ``t -> pi - t``, which
     keeps the flag pending, and finally azimuth ``t -> t + pi``), so the
     output angles reconstruct exactly the same cartesian vector.
+
+    The input's dimensionality is preserved: a single angle vector ``(d-1,)``
+    comes back as ``(d-1,)``, a batch ``(m, d-1)`` as ``(m, d-1)``.
     """
-    thetas = np.atleast_2d(np.asarray(thetas, dtype=np.float64))
+    thetas = np.asarray(thetas, dtype=np.float64)
+    single = thetas.ndim == 1
+    if single:
+        thetas = thetas[None, :]
+    elif thetas.ndim != 2:
+        raise ValueError(f"thetas must be 1-D or 2-D, got shape {thetas.shape}")
     out = np.empty_like(thetas)
     d_minus_1 = thetas.shape[1]
     negate = np.zeros(thetas.shape[0], dtype=bool)
@@ -158,4 +166,4 @@ def canonicalize_angles(thetas) -> np.ndarray:
     # mod maps pi -> -pi; keep the canonical (-pi, pi] convention.
     last[last == -np.pi] = np.pi
     out[:, -1] = last
-    return out
+    return out[0] if single else out

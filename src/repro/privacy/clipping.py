@@ -61,6 +61,30 @@ class ClippingStrategy:
         """L2 bound on any single clipped per-sample gradient."""
         raise NotImplementedError
 
+    def begin_lot(self) -> None:
+        """Mark the start of one logical lot (gradient-accumulation unit).
+
+        Stateless strategies ignore lot boundaries; adaptive strategies use
+        them to keep their threshold frozen across the microbatches of one
+        optimizer step (one adaptation per DP release, as the sensitivity
+        analysis requires).
+        """
+
+    def end_lot(self) -> None:
+        """Mark the end of the lot opened by :meth:`begin_lot`."""
+
+    def state_dict(self) -> dict:
+        """Mutable state for checkpointing (empty for stateless strategies)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but got state keys "
+                f"{sorted(state)}"
+            )
+
     @staticmethod
     def _norms(grads: np.ndarray) -> np.ndarray:
         # Row norms on the hot path: single-pass einsum is ~3x faster than
@@ -144,10 +168,19 @@ class PsacClipping(ClippingStrategy):
 class AdaptiveQuantileClipping(ClippingStrategy):
     """Quantile-tracking adaptive clipping threshold (Andrew et al. 2021).
 
-    After each :meth:`clip` call the threshold moves geometrically toward the
+    After each logical lot the threshold moves geometrically toward the
     ``target_quantile`` of the observed per-sample norms:
 
     ``C <- C * exp(-lr * (fraction_below - target_quantile))``
+
+    A *lot* is one DP release.  Without gradient accumulation every
+    :meth:`clip` call is its own lot and the threshold updates immediately.
+    Under microbatch accumulation the trainer brackets the chunks of one
+    optimizer step with :meth:`begin_lot` / :meth:`end_lot`; the threshold
+    is then frozen for the whole lot (every chunk clipped at the same ``C``,
+    which is also what :meth:`sensitivity` reports for the release) and a
+    single geometric update is applied at :meth:`end_lot` from the pooled
+    norm statistics.
 
     In a full DP deployment the ``fraction_below`` statistic is itself
     noised; :meth:`clip` accepts an optional pre-seeded generator through the
@@ -170,8 +203,34 @@ class AdaptiveQuantileClipping(ClippingStrategy):
         from repro.utils.rng import as_rng
 
         self._rng = as_rng(rng)
-        #: Threshold trajectory, one value per clip() call (before update).
+        #: Threshold trajectory, one value per lot (before its update).
         self.history: list[float] = []
+        self._lot_active = False
+        self._lot_below = 0
+        self._lot_count = 0
+
+    def begin_lot(self) -> None:
+        if self._lot_active:
+            raise RuntimeError("begin_lot() called twice without end_lot()")
+        self._lot_active = True
+        self._lot_below = 0
+        self._lot_count = 0
+
+    def end_lot(self) -> None:
+        if not self._lot_active:
+            raise RuntimeError("end_lot() called without begin_lot()")
+        self._lot_active = False
+        if self._lot_count:
+            self._update(self._lot_below / self._lot_count, self._lot_count)
+
+    def _update(self, fraction_below: float, count: int) -> None:
+        """One geometric threshold update from a lot's pooled norm statistics."""
+        self.history.append(self.clip_norm)
+        if self.noise_std > 0:
+            fraction_below += self._rng.normal(0.0, self.noise_std / count)
+        self.clip_norm *= float(
+            np.exp(-self.learning_rate * (fraction_below - self.target_quantile))
+        )
 
     def clip_with_norms(self, per_sample_grads) -> tuple[np.ndarray, np.ndarray]:
         grads = check_matrix("per_sample_grads", per_sample_grads)
@@ -179,18 +238,44 @@ class AdaptiveQuantileClipping(ClippingStrategy):
         scale = 1.0 / np.maximum(1.0, norms / self.clip_norm)
         clipped = grads * scale[:, None]
 
-        self.history.append(self.clip_norm)
-        fraction_below = float(np.mean(norms <= self.clip_norm))
-        if self.noise_std > 0:
-            fraction_below += self._rng.normal(0.0, self.noise_std / len(norms))
-        self.clip_norm *= float(
-            np.exp(-self.learning_rate * (fraction_below - self.target_quantile))
-        )
+        if self._lot_active:
+            self._lot_below += int(np.sum(norms <= self.clip_norm))
+            self._lot_count += len(norms)
+        else:
+            self._update(float(np.mean(norms <= self.clip_norm)), len(norms))
         return clipped, norms
 
     def sensitivity(self) -> float:
-        """Sensitivity of the *next* release (the threshold used last)."""
+        """Sensitivity of the release the threshold was last applied to.
+
+        Mid-lot (between :meth:`begin_lot` and :meth:`end_lot`) this is the
+        frozen active threshold; otherwise it is the threshold the previous
+        lot was clipped with.
+        """
+        if self._lot_active:
+            return self.clip_norm
         return self.history[-1] if self.history else self.clip_norm
+
+    def state_dict(self) -> dict:
+        from repro.utils.rng import get_rng_state
+
+        if self._lot_active:
+            raise RuntimeError("cannot checkpoint mid-lot; call end_lot() first")
+        return {
+            "clip_norm": float(self.clip_norm),
+            "history": [float(c) for c in self.history],
+            "rng": get_rng_state(self._rng),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.utils.rng import set_rng_state
+
+        self.clip_norm = float(state["clip_norm"])
+        self.history = [float(c) for c in state["history"]]
+        set_rng_state(self._rng, state["rng"])
+        self._lot_active = False
+        self._lot_below = 0
+        self._lot_count = 0
 
     def __repr__(self) -> str:
         return (

@@ -101,6 +101,35 @@ class MetricsRecorder:
         self.events.append(step)
         return step
 
+    # --------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Full recorder contents for checkpointing (no step may be open)."""
+        if self._open_step is not None:
+            raise RuntimeError(
+                f"step {self._open_step.iteration} is still open; "
+                "close it before checkpointing"
+            )
+        return {
+            "series": {
+                name: [[int(s), float(v)] for s, v in points]
+                for name, points in self.series.items()
+            },
+            "counters": {k: float(v) for k, v in self.counters.items()},
+            "timers": {k: float(v) for k, v in self.timers.items()},
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore recorder contents captured by :meth:`state_dict`."""
+        self.series = {
+            name: [(int(s), float(v)) for s, v in points]
+            for name, points in state["series"].items()
+        }
+        self.counters = {k: float(v) for k, v in state["counters"].items()}
+        self.timers = {k: float(v) for k, v in state["timers"].items()}
+        self.events = [StepTrace.from_dict(payload) for payload in state["events"]]
+        self._open_step = None
+
     def __repr__(self) -> str:
         return (
             f"MetricsRecorder(series={len(self.series)}, "

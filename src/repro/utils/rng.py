@@ -30,6 +30,31 @@ def as_rng(rng: int | np.random.Generator | None) -> np.random.Generator:
     raise TypeError(f"rng must be None, int or Generator, got {type(rng)!r}")
 
 
+def get_rng_state(rng: np.random.Generator) -> dict:
+    """Snapshot a generator's bit-generator state as a JSON-safe dict.
+
+    The returned dict is the ``BitGenerator.state`` mapping (plain ints and
+    strings), so it round-trips through JSON without loss and can be fed
+    back to :func:`set_rng_state` to resume the stream bit-for-bit.
+    """
+    if not isinstance(rng, np.random.Generator):
+        raise TypeError(f"expected a Generator, got {type(rng)!r}")
+    return rng.bit_generator.state
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a generator's bit-generator state captured by :func:`get_rng_state`.
+
+    The generator must wrap the same bit-generator algorithm the state was
+    captured from (numpy validates the ``bit_generator`` name).
+    """
+    if not isinstance(rng, np.random.Generator):
+        raise TypeError(f"expected a Generator, got {type(rng)!r}")
+    if not isinstance(state, dict):
+        raise TypeError(f"rng state must be a dict, got {type(state)!r}")
+    rng.bit_generator.state = state
+
+
 def spawn_rngs(rng: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
     """Create ``n`` independent child generators from ``rng``.
 

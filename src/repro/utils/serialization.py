@@ -1,18 +1,29 @@
-"""Model and training-state checkpointing.
+"""Model/parameter persistence helpers.
 
 Parameters are the model's flat vector (``Sequential.get_params``), so a
 checkpoint is portable across any code that can rebuild the same
 architecture.  Files are plain ``.npz`` archives with a metadata channel.
+
+:func:`save_checkpoint` persists *parameters only* — for full training
+state (optimizer internals, accountant, RNG streams) with exact resume
+guarantees, use :mod:`repro.checkpoint` instead.
+
+All savers here go through :func:`atomic_write_bytes` (write to a
+temporary file in the destination directory, fsync, rename), so a crash
+mid-write never leaves a truncated file under the final name.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import os
 from pathlib import Path
 
 import numpy as np
 
 __all__ = [
+    "atomic_write_bytes",
     "save_checkpoint",
     "load_checkpoint",
     "save_history",
@@ -22,6 +33,26 @@ __all__ = [
 ]
 
 _FORMAT_VERSION = 1
+
+
+def atomic_write_bytes(path, payload: bytes) -> Path:
+    """Write ``payload`` to ``path`` atomically (tmp file + fsync + rename).
+
+    The destination only ever holds either its previous contents or the
+    complete new payload — never a partial write.  Returns ``path``.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return path
 
 
 def save_checkpoint(path, model, *, metadata: dict | None = None) -> None:
@@ -36,15 +67,22 @@ def save_checkpoint(path, model, *, metadata: dict | None = None) -> None:
     metadata:
         JSON-serialisable dict stored alongside the parameters (e.g.
         iteration count, sigma, epsilon spent).
+
+    For complete training state (optimizer, accountant, RNG) see
+    :func:`repro.checkpoint.save_snapshot`.
     """
     path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
     meta = dict(metadata or {})
     meta["_format_version"] = _FORMAT_VERSION
+    buffer = io.BytesIO()
     np.savez(
-        path,
+        buffer,
         params=model.get_params(),
         metadata=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
     )
+    atomic_write_bytes(path, buffer.getvalue())
 
 
 def load_checkpoint(path, model=None) -> tuple[np.ndarray, dict]:
@@ -80,7 +118,7 @@ def save_history(path, history) -> None:
             else float(history.sur_acceptance_rate)
         ),
     }
-    path.write_text(json.dumps(payload, indent=2))
+    atomic_write_bytes(path, json.dumps(payload, indent=2).encode("utf-8"))
 
 
 def load_history(path):

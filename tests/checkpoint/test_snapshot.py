@@ -1,0 +1,199 @@
+"""Tests for the snapshot file format: round-trips, atomicity, corruption."""
+
+import json
+import warnings
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    SCHEMA_VERSION,
+    SnapshotError,
+    latest_snapshot,
+    list_snapshots,
+    load_snapshot,
+    save_snapshot,
+    snapshot_path,
+)
+
+
+def nested_state(rng):
+    return {
+        "iteration": 42,
+        "label": "dpsgd",
+        "flag": True,
+        "nothing": None,
+        "lr": 0.1 + 1e-17,
+        "params": rng.normal(size=257),
+        "nested": {
+            "velocity": rng.normal(size=(3, 5)),
+            "history": [1.0, 2.5, float(np.float64(1) / 3)],
+            "ints": np.arange(4),
+        },
+        "list_of_arrays": [rng.normal(size=2), rng.normal(size=2)],
+    }
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, tmp_path):
+        state = nested_state(np.random.default_rng(0))
+        path = save_snapshot(tmp_path / "snap.npz", state)
+        loaded = load_snapshot(path)
+        assert loaded["iteration"] == 42
+        assert loaded["label"] == "dpsgd"
+        assert loaded["flag"] is True
+        assert loaded["nothing"] is None
+        assert loaded["lr"] == state["lr"]  # exact float, not approx
+        assert np.array_equal(loaded["params"], state["params"])
+        assert np.array_equal(loaded["nested"]["velocity"], state["nested"]["velocity"])
+        assert loaded["nested"]["history"] == state["nested"]["history"]
+        assert np.array_equal(loaded["nested"]["ints"], state["nested"]["ints"])
+        for got, want in zip(loaded["list_of_arrays"], state["list_of_arrays"]):
+            assert np.array_equal(got, want)
+
+    def test_array_dtype_preserved(self, tmp_path):
+        state = {"f32": np.ones(3, dtype=np.float32), "i8": np.ones(3, dtype=np.int8)}
+        loaded = load_snapshot(save_snapshot(tmp_path / "s.npz", state))
+        assert loaded["f32"].dtype == np.float32
+        assert loaded["i8"].dtype == np.int8
+
+    def test_numpy_scalars_become_python(self, tmp_path):
+        state = {"a": np.int64(3), "b": np.float64(0.25), "c": np.bool_(True)}
+        loaded = load_snapshot(save_snapshot(tmp_path / "s.npz", state))
+        assert loaded == {"a": 3, "b": 0.25, "c": True}
+
+    def test_rejects_non_dict_state(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_snapshot(tmp_path / "s.npz", [1, 2, 3])
+
+    def test_rejects_non_string_keys(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_snapshot(tmp_path / "s.npz", {1: "x"})
+
+    def test_rejects_reserved_key(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_snapshot(tmp_path / "s.npz", {"__ndarray__": "x"})
+
+    def test_rejects_unserialisable_value(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_snapshot(tmp_path / "s.npz", {"x": object()})
+
+
+class TestAtomicity:
+    def test_no_tmp_files_left(self, tmp_path):
+        save_snapshot(tmp_path / "snap.npz", {"x": 1})
+        names = [p.name for p in tmp_path.iterdir()]
+        assert names == ["snap.npz"]
+
+    def test_overwrite_replaces_whole_file(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        save_snapshot(path, {"x": np.zeros(1000)})
+        save_snapshot(path, {"x": 1})
+        assert load_snapshot(path) == {"x": 1}
+
+
+class TestCorruption:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="no snapshot"):
+            load_snapshot(tmp_path / "nope.npz")
+
+    def test_truncated_file(self, tmp_path):
+        path = save_snapshot(tmp_path / "snap.npz", {"x": np.zeros(100)})
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        path.write_bytes(b"not a zip archive at all")
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_wrong_magic(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        meta = np.frombuffer(json.dumps({"magic": "other"}).encode(), dtype=np.uint8)
+        np.savez(path, metadata=meta)
+        with pytest.raises(SnapshotError, match="not a training snapshot"):
+            load_snapshot(path)
+
+    def test_plain_npz_without_metadata(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        np.savez(path, params=np.zeros(3))
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_future_schema_version(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        payload = {
+            "magic": "repro-training-snapshot",
+            "schema_version": SCHEMA_VERSION + 1,
+            "state": {},
+        }
+        meta = np.frombuffer(json.dumps(payload).encode(), dtype=np.uint8)
+        np.savez(path, metadata=meta)
+        with pytest.raises(SnapshotError, match="schema version"):
+            load_snapshot(path)
+
+    def test_missing_array_channel(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        payload = {
+            "magic": "repro-training-snapshot",
+            "schema_version": SCHEMA_VERSION,
+            "state": {"x": {"__ndarray__": "array_0"}},
+        }
+        meta = np.frombuffer(json.dumps(payload).encode(), dtype=np.uint8)
+        np.savez(path, metadata=meta)
+        with pytest.raises(SnapshotError, match="missing array"):
+            load_snapshot(path)
+
+
+class TestDirectoryScan:
+    def test_snapshot_path_naming(self, tmp_path):
+        assert snapshot_path(tmp_path, 7).name == "snapshot-000000007.npz"
+        with pytest.raises(ValueError):
+            snapshot_path(tmp_path, -1)
+
+    def test_list_sorted_by_iteration(self, tmp_path):
+        for it in (30, 10, 20):
+            save_snapshot(snapshot_path(tmp_path, it), {"iteration": it})
+        (tmp_path / "unrelated.npz").write_bytes(b"x")
+        iters = [load_snapshot(p)["iteration"] for p in list_snapshots(tmp_path)]
+        assert iters == [10, 20, 30]
+
+    def test_empty_or_missing_directory(self, tmp_path):
+        assert latest_snapshot(tmp_path) is None
+        assert latest_snapshot(tmp_path / "absent") is None
+        assert list_snapshots(tmp_path / "absent") == []
+
+    def test_latest_picks_newest(self, tmp_path):
+        for it in (10, 20, 30):
+            save_snapshot(snapshot_path(tmp_path, it), {"iteration": it})
+        path, state = latest_snapshot(tmp_path)
+        assert state["iteration"] == 30
+
+    def test_latest_max_iteration_filter(self, tmp_path):
+        for it in (10, 20, 30):
+            save_snapshot(snapshot_path(tmp_path, it), {"iteration": it})
+        _, state = latest_snapshot(tmp_path, max_iteration=25)
+        assert state["iteration"] == 20
+        assert latest_snapshot(tmp_path, max_iteration=5) is None
+
+    def test_latest_skips_corrupt_newest_with_warning(self, tmp_path):
+        save_snapshot(snapshot_path(tmp_path, 10), {"iteration": 10})
+        # a hard kill mid-write can leave a truncated newest file
+        snapshot_path(tmp_path, 20).write_bytes(b"partial write")
+        with pytest.warns(UserWarning, match="skipping invalid snapshot"):
+            _, state = latest_snapshot(tmp_path)
+        assert state["iteration"] == 10
+
+    def test_latest_all_corrupt_returns_none(self, tmp_path):
+        snapshot_path(tmp_path, 10).write_bytes(b"junk")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert latest_snapshot(tmp_path) is None
+
+    def test_snapshot_is_a_valid_zip(self, tmp_path):
+        path = save_snapshot(snapshot_path(tmp_path, 1), {"x": np.zeros(3)})
+        assert zipfile.is_zipfile(path)

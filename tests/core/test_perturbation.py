@@ -207,3 +207,44 @@ class TestClampToRegion:
             grads, 10.0, 0.0, 32, 0.1, rng, clip=False, clamp_to_region=True
         )
         assert not np.allclose(clamped, grads, atol=1e-3)
+
+
+class TestZeroNoiseConsumesNoRandomness:
+    """sigma=0 must be a pure clipping path: no rng draws, so a noise-free
+    reference run leaves every RNG stream exactly where it started."""
+
+    def test_dp_batch_rng_untouched(self):
+        rng = np.random.default_rng(0)
+        before = rng.bit_generator.state
+        grads = np.random.default_rng(1).normal(size=(8, 5))
+        perturb_dp_batch(grads, 1.0, 0.0, 4, rng)
+        assert rng.bit_generator.state == before
+
+    def test_geodp_batch_rng_untouched(self):
+        rng = np.random.default_rng(0)
+        before = rng.bit_generator.state
+        grads = np.random.default_rng(1).normal(size=(8, 5))
+        perturb_geodp_batch(grads, 1.0, 0.0, 4, 0.1, rng)
+        assert rng.bit_generator.state == before
+
+    def test_dp_zero_noise_is_pure_clipping(self):
+        rng = np.random.default_rng(0)
+        grads = np.random.default_rng(1).normal(size=(8, 5)) * 3
+        out = perturb_dp_batch(grads, 1.0, 0.0, 4, rng)
+        assert np.array_equal(out, clip_gradients(grads, 1.0))
+
+    def test_dp_zero_noise_no_clip_does_not_alias_input(self):
+        rng = np.random.default_rng(0)
+        grads = np.random.default_rng(1).normal(size=(4, 3))
+        out = perturb_dp_batch(grads, 1.0, 0.0, 4, rng, clip=False)
+        assert out is not grads
+        out[0, 0] += 1.0
+        assert grads[0, 0] != out[0, 0]
+
+    def test_geodp_zero_noise_matches_spherical_round_trip(self):
+        """The sigma=0 GeoDP path still goes through spherical coordinates,
+        so it stays numerically identical to the sigma->0 limit."""
+        rng = np.random.default_rng(0)
+        grads = np.random.default_rng(1).normal(size=(6, 5)) * 0.01
+        out = perturb_geodp_batch(grads, 1.0, 0.0, 4, 0.1, rng)
+        assert np.allclose(out, grads, atol=1e-10)

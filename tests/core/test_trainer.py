@@ -264,3 +264,107 @@ class TestTrainerExtensions:
         trainer = Trainer(lr_model(), SgdOptimizer(1.0), train, batch_size=64)
         with pytest.raises(ValueError):
             trainer.train_epochs(0)
+
+
+class TestSurMomentumRollback:
+    """A SUR-rejected step must roll back the optimizer's update state
+    (momentum velocity, Adam moments), not just the parameters — otherwise
+    the rejected noisy gradient keeps steering later accepted steps."""
+
+    ALWAYS_REJECT = -1e9  # accept iff delta_loss <= threshold: never
+
+    def test_rejected_steps_leave_velocity_untouched(self, small_data):
+        train, _ = small_data
+        model = lr_model()
+        initial = model.get_params().copy()
+        optimizer = DpSgdOptimizer(1.0, 0.1, 1.0, rng=2, momentum=0.9)
+        trainer = Trainer(
+            model, optimizer, train, batch_size=32, rng=1,
+            sur=SelectiveUpdateRelease(threshold=self.ALWAYS_REJECT),
+        )
+        trainer.train(5)
+        assert trainer.sur.rejected == 5
+        assert np.array_equal(model.get_params(), initial)
+        assert optimizer._velocity is None  # pre-first-step state, every time
+
+    def test_rejected_steps_leave_adam_moments_untouched(self, small_data):
+        from repro.core.geodp_adam import GeoDpAdamOptimizer
+
+        train, _ = small_data
+        model = lr_model()
+        optimizer = GeoDpAdamOptimizer(0.1, 0.1, 1.0, beta=0.1, rng=2)
+        trainer = Trainer(
+            model, optimizer, train, batch_size=32, rng=1,
+            sur=SelectiveUpdateRelease(threshold=self.ALWAYS_REJECT),
+        )
+        trainer.train(4)
+        assert optimizer._m is None
+        assert optimizer._v is None
+        assert optimizer._t == 0
+
+    def test_rollback_reaches_through_scheduled_wrapper(self, small_data):
+        from repro.core.schedules import ConstantSchedule, ScheduledOptimizer
+
+        train, _ = small_data
+        model = lr_model()
+        inner = DpSgdOptimizer(1.0, 0.1, 1.0, rng=2, momentum=0.9)
+        trainer = Trainer(
+            model,
+            ScheduledOptimizer(inner, learning_rate=ConstantSchedule(1.0)),
+            train,
+            batch_size=32,
+            rng=1,
+            sur=SelectiveUpdateRelease(threshold=self.ALWAYS_REJECT),
+        )
+        trainer.train(3)
+        assert inner._velocity is None
+
+    def test_accepted_steps_advance_velocity_normally(self, small_data):
+        train, _ = small_data
+        model = lr_model()
+        optimizer = DpSgdOptimizer(1.0, 0.1, 1.0, rng=2, momentum=0.9)
+        trainer = Trainer(
+            model, optimizer, train, batch_size=32, rng=1,
+            sur=SelectiveUpdateRelease(threshold=1e9),  # always accept
+        )
+        trainer.train(3)
+        assert trainer.sur.accepted == 3
+        assert optimizer._velocity is not None
+        assert np.any(optimizer._velocity != 0)
+
+
+class TestAdaptiveClippingLotIntegration:
+    """With microbatch accumulation, one optimizer step is one lot: every
+    chunk clips at the same threshold and the threshold adapts once."""
+
+    def test_one_threshold_update_per_optimizer_step(self, small_data):
+        from repro.privacy.clipping import AdaptiveQuantileClipping
+
+        train, _ = small_data
+        clipping = AdaptiveQuantileClipping(0.1)
+        optimizer = DpSgdOptimizer(1.0, clipping, 1.0, rng=2)
+        trainer = Trainer(
+            lr_model(), optimizer, train, batch_size=32, rng=1, microbatch_size=8
+        )
+        trainer.train(6)
+        # 4 chunks per step, but exactly one adaptation per step
+        assert len(clipping.history) == 6
+
+    def test_microbatching_does_not_change_threshold_trajectory(self, small_data):
+        """The threshold path depends only on the lots' norm statistics, so
+        chunk size must not alter it (the bug this guards against: per-chunk
+        updates made the trajectory depend on microbatch_size)."""
+        from repro.privacy.clipping import AdaptiveQuantileClipping
+
+        train, _ = small_data
+
+        def run(microbatch_size):
+            clipping = AdaptiveQuantileClipping(0.1)
+            optimizer = DpSgdOptimizer(1.0, clipping, 0.0, rng=2)
+            Trainer(
+                lr_model(), optimizer, train, batch_size=32, rng=1,
+                microbatch_size=microbatch_size,
+            ).train(5)
+            return clipping.history + [clipping.clip_norm]
+
+        assert run(8) == run(16) == run(None)

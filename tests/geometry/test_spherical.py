@@ -163,3 +163,24 @@ class TestCanonicalize:
         once = canonicalize_angles(theta)
         twice = canonicalize_angles(once)
         assert np.allclose(once, twice)
+
+
+class TestCanonicalizeDimensionality:
+    def test_1d_input_returns_1d(self):
+        theta = np.array([-0.3, 0.0])
+        out = canonicalize_angles(theta)
+        assert out.shape == theta.shape
+        assert out[0] == pytest.approx(0.3)
+
+    def test_1d_matches_row_of_2d_batch(self, rng):
+        theta = rng.normal(size=6) * 3
+        single = canonicalize_angles(theta)
+        batched = canonicalize_angles(theta[None, :])
+        assert batched.shape == (1, 6)
+        assert np.array_equal(single, batched[0])
+
+    def test_rejects_other_ranks(self):
+        with pytest.raises(ValueError):
+            canonicalize_angles(np.zeros((2, 3, 4)))
+        with pytest.raises(ValueError):
+            canonicalize_angles(np.array(0.5))
