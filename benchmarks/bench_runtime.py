@@ -1,0 +1,91 @@
+"""Parallel-runtime benchmarks.
+
+The headline check runs an 8-cell training grid (one noise-free reference
+plus one DP-SGD row across seven noise levels) serially and with two
+worker processes, asserts the parallel run is at least 1.5x faster, and —
+because determinism is this subsystem's contract — that both runs produce
+identical tables.  Skipped on single-core machines, where forked workers
+merely time-slice one core.  Micro-benchmarks cover the job-runner
+dispatch overhead.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.data import make_mnist_like, train_test_split
+from repro.experiments.training_grid import MethodSpec, run_grid
+from repro.models import build_logistic_regression
+from repro.runtime import make_jobs, parallel_available, run_jobs
+
+MIN_SPEEDUP = 1.5
+SIGMAS = (0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 10.0)  # 7 cells + reference = 8
+ITERATIONS = 40
+WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = make_mnist_like(3000, rng=0, size=12)
+    return train_test_split(data, rng=0)
+
+
+def _grid(workload, workers):
+    train, test = workload
+    return run_grid(
+        [MethodSpec("DP (B=512)", "dp", 512)],
+        lambda: build_logistic_regression((1, 12, 12), rng=0),
+        train,
+        test,
+        sigmas=SIGMAS,
+        iterations=ITERATIONS,
+        learning_rate=1.0,
+        clip_norm=0.1,
+        rng=7,
+        workers=workers,
+    )
+
+
+def test_grid_speedup_with_two_workers(workload, report):
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("speedup needs at least 2 cores")
+    if not parallel_available():
+        pytest.skip("fork start method unavailable")
+
+    start = time.perf_counter()
+    serial = _grid(workload, workers=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = _grid(workload, workers=WORKERS)
+    parallel_s = time.perf_counter() - start
+
+    assert parallel == serial  # speed must not touch the numbers
+    speedup = serial_s / parallel_s
+    report(
+        "bench_runtime",
+        "\n".join(
+            [
+                f"parallel grid runtime, {len(SIGMAS) + 1}-cell DP-SGD LR grid "
+                f"({ITERATIONS} iterations per cell, {WORKERS} workers, "
+                f"{os.cpu_count()} cores):",
+                f"  serial:   {serial_s:.2f} s",
+                f"  parallel: {parallel_s:.2f} s",
+                f"  speedup:  {speedup:.2f}x (floor {MIN_SPEEDUP}x)",
+                "  results bit-identical: yes",
+            ]
+        ),
+    )
+    assert speedup >= MIN_SPEEDUP
+
+
+def test_run_jobs_serial_dispatch_overhead(benchmark):
+    """Per-job overhead of the runner itself, serial path."""
+    jobs = make_jobs(list(range(256)), rng=0)
+    result = benchmark(run_jobs, _triple, jobs, workers=1)
+    assert result[255] == 765
+
+
+def _triple(job):
+    return job.payload * 3

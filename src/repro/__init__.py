@@ -17,6 +17,9 @@ The package is organised as:
   runs (gradient geometry diagnostics, timers, JSONL traces).
 * :mod:`repro.checkpoint` — fault-tolerant training: atomic snapshots of
   complete training state with bit-identical resume.
+* :mod:`repro.runtime` — parallel execution: fault-tolerant process-pool
+  job runner, concurrent experiment scheduler, and a shared-memory
+  parallel per-sample gradient map — all bit-identical to serial runs.
 
 Quickstart::
 

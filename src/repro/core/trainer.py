@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.techniques import ImportanceSampling, SelectiveUpdateRelease
 from repro.data.sampling import minibatch_indices
+from repro.telemetry.diagnostics import record_clipping
 from repro.utils.rng import as_rng
 
 __all__ = ["Trainer", "TrainingHistory"]
@@ -104,6 +105,16 @@ class Trainer:
         Optional callable applied to each training batch's inputs (e.g. a
         :class:`repro.data.Augmenter`).  Label-preserving augmentation does
         not change the privacy analysis (one clipped gradient per sample).
+    parallel_grad_workers:
+        Opt-in parallel per-sample gradient computation: shard each lot's
+        microbatch chunks across this many worker processes through
+        :class:`repro.runtime.ParallelGradientMap`.  Requires
+        ``microbatch_size`` (the chunks are the unit of sharding) and is
+        incompatible with ``augment`` (whose random stream is consumed
+        chunk-by-chunk in the parent).  Results are bit-identical to the
+        serial loop for any worker count; on worker failure the trainer
+        falls back to the serial loop automatically.  Call :meth:`close`
+        (or use the trainer as a context manager) to release the workers.
     telemetry:
         Optional :class:`~repro.telemetry.MetricsRecorder`.  When given,
         every iteration emits a :class:`~repro.telemetry.StepTrace` with the
@@ -132,6 +143,7 @@ class Trainer:
         augment=None,
         sampling: str = "uniform",
         microbatch_size: int | None = None,
+        parallel_grad_workers: int | None = None,
         telemetry=None,
     ):
         if batch_size < 1 or batch_size > len(train_data):
@@ -174,6 +186,28 @@ class Trainer:
                     f"{type(optimizer).__name__} does not support gradient accumulation"
                 )
         self.microbatch_size = microbatch_size
+        if parallel_grad_workers is not None:
+            if int(parallel_grad_workers) < 1:
+                raise ValueError(
+                    f"parallel_grad_workers must be >= 1, got {parallel_grad_workers}"
+                )
+            if microbatch_size is None:
+                raise ValueError(
+                    "parallel_grad_workers requires microbatch_size (the "
+                    "microbatch chunks are the unit of parallel sharding)"
+                )
+            if augment is not None:
+                raise ValueError(
+                    "parallel_grad_workers cannot combine with augment: the "
+                    "augmenter's random stream is consumed chunk-by-chunk"
+                )
+            if not hasattr(optimizer, "clipping"):
+                raise ValueError(
+                    f"{type(optimizer).__name__} exposes no clipping strategy; "
+                    "parallel gradient sharding needs one"
+                )
+        self.parallel_grad_workers = parallel_grad_workers
+        self._gradmap = None
         self.telemetry = telemetry
         if telemetry is not None and getattr(optimizer, "recorder", None) is None:
             if hasattr(optimizer, "recorder"):
@@ -184,6 +218,28 @@ class Trainer:
             self._sur_eval = train_data.batch(eval_idx)
         else:
             self._sur_eval = None
+        if parallel_grad_workers is not None:
+            from repro.runtime.gradmap import ParallelGradientMap
+
+            # Construct eagerly so model/worker validation errors surface at
+            # init; the worker pool itself starts lazily on the first lot.
+            self._gradmap = ParallelGradientMap(
+                model, train_data, workers=parallel_grad_workers, telemetry=telemetry
+            )
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Release the parallel gradient workers (no-op when not used)."""
+        if self._gradmap is not None:
+            self._gradmap.close()
+            self._gradmap = None
+
+    def __enter__(self) -> "Trainer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------ steps
     def _span(self, name: str):
@@ -212,16 +268,42 @@ class Trainer:
         total = np.zeros(self.model.num_params)
         losses: list[float] = []
         try:
-            for start in range(0, len(idx), self.microbatch_size):
-                chunk = idx[start : start + self.microbatch_size]
-                with self._span("sample"):
-                    x, y = self.train_data.batch(chunk)
-                    if self.augment is not None:
-                        x = self.augment(x)
-                with self._span("forward_backward"):
-                    chunk_losses, grads = self.model.loss_and_per_sample_gradients(x, y)
-                total += self.optimizer.clipped_sum(grads)
-                losses.extend(chunk_losses.tolist())
+            outs = None
+            if self._gradmap is not None and self._gradmap.available and clipping is not None:
+                from repro.runtime.jobs import chunk_ranges
+
+                chunks = [
+                    idx[start:stop]
+                    for start, stop in chunk_ranges(len(idx), self.microbatch_size)
+                ]
+                with self._span("parallel_grad"):
+                    outs = self._gradmap.map_chunks(params, chunks, clipping)
+            if outs is not None:
+                # Reduce in chunk-index order: same additions in the same
+                # order as the serial loop below, hence bit-identical sums.
+                # The workers clipped against pickled copies; replaying the
+                # observed norms here keeps the parent's adaptive-clipping
+                # state on the serial trajectory.
+                recorder = getattr(self.optimizer, "recorder", None)
+                for chunk_sum, chunk_losses, norms in outs:
+                    clipping.observe(norms)
+                    if recorder is not None:
+                        record_clipping(
+                            recorder, None, clipping.sensitivity(), norms=norms
+                        )
+                    total += chunk_sum
+                    losses.extend(chunk_losses.tolist())
+            else:
+                for start in range(0, len(idx), self.microbatch_size):
+                    chunk = idx[start : start + self.microbatch_size]
+                    with self._span("sample"):
+                        x, y = self.train_data.batch(chunk)
+                        if self.augment is not None:
+                            x = self.augment(x)
+                    with self._span("forward_backward"):
+                        chunk_losses, grads = self.model.loss_and_per_sample_gradients(x, y)
+                    total += self.optimizer.clipped_sum(grads)
+                    losses.extend(chunk_losses.tolist())
         finally:
             if clipping is not None:
                 clipping.end_lot()
@@ -412,7 +494,9 @@ class Trainer:
         return history
 
     def evaluate(self, *, max_samples: int | None = None, chunk: int = 512) -> float:
-        """Test accuracy, computed in chunks to bound memory."""
+        """Test accuracy, computed in ``chunk``-sized pieces to bound memory."""
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
         if self.test_data is None:
             raise ValueError("no test_data attached")
         x, y = self.test_data.x, self.test_data.y

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments.cli all --scale smoke
     python -m repro.experiments.cli trace --telemetry out.jsonl
     python -m repro.experiments.cli table2 --checkpoint-dir ckpt --resume
+    python -m repro.experiments.cli table2 --workers 4 --checkpoint-dir ckpt
     python -m repro.experiments.cli list
 """
 
@@ -123,6 +124,17 @@ def build_parser() -> argparse.ArgumentParser:
             "existing snapshots are ignored and overwritten"
         ),
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run an experiment's independent cells over N worker processes "
+            "(results are bit-identical to serial for any N; experiments "
+            "without parallel support ignore the flag with a notice)"
+        ),
+    )
     return parser
 
 
@@ -142,6 +154,11 @@ def supports_checkpointing(name: str) -> bool:
     return _supports_kwarg(name, "checkpoint_dir")
 
 
+def supports_workers(name: str) -> bool:
+    """Whether an experiment's runner accepts a ``workers=`` count."""
+    return _supports_kwarg(name, "workers")
+
+
 def run_one(
     name: str,
     scale: str,
@@ -149,6 +166,7 @@ def run_one(
     telemetry: str | None = None,
     checkpoint_dir: str | None = None,
     resume: bool = False,
+    workers: int | None = None,
 ) -> str:
     """Run one experiment and return its formatted table."""
     run, fmt, _ = EXPERIMENTS[name]
@@ -165,6 +183,11 @@ def run_one(
             kwargs["resume"] = resume
         else:
             notice += f"[{name} does not support --checkpoint-dir; flag ignored]\n"
+    if workers is not None:
+        if supports_workers(name):
+            kwargs["workers"] = workers
+        else:
+            notice += f"[{name} does not support --workers; flag ignored]\n"
     start = time.perf_counter()
     result = run(scale, rng=seed, **kwargs)
     elapsed = time.perf_counter() - start
@@ -180,6 +203,9 @@ def main(argv=None) -> int:
     if args.resume and args.checkpoint_dir is None:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(
@@ -190,6 +216,7 @@ def main(argv=None) -> int:
                 telemetry=args.telemetry,
                 checkpoint_dir=args.checkpoint_dir,
                 resume=args.resume,
+                workers=args.workers,
             )
         )
         print()

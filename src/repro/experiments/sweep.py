@@ -5,6 +5,12 @@ parameter grid, with seeded repetitions, and renders the result grid — the
 machinery behind "how does X vary with (beta, sigma)?" questions that don't
 warrant a dedicated experiment module.
 
+Each metric is reported as its mean across the repeats plus a
+``<metric>_std`` column (population standard deviation), and repeats can be
+spread over worker processes (``run(workers=N)``) — every ``(point,
+repeat)`` cell owns a generator spawned by index, so results are
+bit-identical for any worker count.
+
 Example::
 
     from repro.experiments.sweep import ParameterSweep
@@ -14,8 +20,8 @@ Example::
         return {"direction_mse": ..., "gradient_mse": ...}
 
     sweep = ParameterSweep(measure, {"beta": [0.01, 0.1], "sigma": [1, 10]})
-    result = sweep.run(rng=0, repeats=3)
-    print(sweep.format(result, metric="direction_mse"))
+    result = sweep.run(rng=0, repeats=3, workers=4)
+    print(sweep.format(result, metric="direction_mse", std=True))
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ import itertools
 
 import numpy as np
 
-from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.rng import as_rng
 from repro.utils.tables import format_table
 
 __all__ = ["ParameterSweep"]
@@ -59,54 +65,105 @@ class ParameterSweep:
             for combo in itertools.product(*(self.grid[n] for n in names))
         ]
 
-    def run(self, rng=None, *, repeats: int = 1) -> list[dict]:
-        """Evaluate every point; metrics are averaged over ``repeats`` seeds.
+    def run(
+        self, rng=None, *, repeats: int = 1, workers=1, telemetry=None
+    ) -> list[dict]:
+        """Evaluate every point; metrics are aggregated over ``repeats`` seeds.
 
-        Returns one dict per point: the parameters plus the mean of each
-        metric the measurement returned.
+        Returns one dict per point: the parameters, the mean of each metric
+        the measurement returned, and a ``<metric>_std`` entry with the
+        population standard deviation across the repeats (0 when
+        ``repeats=1``).
+
+        ``workers > 1`` distributes the ``len(points) * repeats``
+        measurement cells over that many processes through
+        :func:`repro.runtime.run_cells`.  Cell generators are spawned from
+        ``rng`` by cell index, so the results (means *and* stds) are
+        bit-identical to ``workers=1`` — parallelism changes wall-clock
+        time, never numbers.  ``telemetry`` optionally receives the pool's
+        ``runtime_*`` progress events.
         """
+        from repro.runtime.scheduler import make_cells, run_cells
+
         if repeats < 1:
             raise ValueError(f"repeats must be >= 1, got {repeats}")
         rng = as_rng(rng)
         points = self.points()
-        seeds = spawn_rngs(rng, len(points) * repeats)
-        seed_iter = iter(seeds)
+        payloads = [
+            (point_index, repeat_index)
+            for point_index in range(len(points))
+            for repeat_index in range(repeats)
+        ]
+        keys = [f"point{pi}/rep{ri}" for pi, ri in payloads]
+        cells = make_cells(payloads, keys=keys, rng=rng)
+
+        def measure_cell(cell):
+            point_index, _ = cell.payload
+            return self.measure(**points[point_index], rng=cell.rng)
+
+        raw = run_cells(measure_cell, cells, workers=workers, telemetry=telemetry)
 
         rows = []
-        for point in points:
+        for point_index, point in enumerate(points):
             totals: dict[str, float] = {}
-            for _ in range(repeats):
-                metrics = self.measure(**point, rng=next(seed_iter))
+            samples: dict[str, list[float]] = {}
+            for repeat_index in range(repeats):
+                metrics = raw[point_index * repeats + repeat_index]
                 if not isinstance(metrics, dict) or not metrics:
                     raise ValueError("measure must return a non-empty dict of metrics")
                 for key, value in metrics.items():
                     totals[key] = totals.get(key, 0.0) + float(value)
-            rows.append({**point, **{k: v / repeats for k, v in totals.items()}})
+                    samples.setdefault(key, []).append(float(value))
+            means = {k: v / repeats for k, v in totals.items()}
+            stds = {f"{k}_std": float(np.std(samples[k])) for k in samples}
+            clash = set(means) & set(stds)
+            if clash:
+                raise ValueError(
+                    f"metric name(s) {sorted(clash)} collide with the "
+                    "reserved '<metric>_std' aggregate columns"
+                )
+            rows.append({**point, **means, **stds})
         return rows
 
-    def format(self, rows: list[dict], *, metric: str, title: str | None = None) -> str:
+    def format(
+        self,
+        rows: list[dict],
+        *,
+        metric: str,
+        title: str | None = None,
+        std: bool = False,
+    ) -> str:
         """Render one metric of a completed sweep as a table.
 
         With exactly two swept parameters the table is a 2-D grid (first
         parameter as rows, second as columns); otherwise one row per point.
+        ``std=True`` renders each cell as ``mean±std`` using the metric's
+        ``<metric>_std`` column.
         """
         if not rows:
             raise ValueError("no rows to format")
         if metric not in rows[0]:
             raise KeyError(f"metric {metric!r} not in sweep results")
+        std_key = f"{metric}_std"
+        if std and std_key not in rows[0]:
+            raise KeyError(f"metric {std_key!r} not in sweep results")
+
+        def cell(row: dict):
+            if not std:
+                return row[metric]
+            return f"{row[metric]:g}±{row[std_key]:g}"
+
         names = list(self.grid)
         if len(names) == 2:
             row_name, col_name = names
             col_values = self.grid[col_name]
             headers = [f"{row_name} \\ {col_name}"] + [str(v) for v in col_values]
-            lookup = {
-                (r[row_name], r[col_name]): r[metric] for r in rows
-            }
+            lookup = {(r[row_name], r[col_name]): cell(r) for r in rows}
             table_rows = [
                 [rv] + [lookup[(rv, cv)] for cv in col_values]
                 for rv in self.grid[row_name]
             ]
             return format_table(headers, table_rows, title=title or metric)
         headers = names + [metric]
-        table_rows = [[r[n] for n in names] + [r[metric]] for r in rows]
+        table_rows = [[r[n] for n in names] + [cell(r)] for r in rows]
         return format_table(headers, table_rows, title=title or metric)

@@ -55,7 +55,12 @@ _BETA_BAD = 0.5
 
 
 def run_table2(
-    scale: str = "smoke", rng=None, *, checkpoint_dir=None, resume: bool = True
+    scale: str = "smoke",
+    rng=None,
+    *,
+    checkpoint_dir=None,
+    resume: bool = True,
+    workers=1,
 ) -> dict:
     """Run the Table II accuracy grid at the requested scale.
 
@@ -63,6 +68,9 @@ def run_table2(
     snapshots its state there (one sub-directory per cell) and, with
     ``resume=True``, an interrupted grid picks up from the latest valid
     snapshots with bit-identical results (see :mod:`repro.checkpoint`).
+    ``workers > 1`` trains the grid cells concurrently with bit-identical
+    results (see :mod:`repro.runtime`); combined with ``checkpoint_dir`` a
+    killed parallel run resumes only its unfinished cells.
     """
     check_scale(scale)
     cfg = _PRESETS[scale]
@@ -89,6 +97,7 @@ def run_table2(
         rng=rng,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        workers=workers,
     )
     result["scale"] = scale
     result["dataset"] = "MNIST-like"

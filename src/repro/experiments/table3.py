@@ -54,7 +54,12 @@ _BETA_BAD = 1.0  # Table III's second beta column is beta = 1
 
 
 def run_table3(
-    scale: str = "smoke", rng=None, *, checkpoint_dir=None, resume: bool = True
+    scale: str = "smoke",
+    rng=None,
+    *,
+    checkpoint_dir=None,
+    resume: bool = True,
+    workers=1,
 ) -> dict:
     """Run the Table III accuracy grid at the requested scale.
 
@@ -62,6 +67,9 @@ def run_table3(
     snapshots its state there (one sub-directory per cell) and, with
     ``resume=True``, an interrupted grid picks up from the latest valid
     snapshots with bit-identical results (see :mod:`repro.checkpoint`).
+    ``workers > 1`` trains the grid cells concurrently with bit-identical
+    results (see :mod:`repro.runtime`); combined with ``checkpoint_dir`` a
+    killed parallel run resumes only its unfinished cells.
     """
     check_scale(scale)
     cfg = _PRESETS[scale]
@@ -90,6 +98,7 @@ def run_table3(
         rng=rng,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        workers=workers,
     )
     result["scale"] = scale
     result["dataset"] = "CIFAR-like"

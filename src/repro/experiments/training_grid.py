@@ -154,6 +154,8 @@ def run_grid(
     checkpoint_dir=None,
     checkpoint_every: int = 50,
     resume: bool = True,
+    workers=1,
+    telemetry=None,
 ) -> dict:
     """Run every (method, sigma) cell plus the noise-free reference.
 
@@ -164,56 +166,78 @@ def run_grid(
     produces bit-identical accuracies.  The per-cell RNGs are spawned
     deterministically from the master seed, so re-running with the same
     seed reconstructs each cell exactly as the interrupted run built it.
-    """
-    from repro.utils.rng import spawn_rngs
 
-    seeds = spawn_rngs(rng, len(methods) * len(sigmas) + 1)
-    seed_iter = iter(seeds)
+    ``workers > 1`` trains the cells concurrently in forked worker
+    processes (:func:`repro.runtime.run_cells`).  Cell seeds are assigned
+    by cell index before anything runs, so the grid is bit-identical for
+    any worker count; combined with ``checkpoint_dir`` the per-cell
+    snapshot directories make a killed parallel run resume only its
+    unfinished cells.  ``telemetry`` optionally receives the pool's
+    ``runtime_*`` progress events.
+    """
+    from repro.runtime.scheduler import make_cells, run_cells
 
     def cell_dir(label: str, sigma: float):
         if checkpoint_dir is None:
             return None
         return cell_checkpoint_dir(checkpoint_dir, label, sigma)
 
-    # Noise-free reference (the paper quotes it in the table caption).  The
-    # private rows are clipping-limited, so the fair reference is clipped
-    # SGD at the same learning rate — DP-SGD with sigma = 0.
-    model = model_builder()
-    ref_rng = next(seed_iter)
-    ref_trainer = Trainer(
-        model,
-        DpSgdOptimizer(learning_rate, clip_norm, 0.0, rng=ref_rng),
-        train,
-        test_data=test,
-        batch_size=min(max(spec.batch_size for spec in methods), len(train)),
-        rng=ref_rng,
-    )
-    ref_dir = cell_dir("noise-free-reference", 0.0)
-    noise_free = ref_trainer.train(
-        iterations,
-        eval_every=iterations,
-        checkpoint_every=checkpoint_every if ref_dir is not None else 0,
-        checkpoint_dir=ref_dir,
-        resume=resume,
-    ).final_accuracy
+    # Cell 0 is the noise-free reference (the paper quotes it in the table
+    # caption); the private (method, sigma) cells follow in row-major
+    # order.  Seeds attach to this fixed ordering, never to completion
+    # order — the invariant behind workers-independent results.
+    payloads = [(None, 0.0)] + [(spec, sigma) for spec in methods for sigma in sigmas]
+    keys = ["noise-free-reference"] + [
+        f"{spec.label}@sigma={sigma:g}" for spec in methods for sigma in sigmas
+    ]
+    cells = make_cells(payloads, keys=keys, rng=rng)
+    ref_batch = min(max(spec.batch_size for spec in methods), len(train))
 
+    def execute(cell):
+        spec, sigma = cell.payload
+        if spec is None:
+            # The private rows are clipping-limited, so the fair reference
+            # is clipped SGD at the same learning rate — DP-SGD, sigma = 0.
+            model = model_builder()
+            ref_dir = cell_dir("noise-free-reference", 0.0)
+            trainer = Trainer(
+                model,
+                DpSgdOptimizer(learning_rate, clip_norm, 0.0, rng=cell.rng),
+                train,
+                test_data=test,
+                batch_size=ref_batch,
+                rng=cell.rng,
+            )
+            return trainer.train(
+                iterations,
+                eval_every=iterations,
+                checkpoint_every=checkpoint_every if ref_dir is not None else 0,
+                checkpoint_dir=ref_dir,
+                resume=resume,
+            ).final_accuracy
+        return run_method(
+            spec,
+            model_builder,
+            train,
+            test,
+            sigma=sigma,
+            iterations=iterations,
+            learning_rate=learning_rate,
+            clip_norm=clip_norm,
+            rng=cell.rng,
+            checkpoint_dir=cell_dir(spec.label, sigma),
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
+
+    accuracies = run_cells(execute, cells, workers=workers, telemetry=telemetry)
+    noise_free = accuracies[0]
     rows = []
+    position = 1
     for spec in methods:
         accs = {}
         for sigma in sigmas:
-            accs[sigma] = run_method(
-                spec,
-                model_builder,
-                train,
-                test,
-                sigma=sigma,
-                iterations=iterations,
-                learning_rate=learning_rate,
-                clip_norm=clip_norm,
-                rng=next(seed_iter),
-                checkpoint_dir=cell_dir(spec.label, sigma),
-                checkpoint_every=checkpoint_every,
-                resume=resume,
-            )
+            accs[sigma] = accuracies[position]
+            position += 1
         rows.append({"label": spec.label, "accuracies": accs})
     return {"noise_free": noise_free, "sigmas": sigmas, "rows": rows}

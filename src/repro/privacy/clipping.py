@@ -73,6 +73,17 @@ class ClippingStrategy:
     def end_lot(self) -> None:
         """Mark the end of the lot opened by :meth:`begin_lot`."""
 
+    def observe(self, norms) -> None:
+        """Feed pre-clip per-sample norms to the strategy's adaptation state.
+
+        Stateless strategies ignore observations.  Adaptive strategies use
+        this as the single entry point for threshold statistics — it is
+        called internally by :meth:`clip_with_norms`, and directly by the
+        parallel gradient map, which clips in worker processes (on pickled
+        copies) and replays the observed norms on the parent's strategy so
+        the adaptive trajectory matches the serial run exactly.
+        """
+
     def state_dict(self) -> dict:
         """Mutable state for checkpointing (empty for stateless strategies)."""
         return {}
@@ -237,13 +248,18 @@ class AdaptiveQuantileClipping(ClippingStrategy):
         norms = self._norms(grads)
         scale = 1.0 / np.maximum(1.0, norms / self.clip_norm)
         clipped = grads * scale[:, None]
+        self.observe(norms)
+        return clipped, norms
 
+    def observe(self, norms) -> None:
+        norms = np.asarray(norms)
+        if norms.size == 0:
+            return
         if self._lot_active:
             self._lot_below += int(np.sum(norms <= self.clip_norm))
             self._lot_count += len(norms)
         else:
             self._update(float(np.mean(norms <= self.clip_norm)), len(norms))
-        return clipped, norms
 
     def sensitivity(self) -> float:
         """Sensitivity of the release the threshold was last applied to.

@@ -1,0 +1,46 @@
+"""``repro.runtime`` — parallel execution subsystem.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.runtime.pool` — fault-tolerant process-pool **job runner**
+  (:func:`run_jobs`): forked workers, per-job retry with capped backoff,
+  crash/timeout detection, automatic serial fallback, telemetry progress
+  events.
+* :mod:`repro.runtime.scheduler` — **experiment scheduler**
+  (:func:`run_cells`): runs grid/sweep cells concurrently with index-based
+  seed assignment, so results are bit-identical for any worker count.
+* :mod:`repro.runtime.gradmap` — **parallel per-sample gradient map**
+  (:class:`ParallelGradientMap`): shards a lot's microbatch chunks across
+  workers over a shared-memory dataset snapshot; opt-in through
+  ``Trainer(parallel_grad_workers=...)``.
+
+See ``docs/parallelism.md`` for the worker model and the determinism
+guarantees.
+"""
+
+from repro.runtime.gradmap import ParallelGradientMap
+from repro.runtime.jobs import (
+    Job,
+    JobFailure,
+    JobOutcome,
+    assign_job_rngs,
+    chunk_ranges,
+    make_jobs,
+)
+from repro.runtime.pool import parallel_available, resolve_workers, run_jobs
+from repro.runtime.scheduler import make_cells, run_cells
+
+__all__ = [
+    "Job",
+    "JobFailure",
+    "JobOutcome",
+    "ParallelGradientMap",
+    "assign_job_rngs",
+    "chunk_ranges",
+    "make_cells",
+    "make_jobs",
+    "parallel_available",
+    "resolve_workers",
+    "run_cells",
+    "run_jobs",
+]

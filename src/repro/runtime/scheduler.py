@@ -1,0 +1,75 @@
+"""Parallel scheduler for experiment grids and sweeps.
+
+An experiment grid is a list of independent *cells* (one trained model, one
+sweep point, ...).  :func:`run_cells` executes them through the
+fault-tolerant pool runner with the two invariants every experiment in this
+repository relies on:
+
+* **index-based seeding** — each cell's generator is spawned from the
+  master seed by cell index before anything runs, so for a fixed seed the
+  cell results are bit-identical for any ``workers`` value (completion
+  order never touches a random stream);
+* **per-cell resume** — cells that checkpoint into their own directories
+  (:func:`repro.experiments.training_grid.cell_checkpoint_dir`) restore
+  themselves when re-run, so a killed parallel run re-executes only its
+  unfinished cells.
+
+The scheduler itself is deliberately small: it owns cell construction and
+ordering; retries, crash recovery and the serial fallback live in
+:mod:`repro.runtime.pool`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.jobs import Job, JobOutcome, assign_job_rngs
+from repro.runtime.pool import run_jobs
+
+__all__ = ["make_cells", "run_cells"]
+
+
+def make_cells(payloads, *, keys, rng) -> list[Job]:
+    """Build the cell list for one grid: payloads + keys + per-cell streams.
+
+    Every cell gets an independent child generator spawned from ``rng`` in
+    index order — the same streams a serial loop over the cells would use.
+    """
+    payloads = list(payloads)
+    keys = [str(k) for k in keys]
+    if len(keys) != len(payloads):
+        raise ValueError(f"{len(payloads)} payloads but {len(keys)} keys")
+    rngs = assign_job_rngs(rng, len(payloads))
+    return [Job(key, payload, cell_rng) for key, payload, cell_rng in zip(keys, payloads, rngs)]
+
+
+def run_cells(
+    runner,
+    cells,
+    *,
+    workers=1,
+    max_attempts: int = 3,
+    timeout: float | None = None,
+    telemetry=None,
+    outcomes: list[JobOutcome] | None = None,
+) -> list[Any]:
+    """Run every cell; results are returned in cell order.
+
+    ``runner(cell)`` receives each :class:`~repro.runtime.jobs.Job` and runs
+    in a forked worker (``workers > 1``) or in-process (``workers = 1``,
+    or after the pool runner's fallback).  It may close over unpicklable
+    state (models, datasets); only ``cell.payload``/``cell.rng`` and the
+    return value cross process boundaries.
+    """
+    cells = list(cells)
+    if telemetry is not None:
+        telemetry.increment("runtime_cells_scheduled", len(cells))
+    return run_jobs(
+        runner,
+        cells,
+        workers=workers,
+        max_attempts=max_attempts,
+        timeout=timeout,
+        telemetry=telemetry,
+        outcomes=outcomes,
+    )

@@ -11,7 +11,7 @@ from repro.core import (
     SgdOptimizer,
     Trainer,
 )
-from repro.data import Dataset, make_mnist_like, train_test_split
+from repro.data import make_mnist_like, train_test_split
 from repro.models import build_logistic_regression
 
 
@@ -74,6 +74,28 @@ class TestTrainerBasics:
         trainer = Trainer(lr_model(), SgdOptimizer(1.0), train, batch_size=32)
         with pytest.raises(ValueError, match="test_data"):
             trainer.evaluate()
+
+    def test_evaluate_rejects_nonpositive_chunk(self, small_data):
+        train, test = small_data
+        trainer = Trainer(
+            lr_model(), SgdOptimizer(1.0), train, test_data=test, batch_size=32
+        )
+        with pytest.raises(ValueError, match="chunk"):
+            trainer.evaluate(chunk=0)
+        with pytest.raises(ValueError, match="chunk"):
+            trainer.evaluate(chunk=-5)
+
+    def test_evaluate_chunk_boundaries_agree(self, small_data):
+        """Chunk sizes 1, n and n+1 must all produce the same accuracy."""
+        train, test = small_data
+        trainer = Trainer(
+            lr_model(), SgdOptimizer(1.0), train, test_data=test, batch_size=32
+        )
+        n = len(test)
+        reference = trainer.evaluate(chunk=512)
+        assert trainer.evaluate(chunk=1) == reference
+        assert trainer.evaluate(chunk=n) == reference
+        assert trainer.evaluate(chunk=n + 1) == reference
 
     def test_history_final_properties_raise_when_empty(self):
         from repro.core import TrainingHistory

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.experiments.cli import EXPERIMENTS, build_parser, main, run_one
+from repro.experiments.cli import (
+    EXPERIMENTS,
+    build_parser,
+    main,
+    run_one,
+    supports_workers,
+)
 
 
 class TestParser:
@@ -36,6 +42,20 @@ class TestExecution:
     def test_run_one_returns_table(self):
         text = run_one("fig4", "smoke", 0)
         assert "Figure 4" in text
+
+    def test_workers_support_detection(self):
+        assert supports_workers("table2")
+        assert supports_workers("table3")
+        assert not supports_workers("fig1")
+
+    def test_workers_notice_on_unsupported_experiment(self):
+        text = run_one("fig4", "smoke", 0, workers=2)
+        assert "does not support --workers" in text
+        assert "Figure 4" in text  # the experiment still ran
+
+    def test_invalid_workers_rejected(self, capsys):
+        assert main(["table2", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
 
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {

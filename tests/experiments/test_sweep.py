@@ -56,6 +56,39 @@ class TestRun:
             sweep.run(rng=0, repeats=0)
 
 
+class TestStd:
+    def test_known_values(self):
+        """repeats spread known samples -> exact population std."""
+        samples = {"x": iter([1.0, 3.0])}
+
+        def measure(a, rng):
+            return {"x": next(samples["x"])}
+
+        sweep = ParameterSweep(measure, {"a": [0]})
+        [row] = sweep.run(rng=0, repeats=2)
+        assert row["x"] == 2.0  # mean of 1, 3
+        assert row["x_std"] == 1.0  # population std of 1, 3
+
+    def test_zero_at_single_repeat(self):
+        sweep = ParameterSweep(toy_measure, {"a": [1], "b": [2]})
+        [row] = sweep.run(rng=0)
+        assert row["sum_std"] == 0.0
+        assert row["noisy_std"] == 0.0
+
+    def test_std_name_collision_rejected(self):
+        sweep = ParameterSweep(
+            lambda a, rng: {"x": a, "x_std": 0.0}, {"a": [1]}
+        )
+        with pytest.raises(ValueError, match="x_std"):
+            sweep.run(rng=0)
+
+    def test_workers_param_accepted_serially(self):
+        sweep = ParameterSweep(toy_measure, {"a": [1, 2], "b": [3]})
+        assert sweep.run(rng=7, repeats=2, workers=1) == sweep.run(
+            rng=7, repeats=2
+        )
+
+
 class TestFormat:
     def test_two_param_grid_layout(self):
         sweep = ParameterSweep(toy_measure, {"a": [1, 2], "b": [10, 20]})
@@ -77,6 +110,19 @@ class TestFormat:
         rows = sweep.run(rng=0)
         with pytest.raises(KeyError):
             sweep.format(rows, metric="nope")
+
+    def test_std_rendering(self):
+        sweep = ParameterSweep(toy_measure, {"a": [1, 2], "b": [10, 20]})
+        rows = sweep.run(rng=0, repeats=2)
+        text = sweep.format(rows, metric="sum", std=True)
+        assert "22±0" in text  # sum is noise-free: zero spread
+
+    def test_std_requires_std_column(self):
+        sweep = ParameterSweep(toy_measure, {"a": [1], "b": [2]})
+        rows = [{k: v for k, v in r.items() if not k.endswith("_std")}
+                for r in sweep.run(rng=0)]
+        with pytest.raises(KeyError, match="sum_std"):
+            sweep.format(rows, metric="sum", std=True)
 
 
 class TestGeoDpGridUseCase:
