@@ -1,0 +1,111 @@
+"""Ghost clipping vs materialized per-sample gradients: speed and memory.
+
+The headline claim of the ghost fast path is O(P) gradient memory instead
+of O(B*P) with no change to the DP release.  ``test_ghost_wins`` measures
+both sides directly (median wall time + tracemalloc peak) and asserts the
+ghost path is at least 1.3x faster *or* allocates at least 2x less peak
+memory; ``test_ghost_sum_matches`` pins the numerical agreement the
+speedup is not allowed to cost.
+"""
+
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.data import make_mnist_like
+from repro.models import build_cnn
+from repro.privacy.clipping import (
+    AdaptiveQuantileClipping,
+    AutoSClipping,
+    FlatClipping,
+    PsacClipping,
+)
+
+BATCH = 64
+NUM_CLASSES = 100  # a wide head puts the model in ghost's regime: P >> activations
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = make_mnist_like(BATCH, rng=0, size=16)
+    model = build_cnn((1, 16, 16), num_classes=NUM_CLASSES, channels=(16, 32), rng=0)
+    y = np.random.default_rng(1).integers(0, NUM_CLASSES, size=BATCH)
+    return model, data.x, y
+
+
+def materialized_clipped_sum(model, x, y, clipping):
+    _, grads = model.loss_and_per_sample_gradients(x, y)
+    return clipping.clip(grads).sum(axis=0)
+
+
+def ghost_clipped_sum(model, x, y, clipping):
+    _, summed, _ = model.loss_and_clipped_grad_sum(x, y, clipping)
+    return summed
+
+
+def measure(fn, repeats=5):
+    """(median seconds, tracemalloc peak bytes) for one callable."""
+    fn()  # warm caches outside the timed region
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    tracemalloc.start()
+    fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return float(np.median(times)), peak
+
+
+def test_ghost_wins(setup, report):
+    model, x, y = setup
+    mat_time, mat_peak = measure(
+        lambda: materialized_clipped_sum(model, x, y, FlatClipping(1.0))
+    )
+    ghost_time, ghost_peak = measure(
+        lambda: ghost_clipped_sum(model, x, y, FlatClipping(1.0))
+    )
+    speedup = mat_time / ghost_time
+    mem_ratio = mat_peak / ghost_peak
+    report(
+        "bench_ghost",
+        "Ghost clipping vs materialized per-sample gradients "
+        f"(CNN, B={BATCH}, P={model.num_params})\n"
+        f"materialized: {mat_time * 1e3:8.2f} ms  peak {mat_peak / 2**20:7.2f} MiB\n"
+        f"ghost:        {ghost_time * 1e3:8.2f} ms  peak {ghost_peak / 2**20:7.2f} MiB\n"
+        f"speedup {speedup:.2f}x, peak-memory ratio {mem_ratio:.2f}x",
+    )
+    assert speedup >= 1.3 or mem_ratio >= 2.0, (
+        f"ghost path shows no win: {speedup:.2f}x speed, {mem_ratio:.2f}x memory"
+    )
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: FlatClipping(1.0),
+        lambda: AutoSClipping(1.0),
+        lambda: PsacClipping(1.0),
+        lambda: AdaptiveQuantileClipping(1.0),
+    ],
+    ids=["flat", "autos", "psac", "adaptive"],
+)
+def test_ghost_sum_matches(setup, make):
+    model, x, y = setup
+    ref = materialized_clipped_sum(model, x, y, make())
+    got = ghost_clipped_sum(model, x, y, make())
+    rel = np.abs(got - ref).max() / (np.abs(ref).max() + 1e-30)
+    assert rel <= 1e-8, f"ghost sum deviates by {rel:.2e} relative"
+
+
+def test_materialized_step(benchmark, setup):
+    model, x, y = setup
+    benchmark(materialized_clipped_sum, model, x, y, FlatClipping(1.0))
+
+
+def test_ghost_step(benchmark, setup):
+    model, x, y = setup
+    benchmark(ghost_clipped_sum, model, x, y, FlatClipping(1.0))

@@ -1,0 +1,138 @@
+"""Run the library's core micro-benchmarks and archive a perf baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--repeats N] [--out DIR]
+
+Each benchmark is measured for wall time (median of ``--repeats`` runs
+after one warm-up) and allocation peak (``tracemalloc``), and the results
+are written to ``BENCH_<n>.json`` in the repo root — ``n`` is the first
+unused integer, so successive runs accumulate a comparable history::
+
+    {
+      "benchmarks": {
+        "ghost_clipped_sum": {"seconds": 0.0123, "peak_bytes": 1234567},
+        ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def build_benchmarks() -> dict:
+    """Name -> zero-argument callable for every tracked hot path."""
+    from repro.core import perturb_dp_batch, perturb_geodp_batch
+    from repro.data import make_mnist_like
+    from repro.geometry import (
+        canonicalize_angles,
+        to_cartesian_batch,
+        to_spherical_batch,
+    )
+    from repro.models import build_cnn
+    from repro.privacy.clipping import FlatClipping
+
+    rng = np.random.default_rng(0)
+    grads = rng.normal(size=(64, 5000)) * 0.01
+    mags, thetas = to_spherical_batch(grads)
+    noised = thetas + rng.normal(0.0, 2.0, size=thetas.shape)
+
+    batch = 64
+    data = make_mnist_like(batch, rng=0, size=16)
+    model = build_cnn((1, 16, 16), num_classes=100, channels=(16, 32), rng=0)
+    y = np.random.default_rng(1).integers(0, 100, size=batch)
+    noise_rng = np.random.default_rng(2)
+
+    def materialized_clipped_sum():
+        _, per_sample = model.loss_and_per_sample_gradients(data.x, y)
+        return FlatClipping(1.0).clip(per_sample).sum(axis=0)
+
+    def ghost_clipped_sum():
+        _, summed, _ = model.loss_and_clipped_grad_sum(data.x, y, FlatClipping(1.0))
+        return summed
+
+    return {
+        "to_spherical_batch": lambda: to_spherical_batch(grads),
+        "to_cartesian_batch": lambda: to_cartesian_batch(mags, thetas),
+        "canonicalize_angles": lambda: canonicalize_angles(noised),
+        "perturb_dp_batch": lambda: perturb_dp_batch(grads, 0.1, 1.0, 1024, noise_rng),
+        "perturb_geodp_batch": lambda: perturb_geodp_batch(
+            grads, 0.1, 1.0, 1024, 0.1, noise_rng
+        ),
+        "materialized_clipped_sum": materialized_clipped_sum,
+        "ghost_clipped_sum": ghost_clipped_sum,
+    }
+
+
+def measure(fn, repeats: int) -> dict:
+    """Median wall seconds and tracemalloc peak bytes for one callable."""
+    fn()  # warm-up outside the timed region
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    tracemalloc.start()
+    fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {"seconds": float(np.median(times)), "peak_bytes": int(peak)}
+
+
+def next_output_path(out_dir: Path) -> Path:
+    n = 0
+    while (out_dir / f"BENCH_{n}.json").exists():
+        n += 1
+    return out_dir / f"BENCH_{n}.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=5, help="timed runs per bench")
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT), metavar="DIR", help="output directory"
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    results = {}
+    for name, fn in build_benchmarks().items():
+        results[name] = measure(fn, args.repeats)
+        print(
+            f"{name:28s} {results[name]['seconds'] * 1e3:9.3f} ms   "
+            f"{results[name]['peak_bytes'] / 2**20:8.2f} MiB peak"
+        )
+
+    path = next_output_path(Path(args.out))
+    path.write_text(
+        json.dumps(
+            {
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+                "repeats": args.repeats,
+                "benchmarks": results,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,13 @@ class DpSgdOptimizer:
         and the released one) plus the sensitivity and sigma used.  Purely
         observational: the recorder never touches the RNG, so instrumented
         runs are bit-identical to uninstrumented ones.
+    grad_mode:
+        ``"materialize"`` (default) computes the full ``(B, P)`` per-sample
+        gradient matrix and preserves bit-identical seed behaviour;
+        ``"ghost"`` asks the trainer to route through the ghost-clipping
+        fast path (:meth:`step_ghost` / :meth:`ghost_clipped_sum`), which
+        clips and sums without materializing the matrix — O(P) gradient
+        memory, same DP release.  See ``docs/performance.md``.
     """
 
     #: Trainer uses this to decide which gradient API to call.
@@ -64,8 +71,12 @@ class DpSgdOptimizer:
         lot_size: int | None = None,
         momentum: float = 0.0,
         recorder=None,
+        grad_mode: str = "materialize",
     ):
+        from repro.core.ghost import check_grad_mode
+
         self.recorder = recorder
+        self.grad_mode = check_grad_mode(grad_mode)
         self.learning_rate = check_positive("learning_rate", learning_rate)
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
@@ -102,6 +113,22 @@ class DpSgdOptimizer:
             )
             return summed
         return self.clipping.clip(grads).sum(axis=0)
+
+    def ghost_clipped_sum(self, model, x, y) -> tuple[np.ndarray, np.ndarray]:
+        """Clip-and-sum one batch via the ghost fast path (no ``(B, P)``).
+
+        Returns ``(per-sample losses, clipped gradient sum)``; see
+        :func:`repro.core.ghost.ghost_clipped_sum`.
+        """
+        from repro.core.ghost import ghost_clipped_sum
+
+        return ghost_clipped_sum(self, model, x, y)
+
+    def step_ghost(self, params: np.ndarray, model, x, y) -> tuple[np.ndarray, float]:
+        """One DP-SGD update via the ghost path; returns ``(params, mean loss)``."""
+        from repro.core.ghost import ghost_step
+
+        return ghost_step(self, params, model, x, y)
 
     def noisy_gradient_presummed(self, clipped_sum: np.ndarray, count: int) -> np.ndarray:
         """Noise an already clipped-and-summed gradient (Eq. 8 aggregation).

@@ -55,8 +55,12 @@ class GeoDpSgdOptimizer:
         lot_size: int | None = None,
         momentum: float = 0.0,
         recorder=None,
+        grad_mode: str = "materialize",
     ):
+        from repro.core.ghost import check_grad_mode
+
         self.recorder = recorder
+        self.grad_mode = check_grad_mode(grad_mode)
         self.learning_rate = check_positive("learning_rate", learning_rate)
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
@@ -107,6 +111,23 @@ class GeoDpSgdOptimizer:
             )
             return summed
         return self.clipping.clip(grads).sum(axis=0)
+
+    def ghost_clipped_sum(self, model, x, y) -> tuple[np.ndarray, np.ndarray]:
+        """Clip-and-sum one batch via the ghost fast path (no ``(B, P)``).
+
+        GeoDP only needs the *averaged* clipped gradient before its
+        spherical conversion (Algorithm 1 step 5), so the ghost sum feeds
+        :meth:`noisy_gradient_presummed` unchanged.
+        """
+        from repro.core.ghost import ghost_clipped_sum
+
+        return ghost_clipped_sum(self, model, x, y)
+
+    def step_ghost(self, params: np.ndarray, model, x, y) -> tuple[np.ndarray, float]:
+        """One GeoDP update via the ghost path; returns ``(params, mean loss)``."""
+        from repro.core.ghost import ghost_step
+
+        return ghost_step(self, params, model, x, y)
 
     def _noise_split(self, d: int, denominator: int) -> dict[str, float]:
         """GeoDP's spherical noise split: magnitude vs direction noise std."""

@@ -47,9 +47,13 @@ class GeoDpAdamOptimizer(AdamOptimizer):
         sample_rate: float | None = None,
         sensitivity_mode: str = "per_angle",
         recorder=None,
+        grad_mode: str = "materialize",
     ):
+        from repro.core.ghost import check_grad_mode
+
         super().__init__(learning_rate, beta1=beta1, beta2=beta2, eps=eps)
         self.recorder = recorder
+        self.grad_mode = check_grad_mode(grad_mode)
         if isinstance(clipping, (int, float)):
             clipping = FlatClipping(float(clipping))
         self.clipping = clipping
@@ -87,20 +91,27 @@ class GeoDpAdamOptimizer(AdamOptimizer):
             "geodp_direction_noise_scale": sigma * dir_sens / batch_size,
         }
 
-    def step(self, params: np.ndarray, per_sample_grads) -> np.ndarray:
-        """GeoDP perturbation of the clipped average, then an Adam update."""
+    def clipped_sum(self, per_sample_grads) -> np.ndarray:
+        """Clip per-sample gradients and sum them (the accumulation unit)."""
         grads = check_matrix("per_sample_grads", per_sample_grads)
-        batch_size = grads.shape[0]
+        if grads.shape[0] == 0:
+            return np.zeros(grads.shape[1])
         clipped, norms = self.clipping.clip_with_norms(grads)
         record_clipping(
             self.recorder, grads, self.clipping.sensitivity(), norms=norms
         )
-        avg = clipped.mean(axis=0)
+        return clipped.sum(axis=0)
+
+    def noisy_gradient_presummed(self, clipped_sum: np.ndarray, count: int) -> np.ndarray:
+        """GeoDP perturbation of an already clipped-and-summed gradient."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        avg = clipped_sum / count
         noisy = perturb_geodp(
             avg,
             self.clipping.sensitivity(),
             self.noise_multiplier,
-            batch_size,
+            count,
             self.beta,
             self.rng,
             clip=False,
@@ -113,12 +124,34 @@ class GeoDpAdamOptimizer(AdamOptimizer):
                 noisy,
                 sigma=self.noise_multiplier,
                 sensitivity=self.clipping.sensitivity(),
-                extras=self._noise_split(len(avg), batch_size),
+                extras=self._noise_split(len(avg), count),
             )
+        return noisy
+
+    def step_presummed(self, params: np.ndarray, clipped_sum: np.ndarray, count: int) -> np.ndarray:
+        """One Adam update from an accumulated clipped sum."""
+        noisy = self.noisy_gradient_presummed(clipped_sum, count)
         self.last_noisy_gradient = noisy
         if self.accountant is not None:
             self.accountant.step(max(self.noise_multiplier, 1e-12), self.sample_rate)
         return AdamOptimizer.step(self, params, noisy)
+
+    def step(self, params: np.ndarray, per_sample_grads) -> np.ndarray:
+        """GeoDP perturbation of the clipped average, then an Adam update."""
+        grads = check_matrix("per_sample_grads", per_sample_grads)
+        return self.step_presummed(params, self.clipped_sum(grads), grads.shape[0])
+
+    def ghost_clipped_sum(self, model, x, y) -> tuple[np.ndarray, np.ndarray]:
+        """Clip-and-sum one batch via the ghost fast path (no ``(B, P)``)."""
+        from repro.core.ghost import ghost_clipped_sum
+
+        return ghost_clipped_sum(self, model, x, y)
+
+    def step_ghost(self, params: np.ndarray, model, x, y) -> tuple[np.ndarray, float]:
+        """One GeoDP-Adam update via the ghost path; returns ``(params, mean loss)``."""
+        from repro.core.ghost import ghost_step
+
+        return ghost_step(self, params, model, x, y)
 
     def state_dict(self) -> dict:
         """Adam moments plus noise stream, clipping and accountant state."""

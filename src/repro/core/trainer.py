@@ -8,6 +8,7 @@ optional selective update/release (SUR).
 
 from __future__ import annotations
 
+import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
@@ -115,6 +116,21 @@ class Trainer:
         serial loop for any worker count; on worker failure the trainer
         falls back to the serial loop automatically.  Call :meth:`close`
         (or use the trainer as a context manager) to release the workers.
+    grad_mode:
+        Gradient execution mode for per-sample (DP) optimizers.
+        ``"materialize"`` computes the full ``(B, P)`` per-sample gradient
+        matrix (bit-identical to historical behaviour); ``"ghost"`` clips
+        and sums through the ghost-norm fast path — two backward passes,
+        O(P) gradient memory, same DP release (see ``docs/performance.md``).
+        ``None`` (default) inherits the optimizer's own ``grad_mode``
+        attribute, so an optimizer built with ``grad_mode="ghost"`` routes
+        the whole training loop through the fast path.  Ghost mode requires
+        a clipping strategy expressible as per-sample factors
+        (``supports_ghost``); with e.g. per-layer clipping the trainer
+        falls back to ``"materialize"`` with a warning.  It cannot combine
+        with ``importance_sampling`` (which reuses the materialized pool
+        gradients) or ``parallel_grad_workers`` (whose workers materialize
+        per-sample gradients; see ``docs/parallelism.md``).
     telemetry:
         Optional :class:`~repro.telemetry.MetricsRecorder`.  When given,
         every iteration emits a :class:`~repro.telemetry.StepTrace` with the
@@ -145,6 +161,7 @@ class Trainer:
         microbatch_size: int | None = None,
         parallel_grad_workers: int | None = None,
         telemetry=None,
+        grad_mode: str | None = None,
     ):
         if batch_size < 1 or batch_size > len(train_data):
             raise ValueError(
@@ -176,6 +193,40 @@ class Trainer:
             ):
                 optimizer.lot_size = batch_size
         self.sampling = sampling
+        from repro.core.ghost import check_grad_mode
+
+        if grad_mode is None:
+            grad_mode = getattr(optimizer, "grad_mode", "materialize")
+        self.grad_mode = check_grad_mode(grad_mode)
+        if self.grad_mode == "ghost":
+            if not getattr(optimizer, "requires_per_sample", False) or not hasattr(
+                optimizer, "ghost_clipped_sum"
+            ):
+                raise ValueError(
+                    f"{type(optimizer).__name__} does not support grad_mode='ghost'"
+                )
+            if importance_sampling is not None:
+                raise ValueError(
+                    "grad_mode='ghost' cannot combine with importance sampling: "
+                    "batch selection reuses the materialized pool gradients"
+                )
+            if parallel_grad_workers is not None:
+                raise ValueError(
+                    "grad_mode='ghost' cannot combine with parallel_grad_workers: "
+                    "the worker pool shards materialized per-sample gradients "
+                    "(see docs/parallelism.md)"
+                )
+            clipping = getattr(optimizer, "clipping", None)
+            if clipping is not None and not getattr(clipping, "supports_ghost", False):
+                warnings.warn(
+                    f"{type(clipping).__name__} needs the full per-sample "
+                    "gradient matrix; falling back to grad_mode='materialize'",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self.grad_mode = "materialize"
+                if telemetry is not None:
+                    telemetry.increment("ghost_fallbacks")
         if microbatch_size is not None:
             if microbatch_size < 1:
                 raise ValueError(f"microbatch_size must be >= 1, got {microbatch_size}")
@@ -300,9 +351,16 @@ class Trainer:
                         x, y = self.train_data.batch(chunk)
                         if self.augment is not None:
                             x = self.augment(x)
-                    with self._span("forward_backward"):
-                        chunk_losses, grads = self.model.loss_and_per_sample_gradients(x, y)
-                    total += self.optimizer.clipped_sum(grads)
+                    if self.grad_mode == "ghost":
+                        with self._span("forward_backward"):
+                            chunk_losses, chunk_sum = self.optimizer.ghost_clipped_sum(
+                                self.model, x, y
+                            )
+                        total += chunk_sum
+                    else:
+                        with self._span("forward_backward"):
+                            chunk_losses, grads = self.model.loss_and_per_sample_gradients(x, y)
+                        total += self.optimizer.clipped_sum(grads)
                     losses.extend(chunk_losses.tolist())
         finally:
             if clipping is not None:
@@ -312,12 +370,32 @@ class Trainer:
         batch_loss = float(np.mean(losses)) if losses else float("nan")
         return new_params, batch_loss
 
+    def _ghost_step(self, params: np.ndarray, idx: np.ndarray) -> tuple[np.ndarray, float]:
+        """Ghost fast path: clip-and-sum without the ``(B, P)`` matrix.
+
+        Same sampling, same denominator and same noise stream as the
+        materialized step — only the clipped sum is computed differently,
+        so losses track the materialized path to floating-point tolerance.
+        """
+        with self._span("sample"):
+            x, y = self.train_data.batch(idx)
+            if self.augment is not None and len(idx):
+                x = self.augment(x)
+        with self._span("forward_backward"):
+            losses, clipped_sum = self.optimizer.ghost_clipped_sum(self.model, x, y)
+        with self._span("step"):
+            new_params = self.optimizer.step_presummed(params, clipped_sum, len(idx))
+        batch_loss = float(np.mean(losses)) if len(losses) else float("nan")
+        return new_params, batch_loss
+
     def _per_sample_step(self, params: np.ndarray) -> tuple[np.ndarray, float]:
         n = len(self.train_data)
         if self.microbatch_size is not None or self.sampling == "poisson":
             idx = self._draw_indices(n)
             if self.microbatch_size is not None:
                 return self._accumulated_step(params, idx)
+            if self.grad_mode == "ghost":
+                return self._ghost_step(params, idx)
             with self._span("sample"):
                 x, y = self.train_data.batch(idx)
                 if self.augment is not None and len(idx):
@@ -333,6 +411,8 @@ class Trainer:
                 batch_loss = float("nan")
             with self._span("step"):
                 return self.optimizer.step(params, grads), batch_loss
+        if self.grad_mode == "ghost":
+            return self._ghost_step(params, minibatch_indices(n, self.batch_size, self.rng))
         if self.importance_sampling is not None:
             with self._span("sample"):
                 pool_size = min(self.pool_factor * self.batch_size, n)

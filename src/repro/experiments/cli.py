@@ -135,6 +135,17 @@ def build_parser() -> argparse.ArgumentParser:
             "without parallel support ignore the flag with a notice)"
         ),
     )
+    parser.add_argument(
+        "--grad-mode",
+        default=None,
+        choices=("materialize", "ghost"),
+        help=(
+            "per-sample gradient strategy for training-grid experiments: "
+            "'materialize' (default) builds the full (B, P) matrix; 'ghost' "
+            "clips and sums without it — O(P) gradient memory (experiments "
+            "without training ignore the flag with a notice)"
+        ),
+    )
     return parser
 
 
@@ -159,6 +170,11 @@ def supports_workers(name: str) -> bool:
     return _supports_kwarg(name, "workers")
 
 
+def supports_grad_mode(name: str) -> bool:
+    """Whether an experiment's runner accepts a ``grad_mode=`` choice."""
+    return _supports_kwarg(name, "grad_mode")
+
+
 def run_one(
     name: str,
     scale: str,
@@ -167,6 +183,7 @@ def run_one(
     checkpoint_dir: str | None = None,
     resume: bool = False,
     workers: int | None = None,
+    grad_mode: str | None = None,
 ) -> str:
     """Run one experiment and return its formatted table."""
     run, fmt, _ = EXPERIMENTS[name]
@@ -188,6 +205,11 @@ def run_one(
             kwargs["workers"] = workers
         else:
             notice += f"[{name} does not support --workers; flag ignored]\n"
+    if grad_mode is not None:
+        if supports_grad_mode(name):
+            kwargs["grad_mode"] = grad_mode
+        else:
+            notice += f"[{name} does not support --grad-mode; flag ignored]\n"
     start = time.perf_counter()
     result = run(scale, rng=seed, **kwargs)
     elapsed = time.perf_counter() - start
@@ -217,6 +239,7 @@ def main(argv=None) -> int:
                 checkpoint_dir=args.checkpoint_dir,
                 resume=args.resume,
                 workers=args.workers,
+                grad_mode=args.grad_mode,
             )
         )
         print()

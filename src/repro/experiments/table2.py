@@ -61,6 +61,7 @@ def run_table2(
     checkpoint_dir=None,
     resume: bool = True,
     workers=1,
+    grad_mode: str = "materialize",
 ) -> dict:
     """Run the Table II accuracy grid at the requested scale.
 
@@ -71,6 +72,8 @@ def run_table2(
     ``workers > 1`` trains the grid cells concurrently with bit-identical
     results (see :mod:`repro.runtime`); combined with ``checkpoint_dir`` a
     killed parallel run resumes only its unfinished cells.
+    ``grad_mode="ghost"`` routes every non-IS cell through the
+    ghost-clipping fast path (see :mod:`repro.core.ghost`).
     """
     check_scale(scale)
     cfg = _PRESETS[scale]
@@ -98,6 +101,7 @@ def run_table2(
         checkpoint_dir=checkpoint_dir,
         resume=resume,
         workers=workers,
+        grad_mode=grad_mode,
     )
     result["scale"] = scale
     result["dataset"] = "MNIST-like"

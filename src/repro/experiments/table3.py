@@ -60,6 +60,7 @@ def run_table3(
     checkpoint_dir=None,
     resume: bool = True,
     workers=1,
+    grad_mode: str = "materialize",
 ) -> dict:
     """Run the Table III accuracy grid at the requested scale.
 
@@ -70,6 +71,8 @@ def run_table3(
     ``workers > 1`` trains the grid cells concurrently with bit-identical
     results (see :mod:`repro.runtime`); combined with ``checkpoint_dir`` a
     killed parallel run resumes only its unfinished cells.
+    ``grad_mode="ghost"`` routes every non-IS cell through the
+    ghost-clipping fast path (see :mod:`repro.core.ghost`).
     """
     check_scale(scale)
     cfg = _PRESETS[scale]
@@ -99,6 +102,7 @@ def run_table3(
         checkpoint_dir=checkpoint_dir,
         resume=resume,
         workers=workers,
+        grad_mode=grad_mode,
     )
     result["scale"] = scale
     result["dataset"] = "CIFAR-like"

@@ -79,8 +79,14 @@ def run_method(
     checkpoint_dir=None,
     checkpoint_every: int = 0,
     resume: bool = True,
+    grad_mode: str = "materialize",
 ) -> float:
-    """Train one model under ``spec``; returns final test accuracy."""
+    """Train one model under ``spec``; returns final test accuracy.
+
+    ``grad_mode="ghost"`` routes the DP gradient computation through the
+    ghost-clipping fast path; rows using importance sampling need the
+    materialized per-sample gradients and stay on ``"materialize"``.
+    """
     model = model_builder()
     optimizer = _make_optimizer(spec, sigma, learning_rate, clip_norm, rng)
     importance = ImportanceSampling(clip_norm) if spec.use_is else None
@@ -94,6 +100,7 @@ def run_method(
         rng=rng,
         importance_sampling=importance,
         sur=sur,
+        grad_mode="materialize" if spec.use_is else grad_mode,
     )
     history = trainer.train(
         iterations,
@@ -156,6 +163,7 @@ def run_grid(
     resume: bool = True,
     workers=1,
     telemetry=None,
+    grad_mode: str = "materialize",
 ) -> dict:
     """Run every (method, sigma) cell plus the noise-free reference.
 
@@ -174,8 +182,16 @@ def run_grid(
     snapshot directories make a killed parallel run resume only its
     unfinished cells.  ``telemetry`` optionally receives the pool's
     ``runtime_*`` progress events.
+
+    ``grad_mode="ghost"`` runs every cell's DP training through the
+    ghost-clipping fast path (results are equal to the default within
+    floating-point tolerance, not bit-identical; IS rows stay
+    materialized).
     """
+    from repro.core.ghost import check_grad_mode
     from repro.runtime.scheduler import make_cells, run_cells
+
+    check_grad_mode(grad_mode)
 
     def cell_dir(label: str, sigma: float):
         if checkpoint_dir is None:
@@ -228,6 +244,7 @@ def run_grid(
             checkpoint_dir=cell_dir(spec.label, sigma),
             checkpoint_every=checkpoint_every,
             resume=resume,
+            grad_mode=grad_mode,
         )
 
     accuracies = run_cells(execute, cells, workers=workers, telemetry=telemetry)

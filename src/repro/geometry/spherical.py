@@ -82,14 +82,13 @@ def to_spherical_batch(grads) -> tuple[np.ndarray, np.ndarray]:
         raise ValueError(f"gradients must have dimension >= 2, got d={d}")
 
     squares = grads**2
-    # tail_sq[:, z] = sum_{k > z} grads[:, k]^2  (0-indexed)
-    tail_sq = np.concatenate(
-        [
-            np.cumsum(squares[:, ::-1], axis=1)[:, ::-1][:, 1:],
-            np.zeros((m, 1)),
-        ],
-        axis=1,
-    )
+    # tail_sq[:, z] = sum_{k > z} grads[:, k]^2  (0-indexed).  Writing the
+    # reversed cumulative sum straight into a preallocated buffer keeps the
+    # addition order of the reversed-cumsum formulation (bit-identical)
+    # while skipping the reverse/slice/concatenate temporaries.
+    tail_sq = np.empty((m, d))
+    tail_sq[:, -1] = 0.0
+    np.cumsum(squares[:, :0:-1], axis=1, out=tail_sq[:, -2::-1])
     # Cumulative floating-point cancellation can leave tiny negatives.
     np.maximum(tail_sq, 0.0, out=tail_sq)
     magnitudes = np.sqrt(squares.sum(axis=1))
@@ -114,8 +113,11 @@ def to_cartesian_batch(magnitudes, thetas) -> np.ndarray:
 
     sines = np.sin(thetas)
     cosines = np.cos(thetas)
-    # sin_prod[:, z] = prod_{i < z} sin(theta_i), with sin_prod[:, 0] = 1.
-    sin_prod = np.concatenate([np.ones((m, 1)), np.cumprod(sines, axis=1)], axis=1)
+    # sin_prod[:, z] = prod_{i < z} sin(theta_i), with sin_prod[:, 0] = 1;
+    # cumprod writes directly into the preallocated buffer (no concatenate).
+    sin_prod = np.empty((m, d))
+    sin_prod[:, 0] = 1.0
+    np.cumprod(sines, axis=1, out=sin_prod[:, 1:])
 
     g = np.empty((m, d))
     g[:, : d - 1] = sin_prod[:, : d - 1] * cosines
@@ -149,17 +151,22 @@ def canonicalize_angles(thetas) -> np.ndarray:
         raise ValueError(f"thetas must be 1-D or 2-D, got shape {thetas.shape}")
     out = np.empty_like(thetas)
     d_minus_1 = thetas.shape[1]
-    negate = np.zeros(thetas.shape[0], dtype=bool)
-    for z in range(d_minus_1 - 1):  # polar angles
-        t = thetas[:, z].copy()
-        # A pending downstream negation turns this coordinate's cosine
-        # around (t -> pi - t) and stays pending for the rest of the row.
-        t[negate] = np.pi - t[negate]
-        t = np.mod(t, 2 * np.pi)
-        above = t > np.pi
-        t[above] = 2 * np.pi - t[above]  # cos unchanged, sin flips sign
-        negate ^= above
-        out[:, z] = t
+    # Whether a polar angle folds (raw value mod 2*pi lands in (pi, 2*pi))
+    # does not depend on a pending negation: negating maps t -> pi - t,
+    # which permutes the fold region onto itself.  The pending-negation
+    # flag at position z is therefore the XOR of the fold flags strictly
+    # before z — an exclusive prefix parity, computable in one cumsum —
+    # and a pending negation turns the folded angle t into pi - t.
+    if d_minus_1 > 1:
+        polar = np.mod(thetas[:, :-1], 2.0 * np.pi)
+        above = polar > np.pi
+        folded = np.where(above, 2.0 * np.pi - polar, polar)
+        fold_count = np.cumsum(above, axis=1)
+        pending = (fold_count - above) % 2 == 1  # exclusive prefix parity
+        out[:, :-1] = np.where(pending, np.pi - folded, folded)
+        negate = fold_count[:, -1] % 2 == 1
+    else:
+        negate = np.zeros(thetas.shape[0], dtype=bool)
     last = thetas[:, -1].copy()
     last[negate] += np.pi
     last = np.mod(last + np.pi, 2 * np.pi) - np.pi

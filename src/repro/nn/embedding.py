@@ -65,6 +65,20 @@ class Embedding(Layer):
         # Token inputs are not differentiable; propagate zeros of input shape.
         return np.zeros(tokens.shape), grads
 
+    def backward_norm_sq(self, grad_out):
+        if self._tokens is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        tokens = self._tokens
+        # The per-sample gradient scatters position gradients onto token
+        # rows, so ||dw_i||^2 = sum_{l,m} [t_l == t_m] <g_l, g_m>: the (L, L)
+        # positional Gram masked by token equality.  Repeated tokens are what
+        # makes this differ from a plain sum of ||g_l||^2.  O(B L^2 D)
+        # instead of the (B, vocab, dim) scatter target.
+        gram = np.einsum("bld,bmd->blm", grad_out, grad_out)
+        same = tokens[:, :, None] == tokens[:, None, :]
+        norm_sq = np.einsum("blm,blm->b", gram, same.astype(np.float64))
+        return np.zeros(tokens.shape), norm_sq
+
     def params(self) -> dict[str, np.ndarray]:
         return {"weight": self.weight}
 

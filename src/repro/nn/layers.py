@@ -46,6 +46,29 @@ class Layer:
     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
         raise NotImplementedError
 
+    def backward_norm_sq(self, grad_out: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Ghost-norm backward: ``(grad_in, per-sample param-grad norm² (B,))``.
+
+        Returns the input gradient (same as :meth:`backward`) together with
+        each sample's squared L2 norm of this layer's parameter gradient,
+        computed — in the overriding parametric layers — from layer-local
+        cached activations and ``grad_out`` without materializing the
+        per-sample gradient arrays.  This generic implementation is the
+        correct-for-anything fallback: parameter-free layers contribute
+        zeros, and unspecialized parametric layers fall back to the
+        materialized per-sample gradients.
+        """
+        if not self.params():
+            grad_in, _ = self.backward(grad_out, per_sample=False)
+            return grad_in, np.zeros(grad_out.shape[0])
+        grad_in, grads = self.backward(grad_out, per_sample=True)
+        batch = grad_out.shape[0]
+        norm_sq = np.zeros(batch)
+        for g in grads.values():
+            flat = g.reshape(batch, -1)
+            norm_sq += np.einsum("ij,ij->i", flat, flat)
+        return grad_in, norm_sq
+
     def params(self) -> dict[str, np.ndarray]:
         """Ordered mapping of parameter name to array (empty if none)."""
         return {}
@@ -102,6 +125,19 @@ class Linear(Layer):
             if self.bias is not None:
                 grads["bias"] = grad_out.sum(axis=0)
         return grad_in, grads
+
+    def backward_norm_sq(self, grad_out):
+        if self._x is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        x = self._x
+        # Per-sample weight gradient is the outer product a_i e_i^T, so its
+        # squared Frobenius norm factorizes: ||a_i||^2 * ||e_i||^2.  The bias
+        # gradient is e_i itself.  No (B, in, out) array is ever formed.
+        e_sq = np.einsum("bo,bo->b", grad_out, grad_out)
+        norm_sq = np.einsum("bi,bi->b", x, x) * e_sq
+        if self.bias is not None:
+            norm_sq = norm_sq + e_sq
+        return grad_out @ self.weight.T, norm_sq
 
     def params(self) -> dict[str, np.ndarray]:
         out = {"weight": self.weight}
@@ -230,6 +266,33 @@ class Conv2d(Layer):
         dcols = np.einsum("ok,bol->bkl", w_flat, dy)
         grad_in = F.col2im(dcols, self._x_shape, self.kernel, self.stride, self.padding)
         return grad_in, grads
+
+    def backward_norm_sq(self, grad_out):
+        if self._cols is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        batch = grad_out.shape[0]
+        cols = self._cols  # (B, K, L) with K = in_c * k * k, L = out_h * out_w
+        dy = grad_out.reshape(batch, self.out_channels, -1)  # (B, O, L)
+        k_dim, length = cols.shape[1], cols.shape[2]
+        if length * length <= self.out_channels * k_dim:
+            # Ghost-norm Gram trick: ||E_i A_i^T||_F^2 = <A_i^T A_i, E_i^T E_i>_F
+            # over the (L, L) spatial Grams — O(B L^2) memory instead of
+            # the (B, O, K) per-sample weight gradients.
+            ga = np.einsum("bkl,bkm->blm", cols, cols)
+            ge = np.einsum("bol,bom->blm", dy, dy)
+            norm_sq = np.einsum("blm,blm->b", ga, ge)
+        else:
+            # Small kernels / large feature maps: the (B, O, K) product is
+            # cheaper than the (B, L, L) Grams, and is freed immediately.
+            dw = np.einsum("bol,bkl->bok", dy, cols)
+            norm_sq = np.einsum("bok,bok->b", dw, dw)
+        if self.bias is not None:
+            db = dy.sum(axis=2)
+            norm_sq = norm_sq + np.einsum("bo,bo->b", db, db)
+        w_flat = self.weight.reshape(self.out_channels, -1)
+        dcols = np.einsum("ok,bol->bkl", w_flat, dy)
+        grad_in = F.col2im(dcols, self._x_shape, self.kernel, self.stride, self.padding)
+        return grad_in, norm_sq
 
     def params(self) -> dict[str, np.ndarray]:
         out = {"weight": self.weight}

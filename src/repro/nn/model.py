@@ -10,6 +10,10 @@ flat gradient (matrices); :class:`Sequential` provides the bridge:
 * ``loss_and_per_sample_gradients(x, y)`` — per-sample losses ``(B,)`` and
   the per-sample gradient matrix ``(B, P)`` (the DP-SGD/GeoDP path: each row
   is ``grad l(w; s_j)`` of Eq. 4, before clipping).
+* ``loss_and_clipped_grad_sum(x, y, clipping)`` — the ghost-clipping fast
+  path: per-sample losses plus the clipped gradient *sum* ``sum_i c_i g_i``
+  computed with two backward passes and O(P) gradient memory, never forming
+  the ``(B, P)`` matrix (see :doc:`/docs/performance`).
 """
 
 from __future__ import annotations
@@ -152,6 +156,57 @@ class Sequential:
         grad_out = self.loss.gradient(outputs, y)
         per_layer = self._backward(grad_out, per_sample=True)
         return losses, self._flatten_grads(per_layer, batch=x.shape[0])
+
+    def per_sample_grad_norms(self, grad_out: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Ghost backward pass #1: pre-clip per-sample gradient L2 norms.
+
+        Runs the layer chain's :meth:`~repro.nn.layers.Layer.backward_norm_sq`
+        hooks on the (already cached) forward activations, accumulating each
+        layer's squared-norm contribution.  Returns ``(norms (B,),
+        grad_out)`` so callers can reuse the loss-output gradient for the
+        second, scaled backward pass.
+        """
+        norm_sq = np.zeros(grad_out.shape[0])
+        grad = grad_out
+        for i in reversed(range(len(self.layers))):
+            grad, layer_norm_sq = self.layers[i].backward_norm_sq(grad)
+            norm_sq += layer_norm_sq
+        return np.sqrt(norm_sq), grad_out
+
+    def loss_and_clipped_grad_sum(
+        self, x: np.ndarray, y, clipping
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Ghost-clipping fast path: clipped gradient sum without ``(B, P)``.
+
+        Backward pass #1 accumulates per-sample gradient norms from
+        layer-local "ghost" quantities; ``clipping`` maps the norms to
+        per-sample factors ``c_i`` (:meth:`~repro.privacy.clipping.
+        ClippingStrategy.clip_factors`, which also feeds adaptive-threshold
+        state); backward pass #2 re-runs with the loss-output gradient rows
+        scaled by ``c_i`` and ``per_sample=False``, so the summed layer
+        gradients equal ``sum_i c_i g_i`` exactly (within floating-point
+        tolerance of the materialized path — samples never mix in backward,
+        which is also why BatchNorm models are rejected here just as they
+        are on the per-sample path).
+
+        Returns ``(per-sample losses (B,), clipped sum (P,), pre-clip
+        norms (B,))``.  Raises
+        :class:`~repro.privacy.clipping.GhostClippingUnsupportedError` for
+        strategies that need the full matrix (e.g. per-layer clipping).
+        """
+        if len(x) == 0:
+            # Empty Poisson batch: nothing to clip; mirror the optimizers'
+            # materialized-path handling (zero sum, no strategy observation).
+            return np.zeros(0), np.zeros(self.num_params), np.zeros(0)
+        outputs = self.forward(x, train=True)
+        losses = self.loss.per_sample(outputs, y)
+        batch = outputs.shape[0]
+        grad_out = self.loss.gradient(outputs, y)
+        norms, _ = self.per_sample_grad_norms(grad_out)
+        factors = np.asarray(clipping.clip_factors(norms), dtype=np.float64)
+        scaled = grad_out * factors.reshape((batch,) + (1,) * (grad_out.ndim - 1))
+        per_layer = self._backward(scaled, per_sample=False)
+        return losses, self._flatten_grads(per_layer, batch=None), norms
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(layer) for layer in self.layers)

@@ -75,6 +75,15 @@ class GroupNorm(Layer):
         dx = inv_std * (dx_hat - mean_dxhat - xh * mean_dxhat_xh)
         return dx.reshape(shape), grads
 
+    def backward_norm_sq(self, grad_out):
+        # The affine per-sample gradients are channel-sized ((B, C)), so the
+        # ghost contribution is a direct sum of squares — no (B, P) blowup.
+        grad_in, grads = self.backward(grad_out, per_sample=True)
+        dgamma, dbeta = grads["gamma"], grads["beta"]
+        norm_sq = np.einsum("bc,bc->b", dgamma, dgamma)
+        norm_sq += np.einsum("bc,bc->b", dbeta, dbeta)
+        return grad_in, norm_sq
+
     def params(self) -> dict[str, np.ndarray]:
         return {"gamma": self.gamma, "beta": self.beta}
 
@@ -142,6 +151,17 @@ class LayerNorm(Layer):
         mean_dxhat_xh = (dx_hat * xh).mean(axis=1, keepdims=True)
         dx = inv_std * (dx_hat - mean_dxhat - xh * mean_dxhat_xh)
         return dx.reshape(shape), grads
+
+    def backward_norm_sq(self, grad_out):
+        # ||dgamma_i||^2 = ||grad_out_i * x_hat_i||^2 and ||dbeta_i||^2 =
+        # ||grad_out_i||^2, both activation-sized — computed in place of the
+        # per-sample gradient dict.
+        grad_in, _ = self.backward(grad_out, per_sample=False)
+        batch = grad_out.shape[0]
+        g = grad_out.reshape(batch, -1)
+        gx = (grad_out * self._cache[0]).reshape(batch, -1)
+        norm_sq = np.einsum("bi,bi->b", gx, gx) + np.einsum("bi,bi->b", g, g)
+        return grad_in, norm_sq
 
     def params(self) -> dict[str, np.ndarray]:
         return {"gamma": self.gamma, "beta": self.beta}

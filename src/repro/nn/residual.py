@@ -65,6 +65,20 @@ class ResidualBlock(Layer):
         grads.update({f"projection.{k}": v for k, v in gp.items()})
         return grad_main + grad_short, grads
 
+    def backward_norm_sq(self, grad_out):
+        # Compose the sub-layers' ghost contributions; the block's per-sample
+        # gradient is the concatenation of its convolutions' gradients, so
+        # the squared norms add.
+        grad_sum, _ = self.relu_out.backward(grad_out, per_sample=False)
+        grad, n2 = self.conv2.backward_norm_sq(grad_sum)
+        grad, _ = self.relu1.backward(grad, per_sample=False)
+        grad_main, n1 = self.conv1.backward_norm_sq(grad)
+        if self.projection is not None:
+            grad_short, n_proj = self.projection.backward_norm_sq(grad_sum)
+        else:
+            grad_short, n_proj = grad_sum, 0.0
+        return grad_main + grad_short, n1 + n2 + n_proj
+
     def params(self) -> dict[str, np.ndarray]:
         out = {f"conv1.{k}": v for k, v in self.conv1.params().items()}
         out.update({f"conv2.{k}": v for k, v in self.conv2.params().items()})

@@ -38,15 +38,48 @@ __all__ = [
     "PsacClipping",
     "AdaptiveQuantileClipping",
     "PerLayerClipping",
+    "GhostClippingUnsupportedError",
 ]
+
+
+class GhostClippingUnsupportedError(ValueError):
+    """Raised when a strategy cannot express clipping as per-sample factors.
+
+    The ghost-clipping fast path (:meth:`repro.nn.Sequential.
+    loss_and_clipped_grad_sum`) never materializes the ``(B, d)`` per-sample
+    gradient matrix; it needs the strategy to reduce to one multiplicative
+    factor per sample computed from that sample's pre-clip L2 norm.
+    Strategies that inspect sub-vectors (e.g. :class:`PerLayerClipping`)
+    raise this error, and callers fall back to the materialized path.
+    """
 
 
 class ClippingStrategy:
     """Interface: clip per-sample gradients and expose the induced sensitivity."""
 
+    #: Whether :meth:`clip_factors` is implemented, i.e. whether the strategy
+    #: is expressible as one scale factor per sample from its pre-clip norm
+    #: (the requirement of the ghost-clipping fast path).
+    supports_ghost = False
+
     def clip(self, per_sample_grads) -> np.ndarray:
         """Return clipped per-sample gradients with norms <= :meth:`sensitivity`."""
         return self.clip_with_norms(per_sample_grads)[0]
+
+    def clip_factors(self, norms) -> np.ndarray:
+        """Per-sample scale factors ``c_i`` from pre-clip L2 norms ``(B,)``.
+
+        Contract: for any gradient matrix ``G`` with row norms ``norms``,
+        ``clip(G)[i] == clip_factors(norms)[i] * G[i]`` — which is what lets
+        the ghost path obtain ``sum_i c_i g_i`` from a second backward pass
+        without ever forming ``G``.  Adaptive strategies update their
+        threshold state exactly as :meth:`clip_with_norms` would (one
+        observation per call, frozen mid-lot).
+        """
+        raise GhostClippingUnsupportedError(
+            f"{type(self).__name__} cannot clip from norms alone; use the "
+            "materialized per-sample gradient path (grad_mode='materialize')"
+        )
 
     def clip_with_norms(self, per_sample_grads) -> tuple[np.ndarray, np.ndarray]:
         """Clip and also return the *pre-clip* per-sample L2 norms.
@@ -106,6 +139,8 @@ class ClippingStrategy:
 class FlatClipping(ClippingStrategy):
     """Classic flat clipping of Eq. 6: rescale only gradients above ``C``."""
 
+    supports_ghost = True
+
     def __init__(self, clip_norm: float):
         self.clip_norm = check_positive("clip_norm", clip_norm)
 
@@ -114,6 +149,10 @@ class FlatClipping(ClippingStrategy):
         norms = self._norms(grads)
         scale = 1.0 / np.maximum(1.0, norms / self.clip_norm)
         return grads * scale[:, None], norms
+
+    def clip_factors(self, norms) -> np.ndarray:
+        norms = np.asarray(norms, dtype=np.float64)
+        return 1.0 / np.maximum(1.0, norms / self.clip_norm)
 
     def sensitivity(self) -> float:
         return self.clip_norm
@@ -131,6 +170,8 @@ class AutoSClipping(ClippingStrategy):
     guarantees the clipped norm stays strictly below ``C``.
     """
 
+    supports_ghost = True
+
     def __init__(self, clip_norm: float, gamma: float = 0.01):
         self.clip_norm = check_positive("clip_norm", clip_norm)
         self.gamma = check_positive("gamma", gamma)
@@ -140,6 +181,10 @@ class AutoSClipping(ClippingStrategy):
         norms = self._norms(grads)
         scale = self.clip_norm / (norms + self.gamma)
         return grads * scale[:, None], norms
+
+    def clip_factors(self, norms) -> np.ndarray:
+        norms = np.asarray(norms, dtype=np.float64)
+        return self.clip_norm / (norms + self.gamma)
 
     def sensitivity(self) -> float:
         return self.clip_norm
@@ -158,6 +203,8 @@ class PsacClipping(ClippingStrategy):
     considered uninformative.
     """
 
+    supports_ghost = True
+
     def __init__(self, clip_norm: float, gamma: float = 0.01):
         self.clip_norm = check_positive("clip_norm", clip_norm)
         self.gamma = check_positive("gamma", gamma)
@@ -168,6 +215,10 @@ class PsacClipping(ClippingStrategy):
         # ||clipped|| = C * ||g||^2 / (||g||^2 + gamma) < C
         scale = self.clip_norm * norms / (norms**2 + self.gamma)
         return grads * scale[:, None], norms
+
+    def clip_factors(self, norms) -> np.ndarray:
+        norms = np.asarray(norms, dtype=np.float64)
+        return self.clip_norm * norms / (norms**2 + self.gamma)
 
     def sensitivity(self) -> float:
         return self.clip_norm
@@ -197,6 +248,8 @@ class AdaptiveQuantileClipping(ClippingStrategy):
     noised; :meth:`clip` accepts an optional pre-seeded generator through the
     constructor for that purpose.
     """
+
+    supports_ghost = True
 
     def __init__(
         self,
@@ -250,6 +303,14 @@ class AdaptiveQuantileClipping(ClippingStrategy):
         clipped = grads * scale[:, None]
         self.observe(norms)
         return clipped, norms
+
+    def clip_factors(self, norms) -> np.ndarray:
+        norms = np.asarray(norms, dtype=np.float64)
+        # Factors are computed at the current (mid-lot: frozen) threshold
+        # *before* the observation, exactly like clip_with_norms.
+        factors = 1.0 / np.maximum(1.0, norms / self.clip_norm)
+        self.observe(norms)
+        return factors
 
     def observe(self, norms) -> None:
         norms = np.asarray(norms)
@@ -343,6 +404,13 @@ class PerLayerClipping(ClippingStrategy):
                 "per-layer clipping requires a full partition"
             )
         return out, np.sqrt(total_sq)
+
+    def clip_factors(self, norms) -> np.ndarray:
+        raise GhostClippingUnsupportedError(
+            "PerLayerClipping scales each parameter block by its own factor, "
+            "which a single per-sample factor cannot express; use "
+            "grad_mode='materialize' (the trainer falls back automatically)"
+        )
 
     def sensitivity(self) -> float:
         return float(np.sqrt(np.sum(np.square(self.clip_norms))))

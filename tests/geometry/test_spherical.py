@@ -184,3 +184,47 @@ class TestCanonicalizeDimensionality:
             canonicalize_angles(np.zeros((2, 3, 4)))
         with pytest.raises(ValueError):
             canonicalize_angles(np.array(0.5))
+
+
+class TestCanonicalizeVectorized:
+    """The cumsum-parity formulation must match the sequential fold."""
+
+    @staticmethod
+    def reference_loop(thetas):
+        """Sequential reference: fold angles one at a time, carrying the
+        pending-negation flag explicitly (the pre-vectorization algorithm)."""
+        thetas = np.asarray(thetas, dtype=np.float64)
+        out = np.empty_like(thetas)
+        d_minus_1 = thetas.shape[1]
+        negate = np.zeros(thetas.shape[0], dtype=bool)
+        for z in range(d_minus_1 - 1):
+            t = thetas[:, z].copy()
+            t[negate] = np.pi - t[negate]
+            t = np.mod(t, 2 * np.pi)
+            above = t > np.pi
+            t[above] = 2 * np.pi - t[above]
+            negate ^= above
+            out[:, z] = t
+        last = thetas[:, -1].copy()
+        last[negate] += np.pi
+        last = np.mod(last + np.pi, 2 * np.pi) - np.pi
+        last[last == -np.pi] = np.pi
+        out[:, -1] = last
+        return out
+
+    @pytest.mark.parametrize("d", [2, 3, 5, 50, 200])
+    def test_matches_reference_loop(self, d):
+        rng = np.random.default_rng(17)
+        thetas = rng.normal(0.0, 4.0, size=(64, d - 1))
+        assert np.allclose(
+            canonicalize_angles(thetas), self.reference_loop(thetas), atol=1e-10
+        )
+
+    @pytest.mark.parametrize("d", [3, 5, 40])
+    def test_preserves_vector(self, d):
+        rng = np.random.default_rng(18)
+        thetas = rng.normal(0.0, 4.0, size=(32, d - 1))
+        mags = np.abs(rng.normal(1.0, 0.2, size=32))
+        before = to_cartesian_batch(mags, thetas)
+        after = to_cartesian_batch(mags, canonicalize_angles(thetas))
+        assert np.allclose(before, after, atol=1e-9)

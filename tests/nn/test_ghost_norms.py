@@ -1,0 +1,193 @@
+"""Ghost-norm parity: ``backward_norm_sq`` vs materialized per-sample grads.
+
+Every parametric layer's ghost squared norm must equal the squared L2 norm
+of its materialized per-sample parameter gradient, and the returned input
+gradient must match the plain backward pass.  These are the invariants the
+ghost-clipping fast path (:meth:`Sequential.loss_and_clipped_grad_sum`)
+rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv2d,
+    Embedding,
+    Flatten,
+    GroupNorm,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ResidualBlock,
+)
+from repro.nn.normalization import BatchNorm2d
+
+
+def materialized_norm_sq(layer, grad_out):
+    """Reference: per-sample norm^2 via the full per-sample gradients."""
+    _, grads = layer.backward(grad_out, per_sample=True)
+    batch = grad_out.shape[0]
+    total = np.zeros(batch)
+    for g in grads.values():
+        total += np.einsum("bk,bk->b", g.reshape(batch, -1), g.reshape(batch, -1))
+    return total
+
+
+def check_ghost_parity(layer, x, rtol=1e-12):
+    rng = np.random.default_rng(0)
+    out = layer.forward(x, train=True)
+    grad_out = rng.normal(size=out.shape)
+
+    grad_in_ref, _ = layer.backward(grad_out, per_sample=False)
+    expected = materialized_norm_sq(layer, grad_out)
+
+    grad_in, norm_sq = layer.backward_norm_sq(grad_out)
+    assert norm_sq.shape == (x.shape[0],)
+    assert np.allclose(norm_sq, expected, rtol=rtol, atol=1e-12), (
+        f"{layer!r}: ghost norm^2 max rel err "
+        f"{np.abs(norm_sq - expected).max() / (expected.max() + 1e-30)}"
+    )
+    assert np.allclose(grad_in, grad_in_ref, rtol=1e-12, atol=1e-12)
+
+
+class TestLinearGhost:
+    def test_with_bias(self):
+        rng = np.random.default_rng(1)
+        check_ghost_parity(Linear(7, 5, rng=0), rng.normal(size=(6, 7)))
+
+    def test_without_bias(self):
+        rng = np.random.default_rng(2)
+        check_ghost_parity(Linear(4, 3, rng=0, bias=False), rng.normal(size=(5, 4)))
+
+    def test_single_sample(self):
+        rng = np.random.default_rng(3)
+        check_ghost_parity(Linear(3, 2, rng=0), rng.normal(size=(1, 3)))
+
+
+class TestConv2dGhost:
+    @pytest.mark.parametrize(
+        "stride,padding,bias",
+        [(1, 0, True), (1, 1, True), (2, 1, True), (1, 0, False)],
+    )
+    def test_parity(self, stride, padding, bias):
+        rng = np.random.default_rng(4)
+        layer = Conv2d(3, 4, 3, stride=stride, padding=padding, rng=0, bias=bias)
+        check_ghost_parity(layer, rng.normal(size=(5, 3, 8, 8)))
+
+    def test_gram_branch(self):
+        # Small spatial extent: L^2 <= O*K selects the Gram-trick branch.
+        rng = np.random.default_rng(5)
+        layer = Conv2d(2, 8, 3, rng=0)
+        x = rng.normal(size=(4, 2, 4, 4))  # L = 4 output positions
+        assert 4 * 4 <= 8 * (2 * 3 * 3)
+        check_ghost_parity(layer, x)
+
+    def test_direct_branch(self):
+        # Large spatial extent: L^2 > O*K materializes per-sample (B, O, K).
+        rng = np.random.default_rng(6)
+        layer = Conv2d(1, 1, 1, rng=0)
+        x = rng.normal(size=(3, 1, 6, 6))  # L = 36, O*K = 1
+        assert 36 * 36 > 1 * 1
+        check_ghost_parity(layer, x)
+
+
+class TestEmbeddingGhost:
+    def test_distinct_tokens(self):
+        layer = Embedding(11, 6, rng=0)
+        tokens = np.array([[0, 1, 2], [3, 4, 5], [6, 7, 8]])
+        check_ghost_parity(layer, tokens)
+
+    def test_repeated_tokens(self):
+        # Repeated tokens make per-row gradients interact: the positional
+        # Gram must be masked by token equality, not just summed.
+        layer = Embedding(5, 4, rng=0)
+        tokens = np.array([[1, 1, 1, 2], [0, 3, 0, 3], [4, 4, 4, 4]])
+        check_ghost_parity(layer, tokens)
+
+
+class TestNormalizationGhost:
+    def test_layernorm(self):
+        rng = np.random.default_rng(7)
+        layer = LayerNorm(6)
+        layer.gamma = rng.normal(1.0, 0.1, size=layer.gamma.shape)
+        layer.beta = rng.normal(0.0, 0.1, size=layer.beta.shape)
+        check_ghost_parity(layer, rng.normal(size=(5, 6)))
+
+    def test_groupnorm(self):
+        rng = np.random.default_rng(8)
+        layer = GroupNorm(2, 4)
+        layer.gamma = rng.normal(1.0, 0.1, size=layer.gamma.shape)
+        check_ghost_parity(layer, rng.normal(size=(3, 4, 5, 5)))
+
+    def test_batchnorm_rejected(self):
+        # BatchNorm couples samples; it has no per-sample gradients and the
+        # ghost pass must refuse exactly like backward(per_sample=True).
+        rng = np.random.default_rng(9)
+        layer = BatchNorm2d(3)
+        x = rng.normal(size=(4, 3, 2, 2))
+        out = layer.forward(x, train=True)
+        with pytest.raises(RuntimeError, match="per-sample"):
+            layer.backward_norm_sq(np.ones_like(out))
+
+
+class TestResidualGhost:
+    def test_identity_shortcut(self):
+        rng = np.random.default_rng(10)
+        check_ghost_parity(ResidualBlock(3, 3, rng=0), rng.normal(size=(4, 3, 6, 6)))
+
+    def test_projection_shortcut(self):
+        rng = np.random.default_rng(11)
+        block = ResidualBlock(3, 5, stride=2, rng=0)
+        check_ghost_parity(block, rng.normal(size=(4, 3, 6, 6)))
+
+
+class TestParameterFreeGhost:
+    @pytest.mark.parametrize("layer,shape", [
+        (ReLU(), (4, 6)),
+        (Flatten(), (4, 2, 3, 3)),
+        (MaxPool2d(2), (4, 2, 4, 4)),
+    ])
+    def test_zero_contribution(self, layer, shape):
+        rng = np.random.default_rng(12)
+        x = rng.normal(size=shape)
+        out = layer.forward(x, train=True)
+        grad_out = rng.normal(size=out.shape)
+        grad_in_ref, _ = layer.backward(grad_out, per_sample=False)
+        layer.forward(x, train=True)
+        grad_in, norm_sq = layer.backward_norm_sq(grad_out)
+        assert np.array_equal(norm_sq, np.zeros(shape[0]))
+        assert np.allclose(grad_in, grad_in_ref)
+
+
+class TestModelGhostNorms:
+    @pytest.mark.parametrize("builder", ["cnn", "resnet", "text", "mlp"])
+    def test_full_model_parity(self, builder):
+        from repro.models import build_cnn, build_resnet
+        from repro.models.mlp import build_mlp
+        from repro.models.text import build_text_classifier
+
+        rng = np.random.default_rng(13)
+        if builder == "cnn":
+            model = build_cnn(input_shape=(1, 8, 8), rng=0)
+            x = rng.normal(size=(6, 1, 8, 8))
+        elif builder == "resnet":
+            model = build_resnet(input_shape=(3, 8, 8), rng=0)
+            x = rng.normal(size=(4, 3, 8, 8))
+        elif builder == "text":
+            model = build_text_classifier(20, 3, rng=0)
+            x = rng.integers(0, 20, size=(6, 5))
+        else:
+            model = build_mlp((10,), (8,), 3, rng=0)
+            x = rng.normal(size=(6, 10))
+        y = rng.integers(0, 3, size=x.shape[0])
+
+        losses, per_sample = model.loss_and_per_sample_gradients(x, y)
+        expected = np.sqrt(np.einsum("bp,bp->b", per_sample, per_sample))
+
+        outputs = model.forward(x, train=True)
+        grad_out = model.loss.gradient(outputs, y)
+        norms, _ = model.per_sample_grad_norms(grad_out)
+        assert np.allclose(norms, expected, rtol=1e-10, atol=1e-12), (
+            np.abs(norms - expected).max()
+        )

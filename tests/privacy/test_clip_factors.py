@@ -1,0 +1,109 @@
+"""``clip_factors`` contract: ``clip(G)[i] == clip_factors(norms)[i] * G[i]``.
+
+The ghost fast path never materializes per-sample gradients, so the only
+thing a strategy can apply is one scalar factor per sample, derived from
+the ghost-computed norms.  These tests pin the factor formulas to the
+materialized ``clip_with_norms`` reference for every ghost-capable
+strategy, including the adaptive strategy's observe/lot-freeze semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.privacy.clipping import (
+    AdaptiveQuantileClipping,
+    AutoSClipping,
+    FlatClipping,
+    GhostClippingUnsupportedError,
+    PerLayerClipping,
+    PsacClipping,
+)
+
+
+def make_grads(rng, n=12, d=9):
+    grads = rng.normal(size=(n, d)) * rng.uniform(0.1, 4.0, size=(n, 1))
+    grads[0] = 0.0  # zero gradient must not divide by zero
+    return grads
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: FlatClipping(1.0),
+        lambda: AutoSClipping(1.0),
+        lambda: PsacClipping(1.0),
+        lambda: AdaptiveQuantileClipping(1.0),
+    ],
+    ids=["flat", "autos", "psac", "adaptive"],
+)
+def test_factors_reproduce_clip(make):
+    rng = np.random.default_rng(0)
+    grads = make_grads(rng)
+    ref, norms = make().clip_with_norms(grads)
+    factors = make().clip_factors(norms)
+    assert np.allclose(factors[:, None] * grads, ref, rtol=1e-12, atol=1e-12)
+
+
+@pytest.mark.parametrize(
+    "strategy",
+    [FlatClipping(2.0), AutoSClipping(2.0), PsacClipping(2.0), AdaptiveQuantileClipping(2.0)],
+    ids=["flat", "autos", "psac", "adaptive"],
+)
+def test_supports_ghost_flag(strategy):
+    assert strategy.supports_ghost
+
+
+def test_adaptive_factors_observe_norms():
+    # clip_factors must update the threshold exactly like clip_with_norms:
+    # factors at the pre-observation threshold, then one geometric update.
+    rng = np.random.default_rng(1)
+    grads = make_grads(rng)
+    norms = np.linalg.norm(grads, axis=1)
+
+    via_clip = AdaptiveQuantileClipping(1.0, target_quantile=0.5)
+    via_clip.clip_with_norms(grads)
+
+    via_factors = AdaptiveQuantileClipping(1.0, target_quantile=0.5)
+    factors = via_factors.clip_factors(norms)
+
+    assert via_factors.clip_norm == via_clip.clip_norm
+    assert np.allclose(factors, 1.0 / np.maximum(1.0, norms / 1.0))
+
+
+def test_adaptive_factors_lot_freeze():
+    # Mid-lot the threshold is frozen: several clip_factors calls inside one
+    # begin_lot/end_lot bracket all use the same C, and the single update at
+    # end_lot pools the norms — identical to the materialized microbatch path.
+    rng = np.random.default_rng(2)
+    chunks = [make_grads(rng, n=5) for _ in range(3)]
+
+    ref = AdaptiveQuantileClipping(1.0)
+    ref.begin_lot()
+    ref_factors = []
+    for chunk in chunks:
+        clipped, norms = ref.clip_with_norms(chunk)
+        ref_factors.append(clipped[:, 0] / np.where(chunk[:, 0] == 0, 1.0, chunk[:, 0]))
+    ref.end_lot()
+
+    ghost = AdaptiveQuantileClipping(1.0)
+    ghost.begin_lot()
+    frozen = ghost.clip_norm
+    for chunk in chunks:
+        norms = np.linalg.norm(chunk, axis=1)
+        ghost.clip_factors(norms)
+        assert ghost.clip_norm == frozen  # frozen mid-lot
+    ghost.end_lot()
+
+    assert ghost.clip_norm == ref.clip_norm
+
+
+def test_per_layer_raises_ghost_unsupported():
+    strategy = PerLayerClipping([slice(0, 3), slice(3, 6)], 1.0)
+    assert not strategy.supports_ghost
+    with pytest.raises(GhostClippingUnsupportedError, match="materialize"):
+        strategy.clip_factors(np.ones(4))
+
+
+def test_ghost_unsupported_is_value_error():
+    # Callers that only catch ValueError still see the failure.
+    assert issubclass(GhostClippingUnsupportedError, ValueError)

@@ -1,0 +1,30 @@
+"""Tier-1 lint gate: run ruff with the repo's pyproject configuration.
+
+Skips when ruff is not installed (the check then runs wherever the dev
+environment provides it); when available, lint errors fail the suite with
+ruff's own diagnostics as the assertion message.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def ruff_available() -> bool:
+    return importlib.util.find_spec("ruff") is not None
+
+
+@pytest.mark.skipif(not ruff_available(), reason="ruff is not installed")
+def test_ruff_clean():
+    result = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "src", "tests", "benchmarks"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, f"ruff found issues:\n{result.stdout}{result.stderr}"
