@@ -24,11 +24,12 @@ import pytest
 from repro.core import DpSgdOptimizer, Trainer
 from repro.data import make_mnist_like, train_test_split
 from repro.models import build_logistic_regression
-from repro.telemetry import MetricsRecorder, export_trace, load_trace
+from repro.telemetry import MetricsRecorder, Tracer, export_trace, load_trace
 
 ITERATIONS = 200
 BATCH = 512  # paper-style large lots; per-sample work dominates each step
 MAX_OVERHEAD = 0.05
+MAX_TRACED_OVERHEAD = 0.15  # recorder + lot-granularity span tracing
 CHUNK = 5  # iterations per timed chunk; ITERATIONS/CHUNK chunks per variant
 
 
@@ -39,11 +40,17 @@ def workload():
     return train
 
 
-def _make_trainer(train, telemetry):
+def _make_trainer(train, telemetry, tracer=None):
     model = build_logistic_regression((1, 12, 12), rng=0)
     optimizer = DpSgdOptimizer(1.0, 0.1, 1.0, rng=2)
     return Trainer(
-        model, optimizer, train, batch_size=BATCH, rng=1, telemetry=telemetry
+        model,
+        optimizer,
+        train,
+        batch_size=BATCH,
+        rng=1,
+        telemetry=telemetry,
+        tracer=tracer,
     )
 
 
@@ -53,9 +60,8 @@ def _timed(fn):
     return time.perf_counter() - start
 
 
-def test_recorder_overhead_under_5_percent(workload, report):
-    bare = _make_trainer(workload, None)
-    instrumented = _make_trainer(workload, MetricsRecorder())
+def _interleaved_overhead(bare, instrumented, report, name, label, budget):
+    """Interleave the two trainers in chunks; report and bound the overhead."""
     bare.train(CHUNK)
     instrumented.train(CHUNK)  # warm caches before timing
 
@@ -70,21 +76,63 @@ def test_recorder_overhead_under_5_percent(workload, report):
     )
     overhead = min(by_minima, by_median)
     report(
-        "bench_telemetry",
+        name,
         "\n".join(
             [
-                f"telemetry overhead, {ITERATIONS}-iteration DP-SGD LR run "
+                f"{label}, {ITERATIONS}-iteration DP-SGD LR run "
                 f"(batch {BATCH}, interleaved {CHUNK}-iteration chunks):",
-                f"  bare chunk min:     {min(bare_chunks) * 1e3:.1f} ms",
-                f"  recorded chunk min: {min(inst_chunks) * 1e3:.1f} ms",
+                f"  bare chunk min:         {min(bare_chunks) * 1e3:.1f} ms",
+                f"  instrumented chunk min: {min(inst_chunks) * 1e3:.1f} ms",
                 f"  overhead (chunk minima):  {by_minima:+.2%}",
                 f"  overhead (median ratio):  {by_median:+.2%}",
-                f"  overhead:                 {overhead:+.2%} "
-                f"(budget {MAX_OVERHEAD:.0%})",
+                f"  overhead:                 {overhead:+.2%} (budget {budget:.0%})",
             ]
         ),
     )
-    assert overhead < MAX_OVERHEAD
+    assert overhead < budget
+
+
+def test_recorder_overhead_under_5_percent(workload, report):
+    _interleaved_overhead(
+        _make_trainer(workload, None),
+        _make_trainer(workload, MetricsRecorder()),
+        report,
+        "bench_telemetry",
+        "telemetry overhead",
+        MAX_OVERHEAD,
+    )
+
+
+def test_tracing_disabled_overhead_under_5_percent(workload, report):
+    """A run-granularity tracer gates every hot-path span with a dict lookup.
+
+    ``granularity="run"`` is tracing in its "installed but disabled" state:
+    lot and phase spans never open (one gate check each), tracemalloc is
+    off, and only the per-``train()``-call run span survives.  That must
+    cost under 5%, like the recorder.
+    """
+    _interleaved_overhead(
+        _make_trainer(workload, None),
+        _make_trainer(workload, None, tracer=Tracer(granularity="run")),
+        report,
+        "bench_tracing_disabled",
+        "tracing overhead (granularity='run', tracemalloc off)",
+        MAX_OVERHEAD,
+    )
+
+
+def test_tracing_lot_overhead_under_15_percent(workload, report):
+    """Recorder plus lot-granularity span tracing stays under 15% overhead."""
+    _interleaved_overhead(
+        _make_trainer(workload, None),
+        _make_trainer(
+            workload, MetricsRecorder(), tracer=Tracer(granularity="lot")
+        ),
+        report,
+        "bench_tracing_lot",
+        "recorder + tracing overhead (granularity='lot', tracemalloc off)",
+        MAX_TRACED_OVERHEAD,
+    )
 
 
 def test_record_point(benchmark):

@@ -1,0 +1,157 @@
+"""Compare the newest perf baseline against the oldest and flag regressions.
+
+Usage::
+
+    python benchmarks/compare.py [--dir DIR] [--baseline PATH] [--candidate PATH]
+    python benchmarks/compare.py --max-time-regression 0.25 --max-mem-regression 0.5
+
+``benchmarks/run_all.py`` archives each run as ``BENCH_<n>.json``; this
+script diffs the newest file (the candidate) against the lowest-numbered
+one (the baseline) benchmark by benchmark and exits nonzero when any
+shared benchmark regresses by more than 25% wall time or 50% allocation
+peak.  Benchmarks present on only one side are reported but never fail
+the comparison, so adding a new benchmark doesn't break the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Default regression thresholds (fractional increase over baseline).
+MAX_TIME_REGRESSION = 0.25
+MAX_MEM_REGRESSION = 0.50
+
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def bench_files(directory) -> list[Path]:
+    """``BENCH_<n>.json`` files in ``directory``, sorted by ``n`` ascending."""
+    found = []
+    for entry in Path(directory).iterdir():
+        match = _BENCH_RE.match(entry.name)
+        if match:
+            found.append((int(match.group(1)), entry))
+    return [path for _, path in sorted(found)]
+
+
+def load_benchmarks(path) -> dict:
+    """The ``benchmarks`` mapping of one archived run."""
+    payload = json.loads(Path(path).read_text())
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        raise ValueError(f"{path} has no 'benchmarks' mapping")
+    return benchmarks
+
+
+def compare(
+    baseline: dict,
+    candidate: dict,
+    *,
+    max_time_regression: float = MAX_TIME_REGRESSION,
+    max_mem_regression: float = MAX_MEM_REGRESSION,
+) -> tuple[list[str], list[str]]:
+    """Diff two benchmark mappings; returns ``(report lines, failures)``."""
+    lines = []
+    failures = []
+    shared = sorted(set(baseline) & set(candidate))
+    for name in shared:
+        base, cand = baseline[name], candidate[name]
+        time_ratio = cand["seconds"] / base["seconds"] if base["seconds"] > 0 else 1.0
+        mem_ratio = (
+            cand["peak_bytes"] / base["peak_bytes"] if base["peak_bytes"] > 0 else 1.0
+        )
+        problems = []
+        if time_ratio > 1.0 + max_time_regression:
+            problems.append(f"TIME REGRESSION (> +{max_time_regression:.0%})")
+            failures.append(f"{name}: time {time_ratio:.2f}x baseline")
+        if mem_ratio > 1.0 + max_mem_regression:
+            problems.append(f"MEM REGRESSION (> +{max_mem_regression:.0%})")
+            failures.append(f"{name}: peak memory {mem_ratio:.2f}x baseline")
+        verdict = " + ".join(problems) if problems else "ok"
+        lines.append(
+            f"{name:28s} time {time_ratio:6.2f}x   mem {mem_ratio:6.2f}x   {verdict}"
+        )
+    for name in sorted(set(candidate) - set(baseline)):
+        lines.append(f"{name:28s} (new benchmark; no baseline)")
+    for name in sorted(set(baseline) - set(candidate)):
+        lines.append(f"{name:28s} (missing from candidate)")
+    if not shared:
+        lines.append("(no shared benchmarks to compare)")
+    return lines, failures
+
+
+def compare_files(
+    baseline_path,
+    candidate_path,
+    *,
+    max_time_regression: float = MAX_TIME_REGRESSION,
+    max_mem_regression: float = MAX_MEM_REGRESSION,
+) -> tuple[str, bool]:
+    """Compare two archive files; returns ``(report text, ok)``."""
+    lines, failures = compare(
+        load_benchmarks(baseline_path),
+        load_benchmarks(candidate_path),
+        max_time_regression=max_time_regression,
+        max_mem_regression=max_mem_regression,
+    )
+    header = [
+        f"baseline:  {baseline_path}",
+        f"candidate: {candidate_path}",
+        "",
+    ]
+    footer = (
+        ["", "PASS: no perf regressions"]
+        if not failures
+        else ["", "FAIL:"] + [f"  - {failure}" for failure in failures]
+    )
+    return "\n".join(header + lines + footer), not failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir", default=str(REPO_ROOT), metavar="DIR",
+        help="directory holding BENCH_<n>.json archives (default: repo root)",
+    )
+    parser.add_argument("--baseline", default=None, help="explicit baseline file")
+    parser.add_argument("--candidate", default=None, help="explicit candidate file")
+    parser.add_argument(
+        "--max-time-regression", type=float, default=MAX_TIME_REGRESSION,
+        help="allowed fractional wall-time increase (default: 0.25)",
+    )
+    parser.add_argument(
+        "--max-mem-regression", type=float, default=MAX_MEM_REGRESSION,
+        help="allowed fractional peak-memory increase (default: 0.5)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline, candidate = args.baseline, args.candidate
+    if baseline is None or candidate is None:
+        files = bench_files(args.dir)
+        if len(files) < 2:
+            print(
+                f"need at least two BENCH_<n>.json files in {args.dir} "
+                f"(found {len(files)}); run benchmarks/run_all.py twice"
+            )
+            return 0
+        baseline = baseline or files[0]
+        candidate = candidate or files[-1]
+
+    report, ok = compare_files(
+        baseline,
+        candidate,
+        max_time_regression=args.max_time_regression,
+        max_mem_regression=args.max_mem_regression,
+    )
+    print(report)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

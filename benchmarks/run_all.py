@@ -7,7 +7,10 @@ Usage::
 Each benchmark is measured for wall time (median of ``--repeats`` runs
 after one warm-up) and allocation peak (``tracemalloc``), and the results
 are written to ``BENCH_<n>.json`` in the repo root — ``n`` is the first
-unused integer, so successive runs accumulate a comparable history::
+unused integer, so successive runs accumulate a comparable history.  When
+a history exists, the new run is diffed against the oldest archive through
+``benchmarks/compare.py`` and regressions (>25% time, >50% peak memory)
+fail the run with a nonzero exit::
 
     {
       "benchmarks": {
@@ -131,6 +134,15 @@ def main(argv=None) -> int:
         + "\n"
     )
     print(f"wrote {path}")
+
+    from compare import bench_files, compare_files
+
+    history = bench_files(Path(args.out))
+    if len(history) > 1:
+        report, ok = compare_files(history[0], path)
+        print(f"\n{report}")
+        if not ok:
+            return 1
     return 0
 
 

@@ -163,13 +163,17 @@ def list_snapshots(directory) -> list[Path]:
     return [path for _, path in sorted(found)]
 
 
-def latest_snapshot(directory, *, max_iteration: int | None = None):
+def latest_snapshot(directory, *, max_iteration: int | None = None, telemetry=None):
     """Newest valid snapshot in ``directory``, or ``None``.
 
     Walks the snapshots newest-first; corrupted or schema-incompatible
     files (e.g. a partial write from a hard kill) are skipped with a
     warning.  ``max_iteration`` ignores snapshots taken beyond that
     iteration, so resuming never overshoots the requested run length.
+    ``telemetry`` (an optional
+    :class:`~repro.telemetry.MetricsRecorder`) counts each skipped file
+    under ``checkpoint_corrupt_snapshots``, so the degraded-mode fallback
+    is observable like every other one (see ``docs/telemetry.md``).
     Returns ``(path, state)``.
     """
     for path in reversed(list_snapshots(directory)):
@@ -180,5 +184,7 @@ def latest_snapshot(directory, *, max_iteration: int | None = None):
         try:
             return path, load_snapshot(path)
         except SnapshotError as exc:
+            if telemetry is not None:
+                telemetry.increment("checkpoint_corrupt_snapshots")
             warnings.warn(f"skipping invalid snapshot {path}: {exc}", stacklevel=2)
     return None

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.privacy.clipping import ClippingStrategy, FlatClipping
 from repro.telemetry.diagnostics import record_clipping, record_release
+from repro.telemetry.tracing import joint_span
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_matrix, check_positive
 
@@ -47,6 +48,18 @@ class DpSgdOptimizer:
         and the released one) plus the sensitivity and sigma used.  Purely
         observational: the recorder never touches the RNG, so instrumented
         runs are bit-identical to uninstrumented ones.
+    tracer:
+        Optional :class:`~repro.telemetry.tracing.Tracer`.  When attached,
+        the clip and noise phases of every step become hierarchical spans
+        (nested under the trainer's lot span when the trainer attached the
+        tracer).  Observational only, like the recorder.
+    ledger:
+        Optional :class:`~repro.privacy.ledger.ReleaseLedger`.  When
+        attached, every DP release (each :meth:`step` /
+        :meth:`step_presummed`) appends one hash-chained entry recording
+        sigma, sensitivity, sample rate and the accountant's ε-at-release,
+        auditable afterwards with
+        :func:`~repro.privacy.ledger.verify_ledger`.
     grad_mode:
         ``"materialize"`` (default) computes the full ``(B, P)`` per-sample
         gradient matrix and preserves bit-identical seed behaviour;
@@ -71,11 +84,15 @@ class DpSgdOptimizer:
         lot_size: int | None = None,
         momentum: float = 0.0,
         recorder=None,
+        tracer=None,
+        ledger=None,
         grad_mode: str = "materialize",
     ):
         from repro.core.ghost import check_grad_mode
 
         self.recorder = recorder
+        self.tracer = tracer
+        self.ledger = ledger
         self.grad_mode = check_grad_mode(grad_mode)
         self.learning_rate = check_positive("learning_rate", learning_rate)
         if not 0.0 <= momentum < 1.0:
@@ -104,15 +121,16 @@ class DpSgdOptimizer:
         grads = check_matrix("per_sample_grads", per_sample_grads)
         if grads.shape[0] == 0:
             return np.zeros(grads.shape[1])
+        if self.recorder is None and self.tracer is None:
+            return self.clipping.clip(grads).sum(axis=0)
+        with joint_span(self.recorder, self.tracer, "clip"):
+            clipped, norms = self.clipping.clip_with_norms(grads)
+            summed = clipped.sum(axis=0)
         if self.recorder is not None:
-            with self.recorder.span("clip"):
-                clipped, norms = self.clipping.clip_with_norms(grads)
-                summed = clipped.sum(axis=0)
             record_clipping(
                 self.recorder, grads, self.clipping.sensitivity(), norms=norms
             )
-            return summed
-        return self.clipping.clip(grads).sum(axis=0)
+        return summed
 
     def ghost_clipped_sum(self, model, x, y) -> tuple[np.ndarray, np.ndarray]:
         """Clip-and-sum one batch via the ghost fast path (no ``(B, P)``).
@@ -142,14 +160,21 @@ class DpSgdOptimizer:
                 "empty batch with no lot_size: set lot_size for Poisson sampling"
             )
         scale = self.noise_multiplier * self.clipping.sensitivity()
+        if self.recorder is None and self.tracer is None:
+            noise = (
+                self.rng.normal(0.0, scale, size=clipped_sum.shape)
+                if scale > 0
+                else 0.0
+            )
+            return (clipped_sum + noise) / denominator
+        with joint_span(self.recorder, self.tracer, "noise"):
+            noise = (
+                self.rng.normal(0.0, scale, size=clipped_sum.shape)
+                if scale > 0
+                else 0.0
+            )
+            noisy = (clipped_sum + noise) / denominator
         if self.recorder is not None:
-            with self.recorder.span("noise"):
-                noise = (
-                    self.rng.normal(0.0, scale, size=clipped_sum.shape)
-                    if scale > 0
-                    else 0.0
-                )
-                noisy = (clipped_sum + noise) / denominator
             record_release(
                 self.recorder,
                 clipped_sum / denominator,
@@ -157,11 +182,7 @@ class DpSgdOptimizer:
                 sigma=self.noise_multiplier,
                 sensitivity=self.clipping.sensitivity(),
             )
-            return noisy
-        noise = (
-            self.rng.normal(0.0, scale, size=clipped_sum.shape) if scale > 0 else 0.0
-        )
-        return (clipped_sum + noise) / denominator
+        return noisy
 
     def noisy_gradient(self, per_sample_grads) -> np.ndarray:
         """Clip, aggregate and noise per-sample gradients into one update direction."""
@@ -181,20 +202,44 @@ class DpSgdOptimizer:
         self._velocity = self.momentum * self._velocity + noisy
         return params - self.learning_rate * self._velocity
 
+    #: Mechanism label written into ledger entries.
+    ledger_mechanism = "gaussian"
+
+    def _ledger_meta(self) -> dict:
+        """Mechanism-specific annotations for ledger entries (overridable)."""
+        return {}
+
+    def _account_release(self) -> None:
+        """Record one DP release with the accountant and the ledger.
+
+        The ledger entry is appended *after* the accountant step so its
+        ε-at-release includes the release itself — exactly what a replay
+        through a fresh accountant reproduces.
+        """
+        if self.accountant is not None:
+            self.accountant.step(max(self.noise_multiplier, 1e-12), self.sample_rate)
+        if self.ledger is not None:
+            self.ledger.record_release(
+                mechanism=self.ledger_mechanism,
+                sigma=self.noise_multiplier,
+                sensitivity=self.clipping.sensitivity(),
+                sample_rate=0.0 if self.sample_rate is None else self.sample_rate,
+                accountant=self.accountant,
+                meta=self._ledger_meta(),
+            )
+
     def step(self, params: np.ndarray, per_sample_grads) -> np.ndarray:
         """One DP-SGD update; returns the new parameter vector."""
         noisy = self.noisy_gradient(per_sample_grads)
         self.last_noisy_gradient = noisy
-        if self.accountant is not None:
-            self.accountant.step(max(self.noise_multiplier, 1e-12), self.sample_rate)
+        self._account_release()
         return self._descend(params, noisy)
 
     def step_presummed(self, params: np.ndarray, clipped_sum: np.ndarray, count: int) -> np.ndarray:
         """One update from an accumulated clipped sum (gradient accumulation)."""
         noisy = self.noisy_gradient_presummed(clipped_sum, count)
         self.last_noisy_gradient = noisy
-        if self.accountant is not None:
-            self.accountant.step(max(self.noise_multiplier, 1e-12), self.sample_rate)
+        self._account_release()
         return self._descend(params, noisy)
 
     def state_dict(self) -> dict:
@@ -215,6 +260,7 @@ class DpSgdOptimizer:
             "accountant": (
                 None if self.accountant is None else self.accountant.state_dict()
             ),
+            "ledger": None if self.ledger is None else self.ledger.state_dict(),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -230,6 +276,11 @@ class DpSgdOptimizer:
             if self.accountant is None:
                 raise ValueError("snapshot has accountant state but none is attached")
             self.accountant.load_state_dict(state["accountant"])
+        # Snapshots from before the ledger existed have no "ledger" key.
+        if state.get("ledger") is not None:
+            if self.ledger is None:
+                raise ValueError("snapshot has ledger state but none is attached")
+            self.ledger.load_state_dict(state["ledger"])
 
     def __repr__(self) -> str:
         return (

@@ -30,6 +30,7 @@ from repro.geometry.bounding import (
 )
 from repro.privacy.clipping import ClippingStrategy, FlatClipping
 from repro.telemetry.diagnostics import record_clipping, record_release
+from repro.telemetry.tracing import joint_span
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_matrix, check_positive, check_probability
 
@@ -55,11 +56,15 @@ class GeoDpSgdOptimizer:
         lot_size: int | None = None,
         momentum: float = 0.0,
         recorder=None,
+        tracer=None,
+        ledger=None,
         grad_mode: str = "materialize",
     ):
         from repro.core.ghost import check_grad_mode
 
         self.recorder = recorder
+        self.tracer = tracer
+        self.ledger = ledger
         self.grad_mode = check_grad_mode(grad_mode)
         self.learning_rate = check_positive("learning_rate", learning_rate)
         if not 0.0 <= momentum < 1.0:
@@ -102,15 +107,16 @@ class GeoDpSgdOptimizer:
         grads = check_matrix("per_sample_grads", per_sample_grads)
         if grads.shape[0] == 0:
             return np.zeros(grads.shape[1])
+        if self.recorder is None and self.tracer is None:
+            return self.clipping.clip(grads).sum(axis=0)
+        with joint_span(self.recorder, self.tracer, "clip"):
+            clipped, norms = self.clipping.clip_with_norms(grads)
+            summed = clipped.sum(axis=0)
         if self.recorder is not None:
-            with self.recorder.span("clip"):
-                clipped, norms = self.clipping.clip_with_norms(grads)
-                summed = clipped.sum(axis=0)
             record_clipping(
                 self.recorder, grads, self.clipping.sensitivity(), norms=norms
             )
-            return summed
-        return self.clipping.clip(grads).sum(axis=0)
+        return summed
 
     def ghost_clipped_sum(self, model, x, y) -> tuple[np.ndarray, np.ndarray]:
         """Clip-and-sum one batch via the ghost fast path (no ``(B, P)``).
@@ -150,18 +156,30 @@ class GeoDpSgdOptimizer:
                 "empty batch with no lot_size: set lot_size for Poisson sampling"
             )
         avg = clipped_sum / denominator
+        if self.recorder is None and self.tracer is None:
+            return perturb_geodp(
+                avg,
+                self.clipping.sensitivity(),
+                self.noise_multiplier,
+                denominator,
+                self.beta,
+                self.rng,
+                clip=False,  # per-sample clipping already bounded the average
+                sensitivity_mode=self.sensitivity_mode,
+            )
+        with joint_span(self.recorder, self.tracer, "noise"):
+            noisy = perturb_geodp(
+                avg,
+                self.clipping.sensitivity(),
+                self.noise_multiplier,
+                denominator,
+                self.beta,
+                self.rng,
+                clip=False,  # per-sample clipping already bounded the average
+                sensitivity_mode=self.sensitivity_mode,
+                tracer=self.tracer,
+            )
         if self.recorder is not None:
-            with self.recorder.span("noise"):
-                noisy = perturb_geodp(
-                    avg,
-                    self.clipping.sensitivity(),
-                    self.noise_multiplier,
-                    denominator,
-                    self.beta,
-                    self.rng,
-                    clip=False,  # per-sample clipping already bounded the average
-                    sensitivity_mode=self.sensitivity_mode,
-                )
             record_release(
                 self.recorder,
                 avg,
@@ -170,17 +188,7 @@ class GeoDpSgdOptimizer:
                 sensitivity=self.clipping.sensitivity(),
                 extras=self._noise_split(len(avg), denominator),
             )
-            return noisy
-        return perturb_geodp(
-            avg,
-            self.clipping.sensitivity(),
-            self.noise_multiplier,
-            denominator,
-            self.beta,
-            self.rng,
-            clip=False,  # per-sample clipping already bounded the average
-            sensitivity_mode=self.sensitivity_mode,
-        )
+        return noisy
 
     def noisy_gradient(self, per_sample_grads) -> np.ndarray:
         """Algorithm 1 steps 5-9 on one batch of per-sample gradients."""
@@ -196,20 +204,39 @@ class GeoDpSgdOptimizer:
         self._velocity = self.momentum * self._velocity + noisy
         return params - self.learning_rate * self._velocity
 
+    #: Mechanism label written into ledger entries.
+    ledger_mechanism = "geodp"
+
+    def _ledger_meta(self) -> dict:
+        """Beta and calibration mode, so a ledger audit sees the mechanism."""
+        return {"beta": self.beta, "sensitivity_mode": self.sensitivity_mode}
+
+    def _account_release(self) -> None:
+        """Record one DP release with the accountant and the ledger."""
+        if self.accountant is not None:
+            self.accountant.step(max(self.noise_multiplier, 1e-12), self.sample_rate)
+        if self.ledger is not None:
+            self.ledger.record_release(
+                mechanism=self.ledger_mechanism,
+                sigma=self.noise_multiplier,
+                sensitivity=self.clipping.sensitivity(),
+                sample_rate=0.0 if self.sample_rate is None else self.sample_rate,
+                accountant=self.accountant,
+                meta=self._ledger_meta(),
+            )
+
     def step(self, params: np.ndarray, per_sample_grads) -> np.ndarray:
         """One GeoDP-SGD update; returns the new parameter vector."""
         noisy = self.noisy_gradient(per_sample_grads)
         self.last_noisy_gradient = noisy
-        if self.accountant is not None:
-            self.accountant.step(max(self.noise_multiplier, 1e-12), self.sample_rate)
+        self._account_release()
         return self._descend(params, noisy)
 
     def step_presummed(self, params: np.ndarray, clipped_sum: np.ndarray, count: int) -> np.ndarray:
         """One update from an accumulated clipped sum (gradient accumulation)."""
         noisy = self.noisy_gradient_presummed(clipped_sum, count)
         self.last_noisy_gradient = noisy
-        if self.accountant is not None:
-            self.accountant.step(max(self.noise_multiplier, 1e-12), self.sample_rate)
+        self._account_release()
         return self._descend(params, noisy)
 
     def state_dict(self) -> dict:
@@ -225,6 +252,7 @@ class GeoDpSgdOptimizer:
             "accountant": (
                 None if self.accountant is None else self.accountant.state_dict()
             ),
+            "ledger": None if self.ledger is None else self.ledger.state_dict(),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -240,6 +268,11 @@ class GeoDpSgdOptimizer:
             if self.accountant is None:
                 raise ValueError("snapshot has accountant state but none is attached")
             self.accountant.load_state_dict(state["accountant"])
+        # Snapshots from before the ledger existed have no "ledger" key.
+        if state.get("ledger") is not None:
+            if self.ledger is None:
+                raise ValueError("snapshot has ledger state but none is attached")
+            self.ledger.load_state_dict(state["ledger"])
 
     def __repr__(self) -> str:
         return (

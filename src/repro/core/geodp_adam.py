@@ -21,6 +21,7 @@ from repro.geometry.bounding import (
 )
 from repro.privacy.clipping import ClippingStrategy, FlatClipping
 from repro.telemetry.diagnostics import record_clipping, record_release
+from repro.telemetry.tracing import joint_span
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_matrix, check_positive, check_probability
 
@@ -47,12 +48,16 @@ class GeoDpAdamOptimizer(AdamOptimizer):
         sample_rate: float | None = None,
         sensitivity_mode: str = "per_angle",
         recorder=None,
+        tracer=None,
+        ledger=None,
         grad_mode: str = "materialize",
     ):
         from repro.core.ghost import check_grad_mode
 
         super().__init__(learning_rate, beta1=beta1, beta2=beta2, eps=eps)
         self.recorder = recorder
+        self.tracer = tracer
+        self.ledger = ledger
         self.grad_mode = check_grad_mode(grad_mode)
         if isinstance(clipping, (int, float)):
             clipping = FlatClipping(float(clipping))
@@ -96,27 +101,31 @@ class GeoDpAdamOptimizer(AdamOptimizer):
         grads = check_matrix("per_sample_grads", per_sample_grads)
         if grads.shape[0] == 0:
             return np.zeros(grads.shape[1])
-        clipped, norms = self.clipping.clip_with_norms(grads)
+        with joint_span(self.recorder, self.tracer, "clip"):
+            clipped, norms = self.clipping.clip_with_norms(grads)
+            summed = clipped.sum(axis=0)
         record_clipping(
             self.recorder, grads, self.clipping.sensitivity(), norms=norms
         )
-        return clipped.sum(axis=0)
+        return summed
 
     def noisy_gradient_presummed(self, clipped_sum: np.ndarray, count: int) -> np.ndarray:
         """GeoDP perturbation of an already clipped-and-summed gradient."""
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
         avg = clipped_sum / count
-        noisy = perturb_geodp(
-            avg,
-            self.clipping.sensitivity(),
-            self.noise_multiplier,
-            count,
-            self.beta,
-            self.rng,
-            clip=False,
-            sensitivity_mode=self.sensitivity_mode,
-        )
+        with joint_span(self.recorder, self.tracer, "noise"):
+            noisy = perturb_geodp(
+                avg,
+                self.clipping.sensitivity(),
+                self.noise_multiplier,
+                count,
+                self.beta,
+                self.rng,
+                clip=False,
+                sensitivity_mode=self.sensitivity_mode,
+                tracer=self.tracer,
+            )
         if self.recorder is not None:
             record_release(
                 self.recorder,
@@ -128,12 +137,33 @@ class GeoDpAdamOptimizer(AdamOptimizer):
             )
         return noisy
 
+    #: Mechanism label written into ledger entries (the released quantity is
+    #: GeoDP's perturbed gradient; Adam is post-processing).
+    ledger_mechanism = "geodp"
+
+    def _ledger_meta(self) -> dict:
+        """Beta and calibration mode, so a ledger audit sees the mechanism."""
+        return {"beta": self.beta, "sensitivity_mode": self.sensitivity_mode}
+
+    def _account_release(self) -> None:
+        """Record one DP release with the accountant and the ledger."""
+        if self.accountant is not None:
+            self.accountant.step(max(self.noise_multiplier, 1e-12), self.sample_rate)
+        if self.ledger is not None:
+            self.ledger.record_release(
+                mechanism=self.ledger_mechanism,
+                sigma=self.noise_multiplier,
+                sensitivity=self.clipping.sensitivity(),
+                sample_rate=0.0 if self.sample_rate is None else self.sample_rate,
+                accountant=self.accountant,
+                meta=self._ledger_meta(),
+            )
+
     def step_presummed(self, params: np.ndarray, clipped_sum: np.ndarray, count: int) -> np.ndarray:
         """One Adam update from an accumulated clipped sum."""
         noisy = self.noisy_gradient_presummed(clipped_sum, count)
         self.last_noisy_gradient = noisy
-        if self.accountant is not None:
-            self.accountant.step(max(self.noise_multiplier, 1e-12), self.sample_rate)
+        self._account_release()
         return AdamOptimizer.step(self, params, noisy)
 
     def step(self, params: np.ndarray, per_sample_grads) -> np.ndarray:
@@ -163,6 +193,7 @@ class GeoDpAdamOptimizer(AdamOptimizer):
         state["accountant"] = (
             None if self.accountant is None else self.accountant.state_dict()
         )
+        state["ledger"] = None if self.ledger is None else self.ledger.state_dict()
         return state
 
     def load_state_dict(self, state: dict) -> None:
@@ -176,6 +207,11 @@ class GeoDpAdamOptimizer(AdamOptimizer):
             if self.accountant is None:
                 raise ValueError("snapshot has accountant state but none is attached")
             self.accountant.load_state_dict(state["accountant"])
+        # Snapshots from before the ledger existed have no "ledger" key.
+        if state.get("ledger") is not None:
+            if self.ledger is None:
+                raise ValueError("snapshot has ledger state but none is attached")
+            self.ledger.load_state_dict(state["ledger"])
 
     def __repr__(self) -> str:
         return (

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.telemetry.diagnostics import record_clipping
+from repro.telemetry.tracing import joint_span
 
 __all__ = ["GRAD_MODES", "check_grad_mode", "ghost_clipped_sum", "ghost_step"]
 
@@ -49,16 +50,18 @@ def ghost_clipped_sum(optimizer, model, x, y) -> tuple[np.ndarray, np.ndarray]:
     diagnostics plus ``ghost_clipped_sums`` / ``ghost_samples`` counters.
     """
     recorder = getattr(optimizer, "recorder", None)
-    if recorder is None:
+    tracer = getattr(optimizer, "tracer", None)
+    if recorder is None and tracer is None:
         losses, summed, _ = model.loss_and_clipped_grad_sum(x, y, optimizer.clipping)
         return losses, summed
-    with recorder.span("clip"):
+    with joint_span(recorder, tracer, "ghost"):
         losses, summed, norms = model.loss_and_clipped_grad_sum(
             x, y, optimizer.clipping
         )
-    record_clipping(recorder, None, optimizer.clipping.sensitivity(), norms=norms)
-    recorder.increment("ghost_clipped_sums")
-    recorder.increment("ghost_samples", len(norms))
+    if recorder is not None:
+        record_clipping(recorder, None, optimizer.clipping.sensitivity(), norms=norms)
+        recorder.increment("ghost_clipped_sums")
+        recorder.increment("ghost_samples", len(norms))
     return losses, summed
 
 

@@ -30,6 +30,7 @@ from repro.geometry.bounding import (
     per_angle_sensitivity,
 )
 from repro.geometry.spherical import to_cartesian_batch, to_spherical_batch
+from repro.telemetry.tracing import maybe_span
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_matrix, check_positive, check_probability
 
@@ -93,6 +94,7 @@ def perturb_geodp_batch(
     clip: bool = True,
     sensitivity_mode: str = "total",
     clamp_to_region: bool = False,
+    tracer=None,
 ) -> np.ndarray:
     """GeoDP perturbation of ``m`` averaged gradients (Algorithm 1 steps 6-9).
 
@@ -118,6 +120,10 @@ def perturb_geodp_batch(
     fixed centred beta-region (``bound_angles``), which makes the
     advertised sensitivity hold unconditionally at the cost of biasing
     directions that lie outside the region.
+
+    ``tracer`` (an optional :class:`~repro.telemetry.tracing.Tracer`) times
+    the two spherical coordinate conversions as ``"spherical"`` phase
+    spans; it never touches the RNG.
     """
     grads = check_matrix("grads", grads)
     clip_norm = check_positive("clip_norm", clip_norm)
@@ -128,7 +134,8 @@ def perturb_geodp_batch(
     rng = as_rng(rng)
 
     clipped = clip_gradients(grads, clip_norm) if clip else grads
-    magnitudes, thetas = to_spherical_batch(clipped)
+    with maybe_span(tracer, "spherical"):
+        magnitudes, thetas = to_spherical_batch(clipped)
     if clamp_to_region:
         thetas = bound_angles(thetas, beta)
 
@@ -146,10 +153,12 @@ def perturb_geodp_batch(
     if noise_multiplier == 0:
         # sigma = 0 consumes no randomness (see perturb_dp_batch); the
         # spherical round-trip is kept so the numerical path is unchanged.
-        return to_cartesian_batch(magnitudes, thetas)
+        with maybe_span(tracer, "spherical"):
+            return to_cartesian_batch(magnitudes, thetas)
     noisy_mag = magnitudes + mag_scale * rng.normal(0.0, noise_multiplier, size=magnitudes.shape)
     noisy_theta = thetas + dir_scale * rng.normal(0.0, noise_multiplier, size=thetas.shape)
-    return to_cartesian_batch(noisy_mag, noisy_theta)
+    with maybe_span(tracer, "spherical"):
+        return to_cartesian_batch(noisy_mag, noisy_theta)
 
 
 def perturb_dp(
@@ -178,6 +187,7 @@ def perturb_geodp(
     *,
     clip: bool = True,
     sensitivity_mode: str = "total",
+    tracer=None,
 ) -> np.ndarray:
     """GeoDP perturbation of a single averaged gradient (Algorithm 1)."""
     grad = np.asarray(grad, dtype=np.float64)
@@ -190,4 +200,5 @@ def perturb_geodp(
         rng,
         clip=clip,
         sensitivity_mode=sensitivity_mode,
+        tracer=tracer,
     )[0]

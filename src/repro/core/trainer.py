@@ -9,7 +9,6 @@ optional selective update/release (SUR).
 from __future__ import annotations
 
 import warnings
-from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -17,6 +16,7 @@ import numpy as np
 from repro.core.techniques import ImportanceSampling, SelectiveUpdateRelease
 from repro.data.sampling import minibatch_indices
 from repro.telemetry.diagnostics import record_clipping
+from repro.telemetry.tracing import joint_span, maybe_span
 from repro.utils.rng import as_rng
 
 __all__ = ["Trainer", "TrainingHistory"]
@@ -141,6 +141,18 @@ class Trainer:
         geometry (noise-to-signal, angular deviation, ...) lands in the same
         trace.  Telemetry never consumes randomness: instrumented runs are
         bit-identical to uninstrumented ones.
+    tracer:
+        Optional :class:`~repro.telemetry.Tracer`.  When given, every
+        :meth:`train` call is recorded as a hierarchical span tree — a
+        ``run`` span containing ``epoch`` spans containing per-iteration
+        ``lot`` spans containing the phase spans (``sample`` /
+        ``forward_backward`` / ``step`` plus the optimizer's ``clip`` /
+        ``spherical`` / ``noise`` and the ``ghost`` / ``checkpoint``
+        phases) — exportable to Chrome trace-event JSON.  Like the
+        recorder, the tracer is attached to the optimizer's ``tracer`` slot
+        if still unset, and never consumes randomness.  The tracer's
+        ``granularity`` bounds the recorded depth (``"lot"`` skips the
+        per-phase spans — the cheap setting; see ``docs/observability.md``).
     """
 
     def __init__(
@@ -161,6 +173,7 @@ class Trainer:
         microbatch_size: int | None = None,
         parallel_grad_workers: int | None = None,
         telemetry=None,
+        tracer=None,
         grad_mode: str | None = None,
     ):
         if batch_size < 1 or batch_size > len(train_data):
@@ -263,6 +276,10 @@ class Trainer:
         if telemetry is not None and getattr(optimizer, "recorder", None) is None:
             if hasattr(optimizer, "recorder"):
                 optimizer.recorder = telemetry
+        self.tracer = tracer
+        if tracer is not None and getattr(optimizer, "tracer", None) is None:
+            if hasattr(optimizer, "tracer"):
+                optimizer.tracer = tracer
         if sur is not None:
             eval_n = min(sur_eval_size, len(train_data))
             eval_idx = self.rng.choice(len(train_data), size=eval_n, replace=False)
@@ -294,8 +311,8 @@ class Trainer:
 
     # ------------------------------------------------------------------ steps
     def _span(self, name: str):
-        """Telemetry span for one phase, or a no-op when telemetry is off."""
-        return self.telemetry.span(name) if self.telemetry is not None else nullcontext()
+        """Joint recorder + tracer span for one phase (no-op when both off)."""
+        return joint_span(self.telemetry, self.tracer, name)
 
     def _draw_indices(self, n: int) -> np.ndarray:
         if self.sampling == "poisson":
@@ -483,6 +500,24 @@ class Trainer:
             uninterrupted one.  Pass ``resume=False`` to ignore existing
             snapshots (they are then overwritten as training progresses).
         """
+        with maybe_span(self.tracer, "run", "run"):
+            return self._train_inner(
+                num_iterations,
+                eval_every=eval_every,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+            )
+
+    def _train_inner(
+        self,
+        num_iterations: int,
+        *,
+        eval_every: int,
+        checkpoint_every: int,
+        checkpoint_dir,
+        resume: bool,
+    ) -> TrainingHistory:
         if num_iterations < 1:
             raise ValueError(f"num_iterations must be >= 1, got {num_iterations}")
         if checkpoint_every < 0:
@@ -505,61 +540,98 @@ class Trainer:
             checkpoint_dir = Path(checkpoint_dir)
             checkpoint_dir.mkdir(parents=True, exist_ok=True)
             if resume:
-                found = latest_snapshot(checkpoint_dir, max_iteration=num_iterations)
+                found = latest_snapshot(
+                    checkpoint_dir,
+                    max_iteration=num_iterations,
+                    telemetry=self.telemetry,
+                )
                 if found is not None:
                     _, snapshot_state = found
-                    history, start_iteration = restore_training_state(
-                        self, snapshot_state
-                    )
+                    # Tracer-only span: the recorder's own state is being
+                    # replaced by the snapshot here, so it cannot time this.
+                    with maybe_span(self.tracer, "checkpoint"):
+                        history, start_iteration = restore_training_state(
+                            self, snapshot_state
+                        )
         per_sample = getattr(self.optimizer, "requires_per_sample", False)
         recorder = self.telemetry
+        tracer = self.tracer
+        trace_epochs = tracer is not None and tracer.enabled("epoch")
+        steps_per_epoch = -(-len(self.train_data) // self.batch_size)
+        epoch_cm = None
+        epoch_index: int | None = None
 
-        for iteration in range(start_iteration + 1, num_iterations + 1):
-            if recorder is not None:
-                recorder.start_step(iteration)
-            params = self.model.get_params()
-            if self.sur is not None:
-                loss_before = self.model.mean_loss(*self._sur_eval)
-                # The descent step also advances momentum/Adam buffers; a
-                # rejected update must roll those back too, or the rejected
-                # noisy gradient keeps steering later accepted steps.
-                update_state = _capture_update_state(self.optimizer)
+        try:
+            for iteration in range(start_iteration + 1, num_iterations + 1):
+                if trace_epochs:
+                    epoch = (iteration - 1) // steps_per_epoch
+                    if epoch != epoch_index:
+                        if epoch_cm is not None:
+                            epoch_cm.__exit__(None, None, None)
+                        epoch_cm = tracer.span("epoch", "epoch")
+                        epoch_cm.__enter__().meta["index"] = float(epoch)
+                        epoch_index = epoch
+                with maybe_span(tracer, "lot", "lot") as lot:
+                    if lot is not None:
+                        lot.meta["iteration"] = float(iteration)
+                    if recorder is not None:
+                        recorder.start_step(iteration)
+                    params = self.model.get_params()
+                    if self.sur is not None:
+                        loss_before = self.model.mean_loss(*self._sur_eval)
+                        # The descent step also advances momentum/Adam
+                        # buffers; a rejected update must roll those back
+                        # too, or the rejected noisy gradient keeps steering
+                        # later accepted steps.
+                        update_state = _capture_update_state(self.optimizer)
 
-            if per_sample:
-                new_params, batch_loss = self._per_sample_step(params)
-            else:
-                new_params, batch_loss = self._mean_step(params)
-            self.model.set_params(new_params)
+                    if per_sample:
+                        new_params, batch_loss = self._per_sample_step(params)
+                    else:
+                        new_params, batch_loss = self._mean_step(params)
+                    self.model.set_params(new_params)
 
-            if self.sur is not None:
-                loss_after = self.model.mean_loss(*self._sur_eval)
-                accepted = self.sur.should_accept(loss_before, loss_after)
-                if not accepted:
-                    self.model.set_params(params)  # roll back rejected update
-                    _restore_update_state(self.optimizer, update_state)
-                if recorder is not None:
-                    recorder.record("sur_accepted", float(accepted))
-                    recorder.increment(
-                        "sur_accepted" if accepted else "sur_rejected"
-                    )
+                    if self.sur is not None:
+                        loss_after = self.model.mean_loss(*self._sur_eval)
+                        accepted = self.sur.should_accept(loss_before, loss_after)
+                        if not accepted:
+                            # roll back rejected update
+                            self.model.set_params(params)
+                            _restore_update_state(self.optimizer, update_state)
+                        if recorder is not None:
+                            recorder.record("sur_accepted", float(accepted))
+                            recorder.increment(
+                                "sur_accepted" if accepted else "sur_rejected"
+                            )
 
-            history.losses.append(batch_loss)
-            history.iterations = iteration
-            if eval_every and self.test_data is not None and iteration % eval_every == 0:
-                with self._span("eval"):
-                    history.test_accuracy.append((iteration, self.evaluate()))
-                if recorder is not None:
-                    recorder.record("test_accuracy", history.test_accuracy[-1][1])
-            if recorder is not None:
-                recorder.record("loss", batch_loss)
-                recorder.increment("iterations")
-                recorder.end_step()
-            if checkpoint_every and iteration % checkpoint_every == 0:
-                with self._span("checkpoint"):
-                    save_snapshot(
-                        snapshot_path(checkpoint_dir, iteration),
-                        capture_training_state(self, history, iteration),
-                    )
+                    history.losses.append(batch_loss)
+                    history.iterations = iteration
+                    if (
+                        eval_every
+                        and self.test_data is not None
+                        and iteration % eval_every == 0
+                    ):
+                        with self._span("eval"):
+                            history.test_accuracy.append(
+                                (iteration, self.evaluate())
+                            )
+                        if recorder is not None:
+                            recorder.record(
+                                "test_accuracy", history.test_accuracy[-1][1]
+                            )
+                    if recorder is not None:
+                        recorder.record("loss", batch_loss)
+                        recorder.increment("iterations")
+                        recorder.end_step()
+                if checkpoint_every and iteration % checkpoint_every == 0:
+                    with self._span("checkpoint"):
+                        save_snapshot(
+                            snapshot_path(checkpoint_dir, iteration),
+                            capture_training_state(self, history, iteration),
+                        )
+        finally:
+            if epoch_cm is not None:
+                epoch_cm.__exit__(None, None, None)
 
         if eval_every and self.test_data is not None and (
             not history.test_accuracy or history.test_accuracy[-1][0] != num_iterations

@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments.cli trace --telemetry out.jsonl
     python -m repro.experiments.cli table2 --checkpoint-dir ckpt --resume
     python -m repro.experiments.cli table2 --workers 4 --checkpoint-dir ckpt
+    python -m repro.experiments.cli report out.jsonl --format markdown
+    python -m repro.experiments.cli report out.jsonl --chrome out.trace.json
     python -m repro.experiments.cli list
 """
 
@@ -87,8 +89,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="which experiment to run ('all' runs everything, 'list' describes them)",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "report"],
+        help=(
+            "which experiment to run ('all' runs everything, 'list' describes "
+            "them, 'report' renders a run report from an exported trace file)"
+        ),
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        metavar="TRACE",
+        help="trace file written by --telemetry ('report' only)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="report_format",
+        default="markdown",
+        choices=("markdown", "json"),
+        help="output format of the 'report' subcommand (default: markdown)",
+    )
+    parser.add_argument(
+        "--chrome",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also write the trace's span tree as a Chrome trace-event JSON "
+            "file, loadable in chrome://tracing or Perfetto ('report' only)"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -216,12 +244,43 @@ def run_one(
     return f"{notice}{fmt(result)}\n[{name} completed in {elapsed:.1f}s]"
 
 
+def run_report(path: str, *, fmt: str = "markdown", chrome: str | None = None) -> str:
+    """Render the report for one exported trace file; optionally write Chrome JSON.
+
+    Merges every run bundle's span tree onto one per-run track when
+    ``chrome`` is given, so a multi-run trace file (e.g. the trace
+    experiment's dpsgd + geodp pair) lands in a single timeline view.
+    """
+    from repro.telemetry import Tracer, build_report, load_run_bundles, render_report
+
+    bundles = load_run_bundles(path)
+    text = render_report(build_report(bundles), fmt=fmt)
+    if chrome is not None:
+        merged = Tracer(granularity="phase")
+        for run in sorted(bundles):
+            tracer = bundles[run].tracer
+            if tracer is not None:
+                merged.merge_state(tracer.state_dict(), track=run)
+        merged.save_chrome_trace(chrome)
+        text += f"\n[Chrome trace written to {chrome}]"
+    return text
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, (_, _, description) in sorted(EXPERIMENTS.items()):
             print(f"{name:8s} {description}")
         return 0
+    if args.experiment == "report":
+        if args.path is None:
+            print("report requires a trace file path", file=sys.stderr)
+            return 2
+        print(run_report(args.path, fmt=args.report_format, chrome=args.chrome))
+        return 0
+    if args.path is not None:
+        print("only the 'report' subcommand takes a trace path", file=sys.stderr)
+        return 2
     if args.resume and args.checkpoint_dir is None:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2

@@ -9,9 +9,15 @@ the true averaged gradient and the released noisy gradient.  This is the
 paper's Fig. 1 / Theorem 2 claim made directly observable on a live
 training run rather than inferred from final loss.
 
-With a ``telemetry=`` path (CLI: ``--telemetry out.jsonl``) both runs are
+Each run carries the full observability stack of ``docs/observability.md``:
+a span :class:`~repro.telemetry.Tracer`, an
+:class:`~repro.privacy.RdpAccountant` and a hash-chained
+:class:`~repro.privacy.ReleaseLedger`, so the comparison also reports the
+spent ε and the ledger's replay-verification verdict.  With a
+``telemetry=`` path (CLI: ``--telemetry out.jsonl``) both runs are
 exported to one JSONL trace file (run labels ``dpsgd`` and ``geodp``) that
-round-trips through :func:`repro.telemetry.load_traces`.
+round-trips through :func:`repro.telemetry.load_run_bundles` and feeds the
+``repro report`` subcommand.
 """
 
 from __future__ import annotations
@@ -25,7 +31,16 @@ from repro.data.datasets import train_test_split
 from repro.data.mnist_like import make_mnist_like
 from repro.experiments.common import check_scale
 from repro.models.logistic import build_logistic_regression
-from repro.telemetry import MetricsRecorder, export_trace, metric_summary, summarize
+from repro.privacy.accountant import RdpAccountant
+from repro.privacy.ledger import ReleaseLedger, verify_ledger
+from repro.telemetry import (
+    MetricsRecorder,
+    RunBundle,
+    Tracer,
+    export_trace,
+    metric_summary,
+    summarize,
+)
 from repro.utils.rng import as_rng, spawn_rngs
 from repro.utils.tables import format_table
 
@@ -50,8 +65,11 @@ _COMPARED = ("loss", "clipped_fraction", "noise_to_signal", "angular_deviation")
 def run_trace(scale: str = "smoke", rng=None, telemetry=None) -> dict:
     """Run both instrumented trainings; optionally export a JSONL trace.
 
-    Returns the two recorders plus the configuration used.  ``telemetry``
-    is a destination path for the combined JSONL trace (or ``None``).
+    Returns the two run bundles (recorder + tracer + ledger each) plus the
+    configuration used; ``result["recorders"]`` keeps the recorder-only
+    view.  ``telemetry`` is a destination path for the combined JSONL
+    trace (or ``None``).  Instrumentation never touches a random stream,
+    so the training trajectories are identical to the uninstrumented runs.
     """
     check_scale(scale)
     cfg = _PRESETS[scale]
@@ -59,14 +77,22 @@ def run_trace(scale: str = "smoke", rng=None, telemetry=None) -> dict:
     data_rng, opt_rng, train_rng = spawn_rngs(rng, 3)
     data = make_mnist_like(cfg["n"], data_rng, size=cfg["size"])
     train, test = train_test_split(data, rng=data_rng)
+    sample_rate = min(cfg["batch"], len(train)) / len(train)
 
     # Both optimizers consume identical seed material so the comparison is
     # equal-budget *and* equal-randomness (same batches, fresh noise).
     opt_seed = int(opt_rng.integers(2**31))
     train_seed = int(train_rng.integers(2**31))
 
-    def _run(optimizer) -> MetricsRecorder:
+    def _run(make_optimizer) -> RunBundle:
         recorder = MetricsRecorder()
+        tracer = Tracer(granularity="phase")
+        ledger = ReleaseLedger()
+        optimizer = make_optimizer(
+            accountant=RdpAccountant(),
+            sample_rate=sample_rate,
+            ledger=ledger,
+        )
         model = build_logistic_regression((1, cfg["size"], cfg["size"]), rng=0)
         trainer = Trainer(
             model,
@@ -76,30 +102,48 @@ def run_trace(scale: str = "smoke", rng=None, telemetry=None) -> dict:
             batch_size=cfg["batch"],
             rng=train_seed,
             telemetry=recorder,
+            tracer=tracer,
         )
         trainer.train(cfg["iters"], eval_every=cfg["iters"])
-        return recorder
+        tracer.close()
+        return RunBundle(recorder, tracer=tracer, ledger=ledger)
 
-    recorders = {
-        "dpsgd": _run(DpSgdOptimizer(_LR, _CLIP, _SIGMA, rng=opt_seed)),
+    bundles = {
+        "dpsgd": _run(
+            lambda **dp: DpSgdOptimizer(_LR, _CLIP, _SIGMA, rng=opt_seed, **dp)
+        ),
         "geodp": _run(
-            GeoDpSgdOptimizer(
+            lambda **dp: GeoDpSgdOptimizer(
                 _LR,
                 _CLIP,
                 _SIGMA,
                 beta=cfg["beta"],
                 rng=opt_seed,
                 sensitivity_mode="per_angle",
+                **dp,
             )
         ),
     }
     if telemetry is not None:
-        export_trace(telemetry, recorders["dpsgd"], run="dpsgd")
-        export_trace(telemetry, recorders["geodp"], run="geodp", append=True)
+        for position, (run, bundle) in enumerate(bundles.items()):
+            export_trace(
+                telemetry,
+                bundle.recorder,
+                run=run,
+                append=position > 0,
+                tracer=bundle.tracer,
+                ledger=bundle.ledger,
+            )
+    verifications = {
+        run: verify_ledger(bundle.ledger, strict=False)
+        for run, bundle in bundles.items()
+    }
     return {
         "scale": scale,
         "config": dict(cfg, clip=_CLIP, sigma=_SIGMA, lr=_LR),
-        "recorders": recorders,
+        "bundles": bundles,
+        "recorders": {run: bundle.recorder for run, bundle in bundles.items()},
+        "verifications": verifications,
         "telemetry_path": None if telemetry is None else str(telemetry),
     }
 
@@ -136,6 +180,14 @@ def format_trace(result: dict) -> str:
         f"mean angular deviation: dpsgd={dp:.4f} rad, geodp={geo:.4f} rad "
         f"({'GeoDP preserves direction better' if geo <= dp else 'DP-SGD ahead'})"
     )
+    for name, verification in result.get("verifications", {}).items():
+        ledger = result["bundles"][name].ledger
+        eps = verification.replayed_epsilon
+        eps_text = "n/a" if eps is None else f"{eps:.4f}"
+        sections.append(
+            f"[{name}] privacy ledger: {len(ledger.entries)} releases, "
+            f"epsilon={eps_text} at delta={ledger.delta:g} — {verification}"
+        )
     if result["telemetry_path"]:
         sections.append(f"JSONL trace written to {result['telemetry_path']}")
     for name, recorder in recorders.items():

@@ -80,12 +80,17 @@ def run_method(
     checkpoint_every: int = 0,
     resume: bool = True,
     grad_mode: str = "materialize",
+    telemetry=None,
+    tracer=None,
 ) -> float:
     """Train one model under ``spec``; returns final test accuracy.
 
     ``grad_mode="ghost"`` routes the DP gradient computation through the
     ghost-clipping fast path; rows using importance sampling need the
     materialized per-sample gradients and stay on ``"materialize"``.
+    ``telemetry`` / ``tracer`` instrument the training run (per-iteration
+    diagnostics and the span tree of ``docs/observability.md``); neither
+    touches any random stream, so instrumented accuracies are unchanged.
     """
     model = model_builder()
     optimizer = _make_optimizer(spec, sigma, learning_rate, clip_norm, rng)
@@ -101,6 +106,8 @@ def run_method(
         importance_sampling=importance,
         sur=sur,
         grad_mode="materialize" if spec.use_is else grad_mode,
+        telemetry=telemetry,
+        tracer=tracer,
     )
     history = trainer.train(
         iterations,
@@ -163,6 +170,8 @@ def run_grid(
     resume: bool = True,
     workers=1,
     telemetry=None,
+    tracer=None,
+    ship_telemetry: bool = False,
     grad_mode: str = "materialize",
 ) -> dict:
     """Run every (method, sigma) cell plus the noise-free reference.
@@ -183,6 +192,13 @@ def run_grid(
     unfinished cells.  ``telemetry`` optionally receives the pool's
     ``runtime_*`` progress events.
 
+    ``ship_telemetry=True`` additionally instruments every cell's training
+    with fresh per-cell recorders/tracers that travel back from the
+    workers and merge into ``telemetry`` / ``tracer`` in cell order
+    (:mod:`repro.runtime.shipback`): the merged telemetry is identical for
+    any worker count (in its deterministic projection), and each cell's
+    spans land on a track named after the cell key.
+
     ``grad_mode="ghost"`` runs every cell's DP training through the
     ghost-clipping fast path (results are equal to the default within
     floating-point tolerance, not bit-identical; IS rows stay
@@ -190,6 +206,7 @@ def run_grid(
     """
     from repro.core.ghost import check_grad_mode
     from repro.runtime.scheduler import make_cells, run_cells
+    from repro.runtime.shipback import job_recorder, job_tracer
 
     check_grad_mode(grad_mode)
 
@@ -211,6 +228,10 @@ def run_grid(
 
     def execute(cell):
         spec, sigma = cell.payload
+        # Under ship_telemetry the scheduler installs fresh per-cell
+        # instruments around this call; otherwise both are None and the
+        # cell trains unobserved, exactly as before.
+        cell_telemetry, cell_tracer = job_recorder(), job_tracer()
         if spec is None:
             # The private rows are clipping-limited, so the fair reference
             # is clipped SGD at the same learning rate — DP-SGD, sigma = 0.
@@ -223,6 +244,8 @@ def run_grid(
                 test_data=test,
                 batch_size=ref_batch,
                 rng=cell.rng,
+                telemetry=cell_telemetry,
+                tracer=cell_tracer,
             )
             return trainer.train(
                 iterations,
@@ -245,9 +268,18 @@ def run_grid(
             checkpoint_every=checkpoint_every,
             resume=resume,
             grad_mode=grad_mode,
+            telemetry=cell_telemetry,
+            tracer=cell_tracer,
         )
 
-    accuracies = run_cells(execute, cells, workers=workers, telemetry=telemetry)
+    accuracies = run_cells(
+        execute,
+        cells,
+        workers=workers,
+        telemetry=telemetry,
+        tracer=tracer,
+        ship_telemetry=ship_telemetry,
+    )
     noise_free = accuracies[0]
     rows = []
     position = 1

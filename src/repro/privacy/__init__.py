@@ -57,6 +57,14 @@ from repro.privacy.clipping import (
     AdaptiveQuantileClipping,
     PerLayerClipping,
 )
+from repro.privacy.ledger import (
+    GENESIS_HASH,
+    LedgerError,
+    LedgerVerification,
+    ReleaseLedger,
+    ReleaseRecord,
+    verify_ledger,
+)
 
 __all__ = [
     "GaussianMechanism",
@@ -98,4 +106,10 @@ __all__ = [
     "PsacClipping",
     "AdaptiveQuantileClipping",
     "PerLayerClipping",
+    "ReleaseLedger",
+    "ReleaseRecord",
+    "GENESIS_HASH",
+    "LedgerError",
+    "LedgerVerification",
+    "verify_ledger",
 ]

@@ -13,6 +13,10 @@ Three layers, each usable on its own:
   (:class:`ParallelGradientMap`): shards a lot's microbatch chunks across
   workers over a shared-memory dataset snapshot; opt-in through
   ``Trainer(parallel_grad_workers=...)``.
+* :mod:`repro.runtime.shipback` — **worker telemetry ship-back**
+  (:func:`instrument` / :func:`merge_shipped`): per-job recorders and
+  tracers travel back with results and merge deterministically in the
+  parent; opt-in through ``run_cells(..., ship_telemetry=True)``.
 
 See ``docs/parallelism.md`` for the worker model and the determinism
 guarantees.
@@ -29,16 +33,28 @@ from repro.runtime.jobs import (
 )
 from repro.runtime.pool import parallel_available, resolve_workers, run_jobs
 from repro.runtime.scheduler import make_cells, run_cells
+from repro.runtime.shipback import (
+    ShippedTelemetry,
+    instrument,
+    job_recorder,
+    job_tracer,
+    merge_shipped,
+)
 
 __all__ = [
     "Job",
     "JobFailure",
     "JobOutcome",
     "ParallelGradientMap",
+    "ShippedTelemetry",
     "assign_job_rngs",
     "chunk_ranges",
+    "instrument",
+    "job_recorder",
+    "job_tracer",
     "make_cells",
     "make_jobs",
+    "merge_shipped",
     "parallel_available",
     "resolve_workers",
     "run_cells",

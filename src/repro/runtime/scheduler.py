@@ -25,6 +25,7 @@ from typing import Any
 
 from repro.runtime.jobs import Job, JobOutcome, assign_job_rngs
 from repro.runtime.pool import run_jobs
+from repro.runtime.shipback import instrument, merge_shipped
 
 __all__ = ["make_cells", "run_cells"]
 
@@ -51,6 +52,8 @@ def run_cells(
     max_attempts: int = 3,
     timeout: float | None = None,
     telemetry=None,
+    tracer=None,
+    ship_telemetry: bool = False,
     outcomes: list[JobOutcome] | None = None,
 ) -> list[Any]:
     """Run every cell; results are returned in cell order.
@@ -60,12 +63,24 @@ def run_cells(
     or after the pool runner's fallback).  It may close over unpicklable
     state (models, datasets); only ``cell.payload``/``cell.rng`` and the
     return value cross process boundaries.
+
+    With ``ship_telemetry=True`` each cell runs with fresh per-job
+    instruments (see :mod:`repro.runtime.shipback`; the runner reaches
+    them via :func:`~repro.runtime.shipback.job_recorder` /
+    :func:`~repro.runtime.shipback.job_tracer`), and the shipped states
+    merge into ``telemetry`` and ``tracer`` in cell-index order — the
+    merged result is worker-count invariant in its deterministic
+    projection, and each cell's spans land on a track named after its key.
     """
     cells = list(cells)
     if telemetry is not None:
         telemetry.increment("runtime_cells_scheduled", len(cells))
-    return run_jobs(
-        runner,
+    job_fn = runner
+    if ship_telemetry:
+        granularity = tracer.granularity if tracer is not None else "phase"
+        job_fn = instrument(runner, granularity=granularity)
+    results = run_jobs(
+        job_fn,
         cells,
         workers=workers,
         max_attempts=max_attempts,
@@ -73,3 +88,11 @@ def run_cells(
         telemetry=telemetry,
         outcomes=outcomes,
     )
+    if ship_telemetry:
+        results = merge_shipped(
+            results,
+            keys=[cell.key for cell in cells],
+            recorder=telemetry,
+            tracer=tracer,
+        )
+    return results

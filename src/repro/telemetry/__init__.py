@@ -17,13 +17,24 @@ from repro.telemetry.diagnostics import (
     release_diagnostics,
 )
 from repro.telemetry.events import StepTrace
-from repro.telemetry.export import export_trace, load_trace, load_traces
+from repro.telemetry.export import (
+    RunBundle,
+    export_trace,
+    load_run_bundles,
+    load_trace,
+    load_traces,
+)
 from repro.telemetry.recorder import MetricsRecorder
-from repro.telemetry.report import metric_summary, summarize
+from repro.telemetry.report import build_report, metric_summary, render_report, summarize
+from repro.telemetry.tracing import Span, Tracer, joint_span, maybe_span
 
 __all__ = [
     "MetricsRecorder",
     "StepTrace",
+    "Span",
+    "Tracer",
+    "joint_span",
+    "maybe_span",
     "clip_diagnostics",
     "release_diagnostics",
     "record_clipping",
@@ -31,6 +42,10 @@ __all__ = [
     "export_trace",
     "load_trace",
     "load_traces",
+    "load_run_bundles",
+    "RunBundle",
     "metric_summary",
     "summarize",
+    "build_report",
+    "render_report",
 ]

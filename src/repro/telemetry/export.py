@@ -1,35 +1,78 @@
 """JSONL export/import of telemetry traces.
 
-One exported recorder becomes a block of lines, each a JSON object with a
+One exported run becomes a block of lines, each a JSON object with a
 ``kind`` discriminator and a ``run`` label (so several runs — e.g. a DP-SGD
 and a GeoDP training at equal budget — can share one file):
 
-``{"kind": "meta", "version": 1, "run": "dpsgd"}``
-    header of one run's block;
+``{"kind": "meta", "version": 2, "run": "dpsgd", ...}``
+    header of one run's block; carries the tracer's configuration when the
+    run was traced;
 ``{"kind": "step", "run": ..., "iteration": ..., "metrics": {...}, "timings": {...}}``
     one :class:`~repro.telemetry.events.StepTrace` per training iteration;
 ``{"kind": "series", "run": ..., "name": ..., "points": [[step, value], ...]}``
     one line per scalar series;
 ``{"kind": "counters"|"timers", "run": ..., "values": {...}}``
-    the run's counters and accumulated span times.
+    the run's counters and accumulated span times;
+``{"kind": "span", "run": ..., ...}``
+    one line per :class:`~repro.telemetry.tracing.Span` (format version 2);
+``{"kind": "ledger", "run": ..., "state": {...}}``
+    the run's DP release ledger (format version 2).
 
-The loader rebuilds :class:`~repro.telemetry.recorder.MetricsRecorder`
-instances exactly, so ``load_trace(export_trace(...))`` round-trips.
+The loaders rebuild the original objects exactly:
+:func:`load_trace`/:func:`load_traces` return
+:class:`~repro.telemetry.recorder.MetricsRecorder` instances (ignoring span
+and ledger lines, for backward compatibility), while
+:func:`load_run_bundles` returns a :class:`RunBundle` per run with the
+recorder, the rebuilt :class:`~repro.telemetry.tracing.Tracer`, and the
+rebuilt :class:`~repro.privacy.ledger.ReleaseLedger` — everything the
+``repro report`` subcommand needs.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.telemetry.events import StepTrace
 from repro.telemetry.recorder import MetricsRecorder
+from repro.telemetry.tracing import Span, Tracer
 from repro.utils.serialization import load_jsonl, save_jsonl
 
-__all__ = ["export_trace", "load_trace", "load_traces", "FORMAT_VERSION"]
+__all__ = [
+    "export_trace",
+    "load_trace",
+    "load_traces",
+    "load_run_bundles",
+    "RunBundle",
+    "FORMAT_VERSION",
+]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Versions the loaders accept.  Version 1 files (no span/ledger lines)
+#: still load; version 2 adds the observability kinds.
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 
-def _lines(recorder: MetricsRecorder, run: str):
-    yield {"kind": "meta", "version": FORMAT_VERSION, "run": run}
+@dataclass
+class RunBundle:
+    """Everything one run block of a trace file can carry.
+
+    ``tracer`` and ``ledger`` are ``None`` when the run was exported
+    without them (e.g. a version-1 file).
+    """
+
+    recorder: MetricsRecorder
+    tracer: Tracer | None = None
+    ledger: object | None = None
+
+
+def _lines(recorder: MetricsRecorder, run: str, tracer, ledger):
+    meta = {"kind": "meta", "version": FORMAT_VERSION, "run": run}
+    if tracer is not None:
+        meta["tracer"] = {
+            "granularity": tracer.granularity,
+            "trace_memory": tracer.trace_memory,
+        }
+    yield meta
     for event in recorder.events:
         yield {"kind": "step", "run": run, **event.to_dict()}
     for name, points in recorder.series.items():
@@ -41,35 +84,61 @@ def _lines(recorder: MetricsRecorder, run: str):
         }
     yield {"kind": "counters", "run": run, "values": dict(recorder.counters)}
     yield {"kind": "timers", "run": run, "values": dict(recorder.timers)}
+    if tracer is not None:
+        for span in tracer.spans:
+            yield {"kind": "span", "run": run, **span.to_dict()}
+    if ledger is not None:
+        yield {"kind": "ledger", "run": run, "state": ledger.state_dict()}
 
 
-def export_trace(path, recorder: MetricsRecorder, *, run: str = "default", append: bool = False) -> None:
-    """Write ``recorder`` to ``path`` as one JSONL block labelled ``run``.
+def export_trace(
+    path,
+    recorder: MetricsRecorder,
+    *,
+    run: str = "default",
+    append: bool = False,
+    tracer: Tracer | None = None,
+    ledger=None,
+) -> None:
+    """Write one run's telemetry to ``path`` as a JSONL block labelled ``run``.
 
-    ``append=True`` adds another run's block to an existing trace file;
-    labels within one file must be unique for :func:`load_traces` to keep
-    them apart.
+    ``tracer`` and ``ledger`` add the run's span tree and DP release ledger
+    to the block.  ``append=True`` adds another run's block to an existing
+    trace file; labels within one file must be unique for the loaders to
+    keep them apart.
     """
-    save_jsonl(path, _lines(recorder, run), append=append)
+    save_jsonl(path, _lines(recorder, run, tracer, ledger), append=append)
 
 
-def load_traces(path) -> dict[str, MetricsRecorder]:
-    """Load every run block in a trace file, keyed by run label."""
-    recorders: dict[str, MetricsRecorder] = {}
+def _parse(path):
+    """Yield ``(run, kind, record, meta)`` for every line of a trace file."""
+    metas: dict[str, dict] = {}
     for record in load_jsonl(path):
         kind = record.get("kind")
         run = record.get("run", "default")
         if kind == "meta":
             version = record.get("version")
-            if version != FORMAT_VERSION:
+            if version not in SUPPORTED_VERSIONS:
                 raise ValueError(f"unsupported trace format version {version!r}")
-            if run in recorders:
+            if run in metas:
                 raise ValueError(f"duplicate run label {run!r} in {path}")
-            recorders[run] = MetricsRecorder()
-            continue
-        if run not in recorders:
+            metas[run] = record
+        elif run not in metas:
             raise ValueError(f"line of kind {kind!r} before meta line for run {run!r}")
-        recorder = recorders[run]
+        yield run, kind, record, metas[run]
+
+
+def load_run_bundles(path) -> dict[str, RunBundle]:
+    """Load every run block in a trace file as a :class:`RunBundle`."""
+    from repro.privacy.ledger import ReleaseLedger
+
+    bundles: dict[str, RunBundle] = {}
+    for run, kind, record, meta in _parse(path):
+        if kind == "meta":
+            bundles[run] = RunBundle(MetricsRecorder())
+            continue
+        bundle = bundles[run]
+        recorder = bundle.recorder
         if kind == "step":
             recorder.events.append(StepTrace.from_dict(record))
         elif kind == "series":
@@ -82,9 +151,30 @@ def load_traces(path) -> dict[str, MetricsRecorder]:
             recorder.timers.update(
                 {k: float(v) for k, v in record["values"].items()}
             )
+        elif kind == "span":
+            if bundle.tracer is None:
+                config = meta.get("tracer", {})
+                bundle.tracer = Tracer(
+                    granularity=config.get("granularity", "phase"),
+                    trace_memory=False,
+                )
+                bundle.tracer.trace_memory = bool(config.get("trace_memory", False))
+            bundle.tracer.spans.append(Span.from_dict(record))
+        elif kind == "ledger":
+            bundle.ledger = ReleaseLedger()
+            bundle.ledger.load_state_dict(record["state"])
         else:
             raise ValueError(f"unknown trace line kind {kind!r}")
-    return recorders
+    return bundles
+
+
+def load_traces(path) -> dict[str, MetricsRecorder]:
+    """Load every run block in a trace file, keyed by run label.
+
+    Returns only the recorders; span and ledger lines are parsed (and
+    validated) but not returned — use :func:`load_run_bundles` for those.
+    """
+    return {run: bundle.recorder for run, bundle in load_run_bundles(path).items()}
 
 
 def load_trace(path, run: str | None = None) -> MetricsRecorder:

@@ -130,6 +130,46 @@ class MetricsRecorder:
         self.events = [StepTrace.from_dict(payload) for payload in state["events"]]
         self._open_step = None
 
+    # -------------------------------------------------------------- merging
+    def merge_state(self, state: dict) -> None:
+        """Fold another recorder's captured state into this one.
+
+        Series points and step events are appended, counters and timers are
+        summed.  Applied in a fixed order (job index, regardless of which
+        worker ran which job — see :mod:`repro.runtime.shipback`) the merged
+        recorder is independent of worker count.
+        """
+        for name, points in state["series"].items():
+            self.series.setdefault(name, []).extend(
+                (int(s), float(v)) for s, v in points
+            )
+        for name, value in state["counters"].items():
+            self.counters[name] = self.counters.get(name, 0) + float(value)
+        for name, value in state["timers"].items():
+            self.timers[name] = self.timers.get(name, 0.0) + float(value)
+        self.events.extend(StepTrace.from_dict(payload) for payload in state["events"])
+
+    def deterministic_state(self) -> dict:
+        """The recorder's contents with every wall-clock quantity removed.
+
+        Timers, per-step ``timings``, and series whose names end in
+        ``_seconds`` (the project convention for wall-clock series, e.g.
+        ``runtime_job_seconds``) measure elapsed time and legitimately vary
+        between runs.  Everything else — metric series, counters, per-step
+        metrics — is a pure function of the computation, so this projection
+        is bit-identical across reruns and across worker counts.
+        """
+        state = self.state_dict()
+        state.pop("timers")
+        state["series"] = {
+            name: points
+            for name, points in state["series"].items()
+            if not name.endswith("_seconds")
+        }
+        for event in state["events"]:
+            event.pop("timings", None)
+        return state
+
     def __repr__(self) -> str:
         return (
             f"MetricsRecorder(series={len(self.series)}, "

@@ -1,17 +1,27 @@
-"""Summary tables over recorded telemetry.
+"""Summary tables and run reports over recorded telemetry.
 
-Turns a :class:`~repro.telemetry.recorder.MetricsRecorder` into the compact
-plain-text report the experiments CLI prints after a ``--telemetry`` run:
-per-metric summary statistics, phase timings with shares, and counters.
+Two layers:
+
+* :func:`metric_summary` / :func:`summarize` turn a
+  :class:`~repro.telemetry.recorder.MetricsRecorder` into the compact
+  plain-text tables the experiments CLI prints after a ``--telemetry`` run;
+* :func:`build_report` / :func:`render_report` turn the
+  :class:`~repro.telemetry.export.RunBundle`\\ s of an exported trace file
+  (recorder + span tree + DP release ledger) into the full run report the
+  ``repro report`` subcommand emits — phase-time breakdown, clip/noise
+  diagnostics, ε trajectory, and ledger verification status — as a plain
+  data dict (JSON mode) or rendered markdown.
 """
 
 from __future__ import annotations
+
+import json
 
 import numpy as np
 
 from repro.utils.tables import format_table
 
-__all__ = ["metric_summary", "summarize"]
+__all__ = ["metric_summary", "summarize", "build_report", "render_report"]
 
 
 def metric_summary(recorder, name: str) -> dict[str, float]:
@@ -63,3 +73,176 @@ def summarize(recorder, *, title: str | None = None) -> str:
     if not sections:
         return "(no telemetry recorded)"
     return "\n\n".join(sections)
+
+
+# --------------------------------------------------------------- run reports
+
+#: Clip/noise diagnostic series summarised in run reports, when present.
+_DIAGNOSTIC_SERIES = (
+    "pre_clip_norm_mean",
+    "pre_clip_norm_max",
+    "clipped_fraction",
+    "post_clip_norm",
+    "noise_norm",
+    "noise_to_signal",
+    "cos_similarity",
+    "angular_deviation",
+    "sigma",
+    "sensitivity",
+)
+
+
+def _ledger_section(ledger) -> dict | None:
+    """Ledger summary + replay verification for one run bundle."""
+    if ledger is None:
+        return None
+    from repro.privacy.ledger import verify_ledger
+
+    verification = verify_ledger(ledger, strict=False)
+    return {
+        "entries": len(ledger.entries),
+        "delta": ledger.delta,
+        "head": ledger.head,
+        "mechanisms": sorted({record.mechanism for record in ledger.entries}),
+        "epsilon_trajectory": [
+            [int(steps), float(eps)] for steps, eps in ledger.epsilon_trajectory()
+        ],
+        "verified": verification.ok,
+        "verification": str(verification),
+        "replayed_epsilon": verification.replayed_epsilon,
+    }
+
+
+def _tracing_section(tracer) -> dict | None:
+    """Phase-time breakdown + peak memory for one run bundle."""
+    if tracer is None:
+        return None
+    phase_seconds = tracer.phase_totals(level="phase")
+    peaks = [s.peak_bytes for s in tracer.spans if s.peak_bytes is not None]
+    return {
+        "spans": len(tracer.spans),
+        "granularity": tracer.granularity,
+        "run_seconds": tracer.phase_totals(level="run").get("run"),
+        "lot_seconds": tracer.phase_totals(level="lot").get("lot"),
+        "phase_seconds": {k: float(v) for k, v in sorted(phase_seconds.items())},
+        "peak_bytes": max(peaks) if peaks else None,
+    }
+
+
+def build_report(bundles: dict) -> dict:
+    """Assemble the ``repro report`` payload from loaded run bundles.
+
+    ``bundles`` maps run labels to
+    :class:`~repro.telemetry.export.RunBundle` instances (as returned by
+    :func:`~repro.telemetry.export.load_run_bundles`).  The result is a
+    JSON-serialisable dict: per run, the phase-time breakdown from the span
+    tree, summary statistics of the clip/noise diagnostic series, the ε
+    trajectory from the ledger, and the ledger's replay-verification
+    status.
+    """
+    runs = {}
+    for run, bundle in bundles.items():
+        recorder = bundle.recorder
+        diagnostics = {
+            name: metric_summary(recorder, name)
+            for name in _DIAGNOSTIC_SERIES
+            if name in recorder.series
+        }
+        runs[run] = {
+            "iterations": len(recorder.events),
+            "tracing": _tracing_section(bundle.tracer),
+            "diagnostics": diagnostics,
+            "timers": {k: float(v) for k, v in sorted(recorder.timers.items())},
+            "counters": {k: float(v) for k, v in sorted(recorder.counters.items())},
+            "ledger": _ledger_section(bundle.ledger),
+        }
+    return {"runs": runs}
+
+
+def _render_run(run: str, payload: dict) -> str:
+    lines = [f"## Run `{run}`", ""]
+    lines.append(f"- iterations: {payload['iterations']}")
+    tracing = payload["tracing"]
+    ledger = payload["ledger"]
+    if ledger is not None:
+        status = "PASS" if ledger["verified"] else "FAIL"
+        lines.append(
+            f"- ledger: {ledger['entries']} releases, verification **{status}**"
+            f" ({ledger['verification']})"
+        )
+        if ledger["epsilon_trajectory"]:
+            steps, eps = ledger["epsilon_trajectory"][-1]
+            lines.append(
+                f"- privacy: epsilon = {eps:.6g} at delta = {ledger['delta']:.3g}"
+                f" after {steps} releases"
+            )
+    if tracing is not None and tracing["peak_bytes"] is not None:
+        lines.append(f"- peak traced memory: {tracing['peak_bytes']:,} bytes")
+    lines.append("")
+
+    if tracing is not None and tracing["phase_seconds"]:
+        lines.append("### Phase time")
+        lines.append("")
+        lines.append("| phase | seconds |")
+        lines.append("| --- | ---: |")
+        for name, seconds in sorted(
+            tracing["phase_seconds"].items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"| {name} | {seconds:.6f} |")
+        if tracing["lot_seconds"] is not None:
+            lines.append(f"| (all lots) | {tracing['lot_seconds']:.6f} |")
+        if tracing["run_seconds"] is not None:
+            lines.append(f"| (run total) | {tracing['run_seconds']:.6f} |")
+        lines.append("")
+
+    if payload["diagnostics"]:
+        lines.append("### Clip / noise diagnostics")
+        lines.append("")
+        lines.append("| series | n | mean | min | max | last |")
+        lines.append("| --- | ---: | ---: | ---: | ---: | ---: |")
+        for name, stats in payload["diagnostics"].items():
+            lines.append(
+                f"| {name} | {int(stats['count'])} | {stats['mean']:.6g} "
+                f"| {stats['min']:.6g} | {stats['max']:.6g} | {stats['last']:.6g} |"
+            )
+        lines.append("")
+
+    if ledger is not None and ledger["epsilon_trajectory"]:
+        lines.append("### Epsilon trajectory")
+        lines.append("")
+        trajectory = ledger["epsilon_trajectory"]
+        shown = (
+            trajectory
+            if len(trajectory) <= 12
+            else trajectory[:6] + [None] + trajectory[-6:]
+        )
+        lines.append("| releases | epsilon |")
+        lines.append("| ---: | ---: |")
+        for point in shown:
+            if point is None:
+                lines.append("| ... | ... |")
+            else:
+                lines.append(f"| {point[0]} | {point[1]:.6g} |")
+        lines.append("")
+
+    if payload["counters"]:
+        lines.append("### Counters")
+        lines.append("")
+        lines.append("| counter | total |")
+        lines.append("| --- | ---: |")
+        for name, value in payload["counters"].items():
+            lines.append(f"| {name} | {value:g} |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_report(report: dict, *, fmt: str = "markdown") -> str:
+    """Render a :func:`build_report` payload as markdown or JSON text."""
+    if fmt == "json":
+        return json.dumps(report, indent=2, sort_keys=True)
+    if fmt != "markdown":
+        raise ValueError(f"fmt must be 'markdown' or 'json', got {fmt!r}")
+    sections = ["# Run report", ""]
+    for run in sorted(report["runs"]):
+        sections.append(_render_run(run, report["runs"][run]))
+    return "\n".join(sections).rstrip() + "\n"

@@ -1,0 +1,171 @@
+"""Worker telemetry ship-back tests: per-job instruments, deterministic
+merge order, and worker-count-invariant merged telemetry for the
+scheduler and the full training grid."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    ShippedTelemetry,
+    instrument,
+    job_recorder,
+    job_tracer,
+    make_cells,
+    merge_shipped,
+    run_cells,
+)
+from repro.telemetry import MetricsRecorder, Tracer
+
+
+def record_square(job):
+    recorder, tracer = job_recorder(), job_tracer()
+    with tracer.span("lot", level="lot"):
+        with tracer.span("clip"):
+            value = float(job.payload**2)
+    recorder.record("square", value)
+    recorder.increment("jobs_seen")
+    return value
+
+
+class TestInstrument:
+    def test_wraps_result_with_states(self):
+        wrapped = instrument(record_square)
+        cell = make_cells([3], keys=["a"], rng=np.random.default_rng(0))[0]
+        shipped = wrapped(cell)
+        assert isinstance(shipped, ShippedTelemetry)
+        assert shipped.result == 9.0
+        assert shipped.recorder_state["counters"] == {"jobs_seen": 1}
+        assert [s["name"] for s in shipped.tracer_state["spans"]] == ["lot", "clip"]
+
+    def test_instruments_torn_down_after_call(self):
+        wrapped = instrument(record_square)
+        cell = make_cells([2], keys=["a"], rng=np.random.default_rng(0))[0]
+        wrapped(cell)
+        assert job_recorder() is None and job_tracer() is None
+
+    def test_instruments_torn_down_on_error(self):
+        def boom(job):
+            assert job_recorder() is not None
+            raise RuntimeError("job failed")
+
+        with pytest.raises(RuntimeError, match="job failed"):
+            instrument(boom)(object())
+        assert job_recorder() is None and job_tracer() is None
+
+    def test_uninstrumented_context_returns_none(self):
+        assert job_recorder() is None and job_tracer() is None
+
+    def test_granularity_gates_worker_spans(self):
+        def phase_gated(job):
+            with job_tracer().span("clip") as span:
+                assert span is None
+            return None
+
+        wrapped = instrument(phase_gated, granularity="lot")
+        shipped = wrapped(object())
+        assert shipped.tracer_state["spans"] == []
+
+
+class TestMergeShipped:
+    def test_merges_in_index_order_with_tracks(self):
+        wrapped = instrument(record_square)
+        cells = make_cells([1, 2, 3], keys=["a", "b", "c"], rng=np.random.default_rng(0))
+        shipped = [wrapped(c) for c in cells]
+        recorder, tracer = MetricsRecorder(), Tracer()
+        results = merge_shipped(
+            shipped, keys=["a", "b", "c"], recorder=recorder, tracer=tracer
+        )
+        assert results == [1.0, 4.0, 9.0]
+        assert recorder.values("square") == [1.0, 4.0, 9.0]
+        assert recorder.counters["jobs_seen"] == 3
+        assert [s.track for s in tracer.spans] == ["a", "a", "b", "b", "c", "c"]
+        # parent links re-based per merge: each track's clip points at its lot
+        clips = [s for s in tracer.spans if s.name == "clip"]
+        for clip in clips:
+            assert tracer.spans[clip.parent].name == "lot"
+            assert tracer.spans[clip.parent].track == clip.track
+
+    def test_non_shipped_entries_pass_through(self):
+        results = merge_shipped([1.5, None], recorder=MetricsRecorder())
+        assert results == [1.5, None]
+
+
+class TestWorkerInvariance:
+    @staticmethod
+    def _run(workers: int):
+        recorder, tracer = MetricsRecorder(), Tracer()
+        cells = make_cells(
+            list(range(6)),
+            keys=[f"cell-{i}" for i in range(6)],
+            rng=np.random.default_rng(1),
+        )
+        results = run_cells(
+            record_square,
+            cells,
+            workers=workers,
+            telemetry=recorder,
+            tracer=tracer,
+            ship_telemetry=True,
+        )
+        return results, recorder, tracer
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_merged_telemetry_matches_serial(self, workers):
+        base_results, base_rec, base_tr = self._run(1)
+        results, rec, tr = self._run(workers)
+        assert results == base_results
+        assert json.dumps(rec.deterministic_state(), sort_keys=True) == (
+            json.dumps(base_rec.deterministic_state(), sort_keys=True)
+        )
+        assert [(s.name, s.level, s.track, s.parent) for s in tr.spans] == [
+            (s.name, s.level, s.track, s.parent) for s in base_tr.spans
+        ]
+
+
+@pytest.mark.slow
+class TestGridShipback:
+    """End-to-end: run_grid ships per-cell training telemetry deterministically."""
+
+    @staticmethod
+    def _grid(workers: int):
+        from repro.data import make_mnist_like, train_test_split
+        from repro.experiments.training_grid import MethodSpec, run_grid
+        from repro.models import build_logistic_regression
+
+        data = make_mnist_like(160, rng=0, size=8)
+        train, test = train_test_split(data, rng=0)
+        recorder, tracer = MetricsRecorder(), Tracer()
+        result = run_grid(
+            [MethodSpec("DP (B=32)", "dp", 32)],
+            lambda: build_logistic_regression((1, 8, 8), rng=0),
+            train,
+            test,
+            sigmas=(1.0,),
+            iterations=4,
+            learning_rate=1.0,
+            clip_norm=0.1,
+            rng=np.random.default_rng(5),
+            workers=workers,
+            telemetry=recorder,
+            tracer=tracer,
+            ship_telemetry=True,
+        )
+        tracer.close()
+        return result, recorder, tracer
+
+    def test_workers_1_2_4_identical(self):
+        base, base_rec, base_tr = self._grid(1)
+        base_det = json.dumps(base_rec.deterministic_state(), sort_keys=True)
+        assert {"DP (B=32)@sigma=1", "noise-free-reference"} <= {
+            s.track for s in base_tr.spans
+        }
+        assert base_rec.counters["iterations"] == 8  # 2 cells x 4 iterations
+        for workers in (2, 4):
+            result, rec, tracer = self._grid(workers)
+            assert result == base
+            assert json.dumps(rec.deterministic_state(), sort_keys=True) == base_det
+            assert [(s.name, s.track) for s in tracer.spans] == [
+                (s.name, s.track) for s in base_tr.spans
+            ]

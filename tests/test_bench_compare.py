@@ -1,0 +1,99 @@
+"""Smoke test for the perf-regression gate (``benchmarks/compare.py``).
+
+``benchmarks/`` is not a package, so the module is loaded by file path."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_COMPARE = Path(__file__).resolve().parent.parent / "benchmarks" / "compare.py"
+
+
+@pytest.fixture(scope="module")
+def compare_mod():
+    spec = importlib.util.spec_from_file_location("bench_compare", _COMPARE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _archive(path: Path, benchmarks: dict) -> Path:
+    path.write_text(json.dumps({"benchmarks": benchmarks}))
+    return path
+
+
+BASE = {
+    "clip": {"seconds": 1.0, "peak_bytes": 1000},
+    "noise": {"seconds": 0.5, "peak_bytes": 500},
+}
+
+
+class TestCompare:
+    def test_within_budget_passes(self, compare_mod):
+        candidate = {
+            "clip": {"seconds": 1.2, "peak_bytes": 1400},  # +20% time, +40% mem
+            "noise": {"seconds": 0.5, "peak_bytes": 500},
+        }
+        lines, failures = compare_mod.compare(BASE, candidate)
+        assert failures == []
+        assert any("ok" in line for line in lines)
+
+    def test_time_regression_flagged(self, compare_mod):
+        candidate = {"clip": {"seconds": 1.3, "peak_bytes": 1000}}  # +30% > 25%
+        _, failures = compare_mod.compare(BASE, candidate)
+        assert failures == ["clip: time 1.30x baseline"]
+
+    def test_memory_regression_flagged(self, compare_mod):
+        candidate = {"noise": {"seconds": 0.5, "peak_bytes": 800}}  # +60% > 50%
+        _, failures = compare_mod.compare(BASE, candidate)
+        assert failures == ["noise: peak memory 1.60x baseline"]
+
+    def test_new_and_missing_benchmarks_never_fail(self, compare_mod):
+        lines, failures = compare_mod.compare(
+            BASE, {"brand_new": {"seconds": 9.0, "peak_bytes": 9}}
+        )
+        assert failures == []
+        assert any("new benchmark" in line for line in lines)
+        assert any("missing from candidate" in line for line in lines)
+
+    def test_bench_files_sorted_numerically(self, compare_mod, tmp_path):
+        for n in (10, 0, 2):
+            _archive(tmp_path / f"BENCH_{n}.json", BASE)
+        (tmp_path / "BENCH_x.json").write_text("{}")  # ignored: not numbered
+        names = [p.name for p in compare_mod.bench_files(tmp_path)]
+        assert names == ["BENCH_0.json", "BENCH_2.json", "BENCH_10.json"]
+
+
+class TestMain:
+    def test_exit_codes(self, compare_mod, tmp_path, capsys):
+        _archive(tmp_path / "BENCH_0.json", BASE)
+        assert compare_mod.main(["--dir", str(tmp_path)]) == 0  # too few files
+        assert "at least two" in capsys.readouterr().out
+
+        _archive(tmp_path / "BENCH_1.json", BASE)
+        assert compare_mod.main(["--dir", str(tmp_path)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+        _archive(
+            tmp_path / "BENCH_2.json",
+            {"clip": {"seconds": 2.0, "peak_bytes": 1000}},
+        )
+        assert compare_mod.main(["--dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "TIME REGRESSION" in out
+
+    def test_explicit_files_and_thresholds(self, compare_mod, tmp_path, capsys):
+        a = _archive(tmp_path / "BENCH_0.json", BASE)
+        b = _archive(
+            tmp_path / "BENCH_1.json", {"clip": {"seconds": 1.2, "peak_bytes": 1000}}
+        )
+        assert (
+            compare_mod.main(
+                ["--baseline", str(a), "--candidate", str(b),
+                 "--max-time-regression", "0.1"]
+            )
+            == 1
+        )
+        capsys.readouterr()
