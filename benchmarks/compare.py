@@ -11,6 +11,16 @@ one (the baseline) benchmark by benchmark and exits nonzero when any
 shared benchmark regresses by more than 25% wall time or 50% allocation
 peak.  Benchmarks present on only one side are reported but never fail
 the comparison, so adding a new benchmark doesn't break the gate.
+
+Archives may carry per-backend sections (``"backends": {name: {...}}``,
+see ``run_all.py``).  Each backend is compared against *its own* section
+of the baseline (old archives without sections contribute only the
+top-level reference mapping), and a second, within-candidate gate checks
+that every accelerated backend actually earns its keep: the headline
+kernels (``HEADLINE_BENCHMARKS``) must be strictly faster than the
+reference backend in the same run, and no kernel may run more than 10%
+slower than reference.  An accelerated backend that loses to pure numpy
+exits nonzero.
 """
 
 from __future__ import annotations
@@ -26,6 +36,15 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Default regression thresholds (fractional increase over baseline).
 MAX_TIME_REGRESSION = 0.25
 MAX_MEM_REGRESSION = 0.50
+
+#: Kernels an accelerated backend must run strictly faster than reference.
+HEADLINE_BENCHMARKS = ("perturb_geodp_batch", "ghost_clipped_sum")
+
+#: Slack for non-headline kernels under an accelerated backend (they may
+#: not be optimized, but must never cost more than this over reference).
+#: Matches MAX_TIME_REGRESSION: several benchmarks share code across
+#: backends, so the difference is pure timing noise.
+MAX_ACCELERATED_SLOWDOWN = 0.25
 
 _BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
@@ -47,6 +66,20 @@ def load_benchmarks(path) -> dict:
     if not isinstance(benchmarks, dict):
         raise ValueError(f"{path} has no 'benchmarks' mapping")
     return benchmarks
+
+
+def load_backend_sections(path) -> dict:
+    """Per-backend benchmark sections of one archive.
+
+    Pre-backend archives have no ``backends`` key; their top-level
+    ``benchmarks`` mapping *is* the reference backend, so it is returned
+    as the ``reference`` section — old baselines stay comparable.
+    """
+    payload = json.loads(Path(path).read_text())
+    sections = payload.get("backends")
+    if isinstance(sections, dict) and sections:
+        return sections
+    return {"reference": load_benchmarks(path)}
 
 
 def compare(
@@ -93,20 +126,96 @@ def compare_files(
     max_time_regression: float = MAX_TIME_REGRESSION,
     max_mem_regression: float = MAX_MEM_REGRESSION,
 ) -> tuple[str, bool]:
-    """Compare two archive files; returns ``(report text, ok)``."""
-    lines, failures = compare(
-        load_benchmarks(baseline_path),
-        load_benchmarks(candidate_path),
-        max_time_regression=max_time_regression,
-        max_mem_regression=max_mem_regression,
-    )
+    """Compare two archive files section by section; returns ``(report, ok)``.
+
+    Every backend section of the candidate is diffed against the same
+    backend's section in the baseline; sections with no baseline (e.g. a
+    newly available backend) are reported but never fail.
+    """
+    base_sections = load_backend_sections(baseline_path)
+    cand_sections = load_backend_sections(candidate_path)
     header = [
         f"baseline:  {baseline_path}",
         f"candidate: {candidate_path}",
-        "",
     ]
+    lines: list[str] = []
+    failures: list[str] = []
+    for backend in sorted(cand_sections):
+        lines.append("")
+        if backend not in base_sections:
+            lines.append(f"[{backend}] (new backend section; no baseline)")
+            continue
+        lines.append(f"[{backend}] vs its own baseline section")
+        section_lines, section_failures = compare(
+            base_sections[backend],
+            cand_sections[backend],
+            max_time_regression=max_time_regression,
+            max_mem_regression=max_mem_regression,
+        )
+        lines.extend(f"  {line}" for line in section_lines)
+        failures.extend(f"[{backend}] {failure}" for failure in section_failures)
+    for backend in sorted(set(base_sections) - set(cand_sections)):
+        lines.append("")
+        lines.append(f"[{backend}] (missing from candidate)")
     footer = (
         ["", "PASS: no perf regressions"]
+        if not failures
+        else ["", "FAIL:"] + [f"  - {failure}" for failure in failures]
+    )
+    return "\n".join(header + lines + footer), not failures
+
+
+def gate_accelerated(
+    sections: dict,
+    *,
+    headline: tuple = HEADLINE_BENCHMARKS,
+    max_slowdown: float = MAX_ACCELERATED_SLOWDOWN,
+) -> tuple[list[str], list[str]]:
+    """Within-run gate: accelerated backends must beat the reference.
+
+    For every non-reference section, each headline kernel must be
+    strictly faster than the reference section of the same run, and no
+    shared kernel may exceed reference time by ``max_slowdown``.
+    Returns ``(report lines, failures)``.
+    """
+    lines: list[str] = []
+    failures: list[str] = []
+    reference = sections.get("reference")
+    if reference is None:
+        return ["(no reference section; accelerated gate skipped)"], []
+    for backend in sorted(sections):
+        if backend == "reference":
+            continue
+        lines.append(f"[{backend}] vs reference (same run)")
+        for name in sorted(set(reference) & set(sections[backend])):
+            ref_s = reference[name]["seconds"]
+            cand_s = sections[backend][name]["seconds"]
+            ratio = cand_s / ref_s if ref_s > 0 else 1.0
+            if name in headline:
+                ok = ratio < 1.0
+                verdict = "ok (beats reference)" if ok else "FAIL: must beat reference"
+                if not ok:
+                    failures.append(
+                        f"[{backend}] {name}: {ratio:.2f}x reference (headline "
+                        "kernel must be < 1.00x)"
+                    )
+            else:
+                ok = ratio <= 1.0 + max_slowdown
+                verdict = "ok" if ok else f"FAIL: > +{max_slowdown:.0%} over reference"
+                if not ok:
+                    failures.append(f"[{backend}] {name}: {ratio:.2f}x reference")
+            lines.append(f"  {name:28s} time {ratio:6.2f}x reference   {verdict}")
+    if not lines:
+        lines.append("(no accelerated backend sections; gate skipped)")
+    return lines, failures
+
+
+def gate_accelerated_file(path, **kwargs) -> tuple[str, bool]:
+    """Run :func:`gate_accelerated` on one archive; returns ``(report, ok)``."""
+    lines, failures = gate_accelerated(load_backend_sections(path), **kwargs)
+    header = [f"accelerated-backend gate: {path}", ""]
+    footer = (
+        ["", "PASS: accelerated backends beat reference"]
         if not failures
         else ["", "FAIL:"] + [f"  - {failure}" for failure in failures]
     )
@@ -150,7 +259,9 @@ def main(argv=None) -> int:
         max_mem_regression=args.max_mem_regression,
     )
     print(report)
-    return 0 if ok else 1
+    gate_report, gate_ok = gate_accelerated_file(candidate)
+    print(f"\n{gate_report}")
+    return 0 if ok and gate_ok else 1
 
 
 if __name__ == "__main__":

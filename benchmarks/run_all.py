@@ -16,8 +16,19 @@ fail the run with a nonzero exit::
       "benchmarks": {
         "ghost_clipped_sum": {"seconds": 0.0123, "peak_bytes": 1234567},
         ...
+      },
+      "backends": {
+        "reference": { ... same shape as "benchmarks" ... },
+        "fused": { ... },
+        "cext": { ... }
       }
     }
+
+The top-level ``benchmarks`` mapping is always the *reference* backend
+(back-compatible with pre-backend archives); ``backends`` holds one
+section per available :mod:`repro.backend` so each backend is gated
+against its own history, and accelerated backends are additionally gated
+against the reference section of the same run (see ``compare.py``).
 """
 
 from __future__ import annotations
@@ -112,13 +123,23 @@ def main(argv=None) -> int:
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
 
-    results = {}
-    for name, fn in build_benchmarks().items():
-        results[name] = measure(fn, args.repeats)
-        print(
-            f"{name:28s} {results[name]['seconds'] * 1e3:9.3f} ms   "
-            f"{results[name]['peak_bytes'] / 2**20:8.2f} MiB peak"
-        )
+    from repro.backend import available_backends, use_backend
+
+    backends = [name for name, ok in available_backends().items() if ok]
+    sections: dict[str, dict] = {}
+    for backend_name in backends:
+        print(f"[backend: {backend_name}]")
+        section = {}
+        with use_backend(backend_name):
+            # Rebuild per backend: setup (spherical decompose of the probe
+            # gradients, model state) must run under the measured backend.
+            for name, fn in build_benchmarks().items():
+                section[name] = measure(fn, args.repeats)
+                print(
+                    f"  {name:28s} {section[name]['seconds'] * 1e3:9.3f} ms   "
+                    f"{section[name]['peak_bytes'] / 2**20:8.2f} MiB peak"
+                )
+        sections[backend_name] = section
 
     path = next_output_path(Path(args.out))
     path.write_text(
@@ -127,7 +148,11 @@ def main(argv=None) -> int:
                 "python": platform.python_version(),
                 "numpy": np.__version__,
                 "repeats": args.repeats,
-                "benchmarks": results,
+                # Top-level mapping stays the reference backend so old
+                # archives (which predate the backend layer) remain
+                # comparable baselines.
+                "benchmarks": sections["reference"],
+                "backends": sections,
             },
             indent=2,
         )
@@ -135,15 +160,16 @@ def main(argv=None) -> int:
     )
     print(f"wrote {path}")
 
-    from compare import bench_files, compare_files
+    from compare import bench_files, compare_files, gate_accelerated_file
 
+    ok = True
     history = bench_files(Path(args.out))
     if len(history) > 1:
         report, ok = compare_files(history[0], path)
         print(f"\n{report}")
-        if not ok:
-            return 1
-    return 0
+    gate_report, gate_ok = gate_accelerated_file(path)
+    print(f"\n{gate_report}")
+    return 0 if ok and gate_ok else 1
 
 
 if __name__ == "__main__":

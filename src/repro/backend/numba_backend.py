@@ -1,0 +1,113 @@
+"""Numba-JIT backend (optional): compiled GeoDP loop without a C toolchain.
+
+When ``numba`` is importable, the GeoDP hot loop and the embedding
+norm-Gram are JIT-compiled; every other kernel inherits the fused-numpy
+implementation.  When numba is absent — as in minimal installs — the
+dispatch layer never constructs this class and falls back (see
+:mod:`repro.backend`), so importing this module stays side-effect free.
+
+The JIT kernel is the same algorithm as the C kernel in
+:mod:`repro.backend.cext` (sequential suffix sums, zero-denominator
+convention, angle addition on the noise), so it sits inside the same
+1e-10 parity budget against the reference backend.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+
+from repro.backend.fused import FusedBackend
+
+__all__ = ["NumbaBackend", "numba_available"]
+
+
+def numba_available() -> bool:
+    """Whether the numba JIT compiler is importable."""
+    return importlib.util.find_spec("numba") is not None
+
+
+_jitted = None
+
+
+def _build_kernels():
+    """Compile the JIT kernels once; cached at module level."""
+    global _jitted
+    if _jitted is None:
+        from numba import njit
+
+        @njit(cache=True, fastmath=False)
+        def geodp_perturb(clipped, mag_noise, theta_noise):
+            m, d = clipped.shape
+            out = np.empty((m, d))
+            tail = np.empty(d)
+            for i in range(m):
+                acc = 0.0
+                tail[d - 1] = 0.0
+                for z in range(d - 2, -1, -1):
+                    acc += clipped[i, z + 1] * clipped[i, z + 1]
+                    tail[z] = acc
+                total = clipped[i, 0] * clipped[i, 0] + acc
+                noisy_mag = np.sqrt(total) + mag_noise[i]
+                sinprod = 1.0
+                for z in range(d - 1):
+                    denom = np.sqrt(total) if z == 0 else np.sqrt(tail[z - 1])
+                    if denom == 0.0:
+                        ct, st = 1.0, 0.0
+                    elif z < d - 2:
+                        ct = clipped[i, z] / denom
+                        st = np.sqrt(tail[z]) / denom
+                    else:
+                        ct = clipped[i, z] / denom
+                        st = clipped[i, z + 1] / denom
+                    sn = np.sin(theta_noise[i, z])
+                    cn = np.cos(theta_noise[i, z])
+                    out[i, z] = noisy_mag * sinprod * (ct * cn - st * sn)
+                    sinprod *= st * cn + ct * sn
+                out[i, d - 1] = noisy_mag * sinprod
+            return out
+
+        @njit(cache=True)
+        def embedding_norm_sq(tokens, grad_out):
+            batch, length, dim = grad_out.shape
+            norm_sq = np.zeros(batch)
+            for b in range(batch):
+                for l in range(length):  # noqa: E741
+                    for mm in range(length):
+                        if tokens[b, l] == tokens[b, mm]:
+                            dot = 0.0
+                            for k in range(dim):
+                                dot += grad_out[b, l, k] * grad_out[b, mm, k]
+                            norm_sq[b] += dot
+            return norm_sq
+
+        _jitted = (geodp_perturb, embedding_norm_sq)
+    return _jitted
+
+
+class NumbaBackend(FusedBackend):
+    """Fused-numpy backend with numba-compiled hot loops."""
+
+    name = "numba"
+    accelerated = True
+
+    def __init__(self):
+        if not numba_available():
+            raise RuntimeError("numba is not installed; numba backend unavailable")
+        self._geodp_perturb, self._embedding_norm_sq = _build_kernels()
+
+    def geodp_perturb(
+        self, clipped: np.ndarray, mag_noise: np.ndarray, theta_noise: np.ndarray
+    ) -> np.ndarray:
+        return self._geodp_perturb(
+            np.ascontiguousarray(clipped, dtype=np.float64),
+            np.ascontiguousarray(mag_noise, dtype=np.float64),
+            np.ascontiguousarray(theta_noise, dtype=np.float64),
+        )
+
+    def embedding_norm_sq(self, tokens: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        return self._embedding_norm_sq(
+            np.ascontiguousarray(tokens, dtype=np.int64),
+            np.ascontiguousarray(grad_out, dtype=np.float64),
+        )

@@ -1,0 +1,164 @@
+"""Pure-numpy reference backend.
+
+Every kernel here is the *definition* of correct: the bodies are the exact
+numpy formulations the library shipped with before the backend layer
+existed (same operations in the same order), so selecting the reference
+backend reproduces historical results bit-for-bit.  The differential
+parity harness in ``tests/backend/`` measures every other backend against
+these implementations.
+
+Kernels are pure functions of ``float64`` arrays: they never touch an RNG
+(noise is drawn by the caller and passed in, already scaled), never
+validate (callers validate), and never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ReferenceBackend"]
+
+
+class ReferenceBackend:
+    """Plain-numpy kernels; always available; the parity baseline."""
+
+    name = "reference"
+    #: Whether this backend is an optimized implementation (used by ``auto``
+    #: selection and by the benchmark gate that accelerated kernels must
+    #: beat the reference).
+    accelerated = False
+
+    # ------------------------------------------------------------- geometry
+    def spherical_decompose(self, grads: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(m, d) -> (magnitudes (m,), angles (m, d-1))`` (paper Eq. 24-26)."""
+        m, d = grads.shape
+        squares = grads**2
+        # tail_sq[:, z] = sum_{k > z} grads[:, k]^2  (0-indexed).  Writing the
+        # reversed cumulative sum straight into a preallocated buffer keeps
+        # the addition order of the reversed-cumsum formulation while
+        # skipping the reverse/slice/concatenate temporaries.
+        tail_sq = np.empty((m, d))
+        tail_sq[:, -1] = 0.0
+        np.cumsum(squares[:, :0:-1], axis=1, out=tail_sq[:, -2::-1])
+        # Cumulative floating-point cancellation can leave tiny negatives.
+        np.maximum(tail_sq, 0.0, out=tail_sq)
+        magnitudes = np.sqrt(squares.sum(axis=1))
+
+        theta = np.empty((m, d - 1))
+        if d > 2:
+            theta[:, : d - 2] = np.arctan2(
+                np.sqrt(tail_sq[:, : d - 2]), grads[:, : d - 2]
+            )
+        theta[:, d - 2] = np.arctan2(grads[:, d - 1], grads[:, d - 2])
+        return magnitudes, theta
+
+    def spherical_compose(self, magnitudes: np.ndarray, thetas: np.ndarray) -> np.ndarray:
+        """``(magnitudes (m,), angles (m, d-1)) -> (m, d)`` (paper Eq. 27)."""
+        m, d_minus_1 = thetas.shape
+        d = d_minus_1 + 1
+        sines = np.sin(thetas)
+        cosines = np.cos(thetas)
+        # sin_prod[:, z] = prod_{i < z} sin(theta_i), with sin_prod[:, 0] = 1.
+        sin_prod = np.empty((m, d))
+        sin_prod[:, 0] = 1.0
+        np.cumprod(sines, axis=1, out=sin_prod[:, 1:])
+        g = np.empty((m, d))
+        g[:, : d - 1] = sin_prod[:, : d - 1] * cosines
+        g[:, d - 1] = sin_prod[:, d - 1]
+        g *= magnitudes[:, None]
+        return g
+
+    def geodp_perturb(
+        self, clipped: np.ndarray, mag_noise: np.ndarray, theta_noise: np.ndarray
+    ) -> np.ndarray:
+        """Fuseable GeoDP hot path: decompose, add pre-scaled noise, compose.
+
+        ``mag_noise`` ``(m,)`` and ``theta_noise`` ``(m, d-1)`` are already
+        scaled by the caller (``(C/B) * sigma`` resp. the direction
+        sensitivity), so the kernel is deterministic.  The reference
+        implementation is literally the round trip — accelerated backends
+        may fuse the three stages but must match it to 1e-10.
+        """
+        magnitudes, thetas = self.spherical_decompose(clipped)
+        return self.spherical_compose(magnitudes + mag_noise, thetas + theta_noise)
+
+    # ---------------------------------------------------------- ghost norms
+    def linear_norm_sq(
+        self, x: np.ndarray, grad_out: np.ndarray, bias: bool
+    ) -> np.ndarray:
+        """Per-sample ``||dW_i||^2 (+ ||db_i||^2)`` for ``y = x @ W + b``.
+
+        The per-sample weight gradient is the outer product ``a_i e_i^T``,
+        so its squared Frobenius norm factorizes: ``||a_i||^2 * ||e_i||^2``.
+        """
+        e_sq = np.einsum("bo,bo->b", grad_out, grad_out)
+        norm_sq = np.einsum("bi,bi->b", x, x) * e_sq
+        if bias:
+            norm_sq = norm_sq + e_sq
+        return norm_sq
+
+    def conv_norm_sq(self, cols: np.ndarray, dy: np.ndarray, bias: bool) -> np.ndarray:
+        """Per-sample conv gradient norms from im2col patches.
+
+        ``cols`` is ``(B, K, L)`` with ``K = in_c * k * k``; ``dy`` is
+        ``(B, O, L)``.  Uses the ghost-norm Gram trick
+        ``||E_i A_i^T||_F^2 = <A_i^T A_i, E_i^T E_i>_F`` when the ``(L, L)``
+        Grams are smaller than the ``(B, O, K)`` per-sample gradients.
+        """
+        out_channels = dy.shape[1]
+        k_dim, length = cols.shape[1], cols.shape[2]
+        if length * length <= out_channels * k_dim:
+            ga = np.einsum("bkl,bkm->blm", cols, cols)
+            ge = np.einsum("bol,bom->blm", dy, dy)
+            norm_sq = np.einsum("blm,blm->b", ga, ge)
+        else:
+            dw = np.einsum("bol,bkl->bok", dy, cols)
+            norm_sq = np.einsum("bok,bok->b", dw, dw)
+        if bias:
+            db = dy.sum(axis=2)
+            norm_sq = norm_sq + np.einsum("bo,bo->b", db, db)
+        return norm_sq
+
+    def embedding_norm_sq(self, tokens: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        """Per-sample embedding gradient norms via the token-masked Gram.
+
+        ``||dw_i||^2 = sum_{l,m} [t_l == t_m] <g_l, g_m>`` — the ``(L, L)``
+        positional Gram masked by token equality; repeated tokens are what
+        makes this differ from a plain sum of ``||g_l||^2``.
+        """
+        gram = np.einsum("bld,bmd->blm", grad_out, grad_out)
+        same = tokens[:, :, None] == tokens[:, None, :]
+        return np.einsum("blm,blm->b", gram, same.astype(np.float64))
+
+    # ------------------------------------------------- clipped accumulation
+    def linear_clip_accumulate(
+        self, x: np.ndarray, grad_out: np.ndarray, factors: np.ndarray, bias: bool
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """``sum_i c_i a_i e_i^T`` (and ``sum_i c_i e_i``) without ``(B, P)``."""
+        scaled = grad_out * factors[:, None]
+        dw = x.T @ scaled
+        db = scaled.sum(axis=0) if bias else None
+        return dw, db
+
+    def conv_clip_accumulate(
+        self, cols: np.ndarray, dy: np.ndarray, factors: np.ndarray, bias: bool
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Clip-scaled conv weight-gradient sum ``(O, K)`` from patches."""
+        scaled = dy * factors[:, None, None]
+        dw = np.einsum("bol,bkl->ok", scaled, cols)
+        db = scaled.sum(axis=(0, 2)) if bias else None
+        return dw, db
+
+    def embedding_clip_accumulate(
+        self,
+        tokens: np.ndarray,
+        grad_out: np.ndarray,
+        factors: np.ndarray,
+        vocab_size: int,
+    ) -> np.ndarray:
+        """Clip-scaled scatter-add of positional gradients onto token rows."""
+        dim = grad_out.shape[-1]
+        scaled = grad_out * factors[:, None, None]
+        dw = np.zeros((vocab_size, dim))
+        np.add.at(dw, tokens.ravel(), scaled.reshape(-1, dim))
+        return dw

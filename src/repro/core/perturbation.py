@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.geometry.bounding import (
     bound_angles,
     direction_sensitivity,
@@ -122,8 +123,13 @@ def perturb_geodp_batch(
     directions that lie outside the region.
 
     ``tracer`` (an optional :class:`~repro.telemetry.tracing.Tracer`) times
-    the two spherical coordinate conversions as ``"spherical"`` phase
-    spans; it never touches the RNG.
+    the spherical-coordinate work as ``"spherical"`` phase spans (one fused
+    span on the hot path, one per conversion on the sigma-0 / clamped
+    paths); it never touches the RNG.
+
+    The hot path dispatches to the active :mod:`repro.backend` kernel
+    (``geodp_perturb``); the backend never draws randomness, so switching
+    backends cannot change which random numbers the release consumes.
     """
     grads = check_matrix("grads", grads)
     clip_norm = check_positive("clip_norm", clip_norm)
@@ -134,12 +140,8 @@ def perturb_geodp_batch(
     rng = as_rng(rng)
 
     clipped = clip_gradients(grads, clip_norm) if clip else grads
-    with maybe_span(tracer, "spherical"):
-        magnitudes, thetas = to_spherical_batch(clipped)
-    if clamp_to_region:
-        thetas = bound_angles(thetas, beta)
 
-    d = clipped.shape[1]
+    m, d = clipped.shape
     mag_scale = clip_norm / batch_size
     if sensitivity_mode == "total":
         dir_scale = direction_sensitivity(d, beta) / batch_size
@@ -150,15 +152,36 @@ def perturb_geodp_batch(
             f"sensitivity_mode must be 'total' or 'per_angle', got {sensitivity_mode!r}"
         )
 
-    if noise_multiplier == 0:
-        # sigma = 0 consumes no randomness (see perturb_dp_batch); the
-        # spherical round-trip is kept so the numerical path is unchanged.
+    if noise_multiplier == 0 or clamp_to_region:
+        # Explicit round trip: sigma = 0 keeps the spherical conversion so
+        # the numerical path is unchanged (and consumes no randomness, see
+        # perturb_dp_batch); clamping has to edit the clean angles between
+        # the two conversions, so the fused kernel does not apply.
         with maybe_span(tracer, "spherical"):
-            return to_cartesian_batch(magnitudes, thetas)
-    noisy_mag = magnitudes + mag_scale * rng.normal(0.0, noise_multiplier, size=magnitudes.shape)
-    noisy_theta = thetas + dir_scale * rng.normal(0.0, noise_multiplier, size=thetas.shape)
+            magnitudes, thetas = to_spherical_batch(clipped)
+        if clamp_to_region:
+            thetas = bound_angles(thetas, beta)
+        if noise_multiplier == 0:
+            with maybe_span(tracer, "spherical"):
+                return to_cartesian_batch(magnitudes, thetas)
+        noisy_mag = magnitudes + mag_scale * rng.normal(
+            0.0, noise_multiplier, size=magnitudes.shape
+        )
+        noisy_theta = thetas + dir_scale * rng.normal(
+            0.0, noise_multiplier, size=thetas.shape
+        )
+        with maybe_span(tracer, "spherical"):
+            return to_cartesian_batch(noisy_mag, noisy_theta)
+
+    # Hot path: draw the noise here — same order, shapes and scaling as the
+    # explicit path above, so every backend consumes the identical RNG
+    # stream — then hand the deterministic fused kernel to the backend.
+    # The reference backend is literally decompose -> add -> compose,
+    # bit-identical to the historical implementation.
+    mag_noise = mag_scale * rng.normal(0.0, noise_multiplier, size=(m,))
+    theta_noise = dir_scale * rng.normal(0.0, noise_multiplier, size=(m, d - 1))
     with maybe_span(tracer, "spherical"):
-        return to_cartesian_batch(noisy_mag, noisy_theta)
+        return get_backend().geodp_perturb(clipped, mag_noise, theta_noise)
 
 
 def perturb_dp(

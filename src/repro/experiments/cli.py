@@ -164,6 +164,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("reference", "fused", "numba", "cext", "auto"),
+        help=(
+            "numeric kernel backend for the hot paths (default: the "
+            "REPRO_BACKEND env var, else 'reference'); 'auto' picks the "
+            "fastest available accelerated backend, unavailable choices "
+            "fall back with a telemetry counter (see docs/backends.md)"
+        ),
+    )
+    parser.add_argument(
         "--grad-mode",
         default=None,
         choices=("materialize", "ghost"),
@@ -287,6 +298,13 @@ def main(argv=None) -> int:
     if args.workers is not None and args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.backend is not None:
+        from repro.backend import get_backend, set_backend
+
+        set_backend(args.backend)
+        active = get_backend().name
+        if args.backend != "auto" and active != args.backend:
+            print(f"[backend {args.backend!r} unavailable; using {active!r}]")
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(

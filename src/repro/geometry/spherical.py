@@ -28,12 +28,18 @@ per gradient in practice (paper §V-B complexity discussion).
 The ``undefined`` arctan2(0, 0) case of Eq. 26 is mapped to 0, matching
 numpy's convention; a zero tail with ``g_z = 0`` therefore yields angle 0 and
 round-trips to the same (zero) coordinates.
+
+The numeric kernels live behind :mod:`repro.backend` (``spherical_decompose``
+/ ``spherical_compose``); this module validates and dispatches.  The default
+reference backend reproduces the historical implementation bit-for-bit;
+accelerated backends are parity-gated by ``tests/backend/``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.utils.validation import check_matrix, check_vector
 
 __all__ = [
@@ -77,27 +83,10 @@ def to_spherical_batch(grads) -> tuple[np.ndarray, np.ndarray]:
     cumulative sum of squares, so the whole conversion is O(m*d).
     """
     grads = check_matrix("grads", grads)
-    m, d = grads.shape
+    _, d = grads.shape
     if d < 2:
         raise ValueError(f"gradients must have dimension >= 2, got d={d}")
-
-    squares = grads**2
-    # tail_sq[:, z] = sum_{k > z} grads[:, k]^2  (0-indexed).  Writing the
-    # reversed cumulative sum straight into a preallocated buffer keeps the
-    # addition order of the reversed-cumsum formulation (bit-identical)
-    # while skipping the reverse/slice/concatenate temporaries.
-    tail_sq = np.empty((m, d))
-    tail_sq[:, -1] = 0.0
-    np.cumsum(squares[:, :0:-1], axis=1, out=tail_sq[:, -2::-1])
-    # Cumulative floating-point cancellation can leave tiny negatives.
-    np.maximum(tail_sq, 0.0, out=tail_sq)
-    magnitudes = np.sqrt(squares.sum(axis=1))
-
-    theta = np.empty((m, d - 1))
-    if d > 2:
-        theta[:, : d - 2] = np.arctan2(np.sqrt(tail_sq[:, : d - 2]), grads[:, : d - 2])
-    theta[:, d - 2] = np.arctan2(grads[:, d - 1], grads[:, d - 2])
-    return magnitudes, theta
+    return get_backend().spherical_decompose(grads)
 
 
 def to_cartesian_batch(magnitudes, thetas) -> np.ndarray:
@@ -108,22 +97,7 @@ def to_cartesian_batch(magnitudes, thetas) -> np.ndarray:
         raise ValueError(
             f"magnitudes shape {magnitudes.shape} incompatible with thetas {thetas.shape}"
         )
-    m, d_minus_1 = thetas.shape
-    d = d_minus_1 + 1
-
-    sines = np.sin(thetas)
-    cosines = np.cos(thetas)
-    # sin_prod[:, z] = prod_{i < z} sin(theta_i), with sin_prod[:, 0] = 1;
-    # cumprod writes directly into the preallocated buffer (no concatenate).
-    sin_prod = np.empty((m, d))
-    sin_prod[:, 0] = 1.0
-    np.cumprod(sines, axis=1, out=sin_prod[:, 1:])
-
-    g = np.empty((m, d))
-    g[:, : d - 1] = sin_prod[:, : d - 1] * cosines
-    g[:, d - 1] = sin_prod[:, d - 1]
-    g *= magnitudes[:, None]
-    return g
+    return get_backend().spherical_compose(magnitudes, thetas)
 
 
 def canonicalize_angles(thetas) -> np.ndarray:

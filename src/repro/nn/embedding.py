@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.nn.layers import Layer
 from repro.utils.rng import as_rng
 
@@ -74,10 +75,16 @@ class Embedding(Layer):
         # positional Gram masked by token equality.  Repeated tokens are what
         # makes this differ from a plain sum of ||g_l||^2.  O(B L^2 D)
         # instead of the (B, vocab, dim) scatter target.
-        gram = np.einsum("bld,bmd->blm", grad_out, grad_out)
-        same = tokens[:, :, None] == tokens[:, None, :]
-        norm_sq = np.einsum("blm,blm->b", gram, same.astype(np.float64))
+        norm_sq = get_backend().embedding_norm_sq(tokens, grad_out)
         return np.zeros(tokens.shape), norm_sq
+
+    def accumulate_clipped(self, grad_out, factors):
+        if self._tokens is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        dw = get_backend().embedding_clip_accumulate(
+            self._tokens, grad_out, factors, self.vocab_size
+        )
+        return {"weight": dw}
 
     def params(self) -> dict[str, np.ndarray]:
         return {"weight": self.weight}

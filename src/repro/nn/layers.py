@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.nn import functional as F
 from repro.nn.initializers import kaiming_uniform, zeros_init
 from repro.utils.rng import as_rng
@@ -68,6 +69,26 @@ class Layer:
             flat = g.reshape(batch, -1)
             norm_sq += np.einsum("ij,ij->i", flat, flat)
         return grad_in, norm_sq
+
+    def accumulate_clipped(
+        self, grad_out: np.ndarray, factors: np.ndarray
+    ) -> dict[str, np.ndarray]:
+        """Ghost backward pass #2: clip-scaled summed parameter gradients.
+
+        ``grad_out`` is this layer's *unscaled* upstream gradient cached
+        during the norm pass; ``factors`` are the per-sample clip factors
+        ``c_i``.  Because backward never mixes samples, scaling each
+        sample's rows of ``grad_out`` by ``c_i`` and summing yields exactly
+        ``sum_i c_i (dtheta_i)`` — without re-running the layer *chain*
+        (the input gradient is never needed again).  This generic fallback
+        scales and delegates to :meth:`backward`; the hot layers override
+        it with backend kernels that skip the input-gradient work.
+        """
+        scaled = grad_out * factors.reshape(
+            (grad_out.shape[0],) + (1,) * (grad_out.ndim - 1)
+        )
+        _, grads = self.backward(scaled, per_sample=False)
+        return grads
 
     def params(self) -> dict[str, np.ndarray]:
         """Ordered mapping of parameter name to array (empty if none)."""
@@ -129,15 +150,24 @@ class Linear(Layer):
     def backward_norm_sq(self, grad_out):
         if self._x is None:
             raise RuntimeError("backward called before forward(train=True)")
-        x = self._x
         # Per-sample weight gradient is the outer product a_i e_i^T, so its
         # squared Frobenius norm factorizes: ||a_i||^2 * ||e_i||^2.  The bias
         # gradient is e_i itself.  No (B, in, out) array is ever formed.
-        e_sq = np.einsum("bo,bo->b", grad_out, grad_out)
-        norm_sq = np.einsum("bi,bi->b", x, x) * e_sq
-        if self.bias is not None:
-            norm_sq = norm_sq + e_sq
+        norm_sq = get_backend().linear_norm_sq(
+            self._x, grad_out, self.bias is not None
+        )
         return grad_out @ self.weight.T, norm_sq
+
+    def accumulate_clipped(self, grad_out, factors):
+        if self._x is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        dw, db = get_backend().linear_clip_accumulate(
+            self._x, grad_out, factors, self.bias is not None
+        )
+        grads = {"weight": dw}
+        if db is not None:
+            grads["bias"] = db
+        return grads
 
     def params(self) -> dict[str, np.ndarray]:
         out = {"weight": self.weight}
@@ -271,28 +301,29 @@ class Conv2d(Layer):
         if self._cols is None:
             raise RuntimeError("backward called before forward(train=True)")
         batch = grad_out.shape[0]
-        cols = self._cols  # (B, K, L) with K = in_c * k * k, L = out_h * out_w
         dy = grad_out.reshape(batch, self.out_channels, -1)  # (B, O, L)
-        k_dim, length = cols.shape[1], cols.shape[2]
-        if length * length <= self.out_channels * k_dim:
-            # Ghost-norm Gram trick: ||E_i A_i^T||_F^2 = <A_i^T A_i, E_i^T E_i>_F
-            # over the (L, L) spatial Grams — O(B L^2) memory instead of
-            # the (B, O, K) per-sample weight gradients.
-            ga = np.einsum("bkl,bkm->blm", cols, cols)
-            ge = np.einsum("bol,bom->blm", dy, dy)
-            norm_sq = np.einsum("blm,blm->b", ga, ge)
-        else:
-            # Small kernels / large feature maps: the (B, O, K) product is
-            # cheaper than the (B, L, L) Grams, and is freed immediately.
-            dw = np.einsum("bol,bkl->bok", dy, cols)
-            norm_sq = np.einsum("bok,bok->b", dw, dw)
-        if self.bias is not None:
-            db = dy.sum(axis=2)
-            norm_sq = norm_sq + np.einsum("bo,bo->b", db, db)
+        # Ghost-norm Gram trick: ||E_i A_i^T||_F^2 = <A_i^T A_i, E_i^T E_i>_F
+        # over the (L, L) spatial Grams when those are smaller than the
+        # (B, O, K) per-sample gradients; the backend picks the crossover
+        # (and may block the Grams over the batch for cache residency).
+        norm_sq = get_backend().conv_norm_sq(self._cols, dy, self.bias is not None)
         w_flat = self.weight.reshape(self.out_channels, -1)
         dcols = np.einsum("ok,bol->bkl", w_flat, dy)
         grad_in = F.col2im(dcols, self._x_shape, self.kernel, self.stride, self.padding)
         return grad_in, norm_sq
+
+    def accumulate_clipped(self, grad_out, factors):
+        if self._cols is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        batch = grad_out.shape[0]
+        dy = grad_out.reshape(batch, self.out_channels, -1)
+        dw, db = get_backend().conv_clip_accumulate(
+            self._cols, dy, factors, self.bias is not None
+        )
+        grads = {"weight": dw.reshape(self.weight.shape)}
+        if db is not None:
+            grads["bias"] = db
+        return grads
 
     def params(self) -> dict[str, np.ndarray]:
         out = {"weight": self.weight}

@@ -179,15 +179,19 @@ class Sequential:
         """Ghost-clipping fast path: clipped gradient sum without ``(B, P)``.
 
         Backward pass #1 accumulates per-sample gradient norms from
-        layer-local "ghost" quantities; ``clipping`` maps the norms to
-        per-sample factors ``c_i`` (:meth:`~repro.privacy.clipping.
+        layer-local "ghost" quantities while caching each parametric
+        layer's (unscaled) upstream gradient; ``clipping`` maps the norms
+        to per-sample factors ``c_i`` (:meth:`~repro.privacy.clipping.
         ClippingStrategy.clip_factors`, which also feeds adaptive-threshold
-        state); backward pass #2 re-runs with the loss-output gradient rows
-        scaled by ``c_i`` and ``per_sample=False``, so the summed layer
-        gradients equal ``sum_i c_i g_i`` exactly (within floating-point
-        tolerance of the materialized path — samples never mix in backward,
-        which is also why BatchNorm models are rejected here just as they
-        are on the per-sample path).
+        state); pass #2 then calls every parametric layer's
+        :meth:`~repro.nn.layers.Layer.accumulate_clipped` on its cached
+        upstream gradient — summed parameter gradients only, *no* second
+        trip through the layer chain.  Because backward never mixes
+        samples, scaling sample ``i``'s upstream rows by ``c_i`` commutes
+        with the (per-sample linear) backward map, so the result equals
+        ``sum_i c_i g_i`` exactly — within floating-point tolerance of the
+        materialized path.  (Samples never mixing is also why BatchNorm
+        models are rejected here just as they are on the per-sample path.)
 
         Returns ``(per-sample losses (B,), clipped sum (P,), pre-clip
         norms (B,))``.  Raises
@@ -200,12 +204,31 @@ class Sequential:
             return np.zeros(0), np.zeros(self.num_params), np.zeros(0)
         outputs = self.forward(x, train=True)
         losses = self.loss.per_sample(outputs, y)
-        batch = outputs.shape[0]
         grad_out = self.loss.gradient(outputs, y)
-        norms, _ = self.per_sample_grad_norms(grad_out)
+
+        # Pass #1: norms, caching each parametric layer's upstream gradient.
+        norm_sq = np.zeros(grad_out.shape[0])
+        upstream: list[np.ndarray | None] = [None] * len(self.layers)
+        grad = grad_out
+        for i in reversed(range(len(self.layers))):
+            layer = self.layers[i]
+            if layer.params():
+                upstream[i] = grad
+            grad, layer_norm_sq = layer.backward_norm_sq(grad)
+            norm_sq += layer_norm_sq
+        norms = np.sqrt(norm_sq)
+
         factors = np.asarray(clipping.clip_factors(norms), dtype=np.float64)
-        scaled = grad_out * factors.reshape((batch,) + (1,) * (grad_out.ndim - 1))
-        per_layer = self._backward(scaled, per_sample=False)
+
+        # Pass #2: per-layer clipped accumulation from the cached upstream
+        # gradients — the chain (input gradients, col2im, ...) is not
+        # recomputed, which is what makes ghost match materialize on speed.
+        per_layer: list[dict[str, np.ndarray]] = [
+            self.layers[i].accumulate_clipped(upstream[i], factors)
+            if upstream[i] is not None
+            else {}
+            for i in range(len(self.layers))
+        ]
         return losses, self._flatten_grads(per_layer, batch=None), norms
 
     def __repr__(self) -> str:

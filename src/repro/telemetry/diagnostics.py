@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import note_backend
+
 __all__ = [
     "clip_diagnostics",
     "release_diagnostics",
@@ -96,6 +98,7 @@ def record_clipping(recorder, per_sample_grads, threshold: float, *, norms=None)
     """Record :func:`clip_diagnostics` into ``recorder`` (no-op when None)."""
     if recorder is None:
         return
+    note_backend(recorder)
     for name, value in clip_diagnostics(per_sample_grads, threshold, norms=norms).items():
         recorder.record(name, value)
 
@@ -117,6 +120,7 @@ def record_release(
     """
     if recorder is None:
         return
+    note_backend(recorder)
     for name, value in release_diagnostics(clean, noisy).items():
         recorder.record(name, value)
     recorder.record("sigma", sigma)

@@ -1,0 +1,117 @@
+"""Property-based round-trip tests for the spherical conversions.
+
+Seeded fuzz over dimensions 1-512 plus adversarial geometries (near-pole,
+zero-norm, antipodal, extreme dynamic range): for every backend,
+``to_cartesian_batch(to_spherical_batch(g))`` must reconstruct ``g`` to
+1e-9, and the decomposition must satisfy its range invariants (polar
+angles in [0, pi], azimuth in (-pi, pi], magnitude = ||g||).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import use_backend
+from repro.geometry.spherical import to_cartesian_batch, to_spherical_batch
+
+from tests.backend.conftest import ALWAYS_AVAILABLE, parity_backends
+
+pytestmark = pytest.mark.backend
+
+BACKENDS = list(ALWAYS_AVAILABLE) + [
+    name for name in parity_backends() if name not in ALWAYS_AVAILABLE
+]
+
+RECONSTRUCTION_TOL = 1e-9
+
+#: Seeded fuzz grid: (dimension, rows, seed).  Dimensions sweep the range
+#: 2-512 (d=1 is rejected, asserted separately) including primes, powers
+#: of two and the row-blocking threshold neighborhood of the fused backend.
+FUZZ_CASES = [
+    (2, 64, 0),
+    (3, 33, 1),
+    (5, 17, 2),
+    (16, 50, 3),
+    (31, 12, 4),
+    (64, 40, 5),
+    (127, 9, 6),
+    (256, 8, 7),
+    (511, 5, 8),
+    (512, 6, 9),
+]
+
+
+def _roundtrip_max_err(grads):
+    mags, thetas = to_spherical_batch(grads)
+    back = to_cartesian_batch(mags, thetas)
+    return float(np.max(np.abs(back - grads)))
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("d,m,seed", FUZZ_CASES)
+def test_fuzz_roundtrip(backend_name, d, m, seed):
+    rng = np.random.default_rng(seed)
+    # Mix of scales: unit-ish, tiny, huge rows in one batch.
+    grads = rng.normal(size=(m, d))
+    grads[:: 3] *= 1e-6
+    grads[1:: 3] *= 1e6
+    with use_backend(backend_name):
+        assert _roundtrip_max_err(grads) <= RECONSTRUCTION_TOL * max(
+            1.0, float(np.max(np.abs(grads)))
+        )
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("d,m,seed", FUZZ_CASES)
+def test_decomposition_invariants(backend_name, d, m, seed):
+    grads = np.random.default_rng(seed + 1000).normal(size=(m, d))
+    with use_backend(backend_name):
+        mags, thetas = to_spherical_batch(grads)
+    np.testing.assert_allclose(mags, np.linalg.norm(grads, axis=1), rtol=1e-12)
+    assert thetas.shape == (m, d - 1)
+    if d > 2:  # leading d-2 angles are polar: arctan2 of a non-negative norm
+        assert np.all(thetas[:, : d - 2] >= 0.0)
+        assert np.all(thetas[:, : d - 2] <= np.pi)
+    assert np.all(thetas[:, -1] > -np.pi) and np.all(thetas[:, -1] <= np.pi)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_adversarial_geometries_roundtrip(backend_name):
+    d = 6
+    eps = 1e-15
+    rows = [
+        np.zeros(d),                                   # zero norm
+        np.r_[1.0, np.zeros(d - 1)],                   # exactly on the pole
+        np.r_[-1.0, np.zeros(d - 1)],                  # antipodal pole
+        np.r_[1.0, eps * np.ones(d - 1)],              # near-pole
+        np.r_[-1.0, -eps * np.ones(d - 1)],            # near-antipodal
+        np.r_[np.zeros(d - 1), 1.0],                   # all weight on azimuth
+        np.r_[np.zeros(d - 1), -1.0],                  # negative azimuth branch
+        np.r_[np.zeros(d - 2), -1.0, 0.0],             # azimuth exactly pi
+        np.full(d, 1e-300),                            # denormal-adjacent
+    ]
+    grads = np.stack(rows)
+    with use_backend(backend_name):
+        assert _roundtrip_max_err(grads) <= RECONSTRUCTION_TOL
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_dimension_one_rejected(backend_name):
+    with use_backend(backend_name):
+        with pytest.raises(ValueError):
+            to_spherical_batch(np.ones((3, 1)))
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_blocking_threshold_continuity(backend_name):
+    """Batches straddling the fused backend's blocking threshold agree."""
+    d = 257
+    m = (1 << 17) // d + 2  # rows put m*d just above the no-blocking cutoff
+    grads = np.random.default_rng(42).normal(size=(m, d))
+    with use_backend("reference"):
+        ref_mags, ref_thetas = to_spherical_batch(grads)
+    with use_backend(backend_name):
+        mags, thetas = to_spherical_batch(grads)
+    np.testing.assert_allclose(mags, ref_mags, rtol=1e-10, atol=1e-10)
+    np.testing.assert_allclose(thetas, ref_thetas, rtol=1e-10, atol=1e-10)
