@@ -46,6 +46,10 @@ HEADLINE_BENCHMARKS = ("perturb_geodp_batch", "ghost_clipped_sum")
 #: backends, so the difference is pure timing noise.
 MAX_ACCELERATED_SLOWDOWN = 0.25
 
+#: The sparse training step must beat the dense ghost step whenever the
+#: archive's touch rate is at or below this fraction of the table.
+MAX_SPARSE_TOUCH_RATE = 0.10
+
 _BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
 
@@ -222,6 +226,55 @@ def gate_accelerated_file(path, **kwargs) -> tuple[str, bool]:
     return "\n".join(header + lines + footer), not failures
 
 
+def gate_sparse(
+    section: dict | None, *, max_touch_rate: float = MAX_SPARSE_TOUCH_RATE
+) -> tuple[list[str], list[str]]:
+    """Within-run gate: the sparse step must beat the dense step.
+
+    ``section`` is an archive's ``"sparse"`` mapping (see
+    ``bench_sparse.sparse_section``); archives without one pass trivially.
+    At touch rates at or below ``max_touch_rate`` the sparse training step
+    must be strictly faster than the dense ghost step of the same run —
+    if deferred noise or the compacted gradients stop paying for
+    themselves, the archive fails.  Returns ``(report lines, failures)``.
+    """
+    if not section:
+        return ["(no sparse section; sparse gate skipped)"], []
+    touch_rate = float(section.get("touch_rate", 1.0))
+    benchmarks = section.get("benchmarks", {})
+    dense = benchmarks.get("dense_step", {}).get("seconds")
+    sparse = benchmarks.get("sparse_step", {}).get("seconds")
+    if dense is None or sparse is None:
+        return ["(sparse section lacks dense_step/sparse_step; gate skipped)"], []
+    ratio = sparse / dense if dense > 0 else float("inf")
+    line = (
+        f"sparse_step {ratio:6.2f}x dense_step at touch rate {touch_rate:.1%} "
+        f"(vocab {section.get('vocab_size', '?')})"
+    )
+    if touch_rate > max_touch_rate:
+        return [line + f"   (touch rate > {max_touch_rate:.0%}; gate skipped)"], []
+    if ratio < 1.0:
+        return [line + "   ok (beats dense)"], []
+    failure = (
+        f"sparse_step: {ratio:.2f}x dense_step at touch rate {touch_rate:.1%} "
+        f"(must be < 1.00x at <= {max_touch_rate:.0%})"
+    )
+    return [line + "   FAIL: must beat dense"], [failure]
+
+
+def gate_sparse_file(path, **kwargs) -> tuple[str, bool]:
+    """Run :func:`gate_sparse` on one archive; returns ``(report, ok)``."""
+    payload = json.loads(Path(path).read_text())
+    lines, failures = gate_sparse(payload.get("sparse"), **kwargs)
+    header = [f"sparse-training gate: {path}", ""]
+    footer = (
+        ["", "PASS: sparse step beats dense"]
+        if not failures
+        else ["", "FAIL:"] + [f"  - {failure}" for failure in failures]
+    )
+    return "\n".join(header + lines + footer), not failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -261,7 +314,9 @@ def main(argv=None) -> int:
     print(report)
     gate_report, gate_ok = gate_accelerated_file(candidate)
     print(f"\n{gate_report}")
-    return 0 if ok and gate_ok else 1
+    sparse_report, sparse_ok = gate_sparse_file(candidate)
+    print(f"\n{sparse_report}")
+    return 0 if ok and gate_ok and sparse_ok else 1
 
 
 if __name__ == "__main__":

@@ -28,7 +28,10 @@ The top-level ``benchmarks`` mapping is always the *reference* backend
 (back-compatible with pre-backend archives); ``backends`` holds one
 section per available :mod:`repro.backend` so each backend is gated
 against its own history, and accelerated backends are additionally gated
-against the reference section of the same run (see ``compare.py``).
+against the reference section of the same run (see ``compare.py``).  A
+``sparse`` section (``bench_sparse.sparse_section``) times the sparse
+embedding-scale training step against the dense ghost step; the sparse
+step must beat dense at touch rates up to 10% (``compare.gate_sparse``).
 """
 
 from __future__ import annotations
@@ -141,6 +144,13 @@ def main(argv=None) -> int:
                 )
         sections[backend_name] = section
 
+    print("[sparse]")
+    from bench_sparse import sparse_section
+
+    sparse = sparse_section(steps=max(args.repeats, 5))
+    for name, entry in sparse["benchmarks"].items():
+        print(f"  {name:28s} {entry['seconds'] * 1e3:9.3f} ms")
+
     path = next_output_path(Path(args.out))
     path.write_text(
         json.dumps(
@@ -153,6 +163,7 @@ def main(argv=None) -> int:
                 # comparable baselines.
                 "benchmarks": sections["reference"],
                 "backends": sections,
+                "sparse": sparse,
             },
             indent=2,
         )
@@ -160,7 +171,12 @@ def main(argv=None) -> int:
     )
     print(f"wrote {path}")
 
-    from compare import bench_files, compare_files, gate_accelerated_file
+    from compare import (
+        bench_files,
+        compare_files,
+        gate_accelerated_file,
+        gate_sparse_file,
+    )
 
     ok = True
     history = bench_files(Path(args.out))
@@ -169,7 +185,9 @@ def main(argv=None) -> int:
         print(f"\n{report}")
     gate_report, gate_ok = gate_accelerated_file(path)
     print(f"\n{gate_report}")
-    return 0 if ok and gate_ok else 1
+    sparse_report, sparse_ok = gate_sparse_file(path)
+    print(f"\n{sparse_report}")
+    return 0 if ok and gate_ok and sparse_ok else 1
 
 
 if __name__ == "__main__":

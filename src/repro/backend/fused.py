@@ -142,3 +142,44 @@ class FusedBackend(ReferenceBackend):
         dw = np.tensordot(scaled, cols, axes=([0, 2], [0, 2]))
         db = scaled.sum(axis=(0, 2)) if bias else None
         return dw, db
+
+    # ------------------------------------------------- sparse embedding path
+    def embedding_sparse_grads(
+        self,
+        tokens: np.ndarray,
+        grad_out: np.ndarray,
+        valid: np.ndarray,
+        vocab_size: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        batch, length = tokens.shape
+        dim = grad_out.shape[-1]
+        flat_valid = valid.ravel()
+        sample_idx = np.repeat(np.arange(batch, dtype=np.int64), length)[flat_valid]
+        flat_tokens = tokens.ravel()[flat_valid].astype(np.int64)
+        flat_grads = grad_out.reshape(batch * length, dim)[flat_valid]
+        keys = sample_idx * np.int64(vocab_size) + flat_tokens
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        # bincount's contiguous accumulation loop beats np.add.at's fancy
+        # indexing; one pass per (small) embedding dim.
+        vals = np.empty((uniq.size, dim))
+        for j in range(dim):
+            vals[:, j] = np.bincount(
+                inverse, weights=flat_grads[:, j], minlength=uniq.size
+            )
+        return uniq // vocab_size, uniq % vocab_size, vals
+
+    def sparse_row_reduce(
+        self,
+        sample_ids: np.ndarray,
+        rows: np.ndarray,
+        vals: np.ndarray,
+        factors: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        scaled = vals * factors[sample_ids][:, None]
+        uniq_rows, inverse = np.unique(rows, return_inverse=True)
+        out = np.empty((uniq_rows.size, vals.shape[1]))
+        for j in range(vals.shape[1]):
+            out[:, j] = np.bincount(
+                inverse, weights=scaled[:, j], minlength=uniq_rows.size
+            )
+        return uniq_rows, out

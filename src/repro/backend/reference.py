@@ -162,3 +162,53 @@ class ReferenceBackend:
         dw = np.zeros((vocab_size, dim))
         np.add.at(dw, tokens.ravel(), scaled.reshape(-1, dim))
         return dw
+
+    # ------------------------------------------------- sparse embedding path
+    def embedding_sparse_grads(
+        self,
+        tokens: np.ndarray,
+        grad_out: np.ndarray,
+        valid: np.ndarray,
+        vocab_size: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Compact per-sample embedding gradients to touched rows.
+
+        Sums the ``(B, L, D)`` positional gradients over repeated tokens
+        *within each sample*, returning one ``(sample_id, row, value)``
+        triple per touched ``(sample, row)`` pair, sorted by ``(sample,
+        row)``.  Positions with ``valid == False`` (padding) are dropped.
+        This is lossless: scattering the triples back reproduces the dense
+        per-sample gradient exactly, so norms over ``vals`` are exact.
+        """
+        batch, length = tokens.shape
+        dim = grad_out.shape[-1]
+        flat_valid = valid.ravel()
+        sample_idx = np.repeat(np.arange(batch, dtype=np.int64), length)[flat_valid]
+        flat_tokens = tokens.ravel()[flat_valid].astype(np.int64)
+        flat_grads = grad_out.reshape(batch * length, dim)[flat_valid]
+        # One key per (sample, row) pair; unique both dedups and sorts.
+        keys = sample_idx * np.int64(vocab_size) + flat_tokens
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        vals = np.zeros((uniq.size, dim))
+        np.add.at(vals, inverse, flat_grads)
+        return uniq // vocab_size, uniq % vocab_size, vals
+
+    def sparse_row_reduce(
+        self,
+        sample_ids: np.ndarray,
+        rows: np.ndarray,
+        vals: np.ndarray,
+        factors: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Clip-scale per-sample sparse gradients and merge across the lot.
+
+        ``sum_i c_i dw_i`` restricted to touched rows: each nonzero is
+        scaled by its sample's clip factor, then nonzeros sharing a row are
+        summed.  Returns ``(unique_rows, summed_vals)`` with rows sorted
+        ascending — the sparse counterpart of ``embedding_clip_accumulate``.
+        """
+        scaled = vals * factors[sample_ids][:, None]
+        uniq_rows, inverse = np.unique(rows, return_inverse=True)
+        out = np.zeros((uniq_rows.size, vals.shape[1]))
+        np.add.at(out, inverse, scaled)
+        return uniq_rows, out

@@ -242,6 +242,24 @@ class DpSgdOptimizer:
         self._account_release()
         return self._descend(params, noisy)
 
+    def step_sparse(self, params: np.ndarray, dense_sum: np.ndarray, count: int, sparse) -> np.ndarray:
+        """One sparse DP-SGD update: dense block + touched embedding rows.
+
+        ``params`` / ``dense_sum`` cover only the non-embedding parameters;
+        ``sparse`` is a :class:`repro.sparse.release.SparseRelease` whose
+        table is updated in place (touched rows now, untouched rows' noise
+        deferred).  One release, one accountant step, one ledger entry —
+        identical to the dense path's record.  Returns the new dense params.
+        """
+        from repro.sparse.release import gaussian_sparse_release
+
+        denominator = self.lot_size if self.lot_size is not None else count
+        noisy = self.noisy_gradient_presummed(dense_sum, count)
+        gaussian_sparse_release(self, sparse, denominator)
+        self.last_noisy_gradient = noisy
+        self._account_release()
+        return self._descend(params, noisy)
+
     def state_dict(self) -> dict:
         """Mutable optimizer state for checkpointing (see :mod:`repro.checkpoint`).
 

@@ -239,6 +239,27 @@ class GeoDpSgdOptimizer:
         self._account_release()
         return self._descend(params, noisy)
 
+    def step_sparse(self, params: np.ndarray, dense_sum: np.ndarray, count: int, sparse) -> np.ndarray:
+        """One sparse GeoDP update: geometric noise on the active subvector.
+
+        The dense average and the touched embedding rows are perturbed
+        jointly as one averaged gradient (Algorithm 1 on the active
+        coordinates); untouched rows accrue deferred Gaussian cover noise
+        through ``sparse.lazy``.  Accounting and the ledger entry are
+        identical to the dense path.  Returns the new dense params.
+        """
+        from repro.sparse.release import geodp_sparse_release
+
+        denominator = self.lot_size if self.lot_size is not None else count
+        if denominator < 1:
+            raise ValueError(
+                "empty batch with no lot_size: set lot_size for Poisson sampling"
+            )
+        noisy = geodp_sparse_release(self, dense_sum, sparse, denominator)
+        self.last_noisy_gradient = noisy
+        self._account_release()
+        return self._descend(params, noisy)
+
     def state_dict(self) -> dict:
         """Mutable optimizer state for checkpointing (see :mod:`repro.checkpoint`)."""
         from repro.core.sgd import _copy_or_none

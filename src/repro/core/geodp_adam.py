@@ -166,6 +166,25 @@ class GeoDpAdamOptimizer(AdamOptimizer):
         self._account_release()
         return AdamOptimizer.step(self, params, noisy)
 
+    def step_sparse(self, params: np.ndarray, dense_sum: np.ndarray, count: int, sparse) -> np.ndarray:
+        """One sparse GeoDP-Adam update (DLRM-style hybrid).
+
+        The release is GeoDP's geometric perturbation of the active
+        subvector, as in :meth:`GeoDpSgdOptimizer.step_sparse`.  Adam's
+        moment estimates cover only the dense block; the embedding rows
+        take a plain SGD step at ``learning_rate`` — lazily-noised rows
+        cannot maintain per-row moments without densifying the state
+        (the standard sparse-table hybrid).  Returns the new dense params.
+        """
+        from repro.sparse.release import geodp_sparse_release
+
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        noisy = geodp_sparse_release(self, dense_sum, sparse, count)
+        self.last_noisy_gradient = noisy
+        self._account_release()
+        return AdamOptimizer.step(self, params, noisy)
+
     def step(self, params: np.ndarray, per_sample_grads) -> np.ndarray:
         """GeoDP perturbation of the clipped average, then an Adam update."""
         grads = check_matrix("per_sample_grads", per_sample_grads)

@@ -27,8 +27,10 @@ from repro.telemetry.tracing import joint_span
 __all__ = ["GRAD_MODES", "check_grad_mode", "ghost_clipped_sum", "ghost_step"]
 
 #: Recognized gradient execution modes.  ``materialize`` is the default and
-#: preserves bit-identical seed behaviour; ``ghost`` is the opt-in fast path.
-GRAD_MODES = ("materialize", "ghost")
+#: preserves bit-identical seed behaviour; ``ghost`` is the opt-in fast path;
+#: ``sparse`` is the embedding-scale touched-rows path, driven by
+#: :class:`repro.sparse.SparseTrainer` (the core Trainer rejects it).
+GRAD_MODES = ("materialize", "ghost", "sparse")
 
 
 def check_grad_mode(grad_mode: str) -> str:

@@ -211,6 +211,15 @@ class Trainer:
         if grad_mode is None:
             grad_mode = getattr(optimizer, "grad_mode", "materialize")
         self.grad_mode = check_grad_mode(grad_mode)
+        if self.grad_mode == "sparse":
+            # The core trainer round-trips the *full* flat parameter vector
+            # every iteration — O(vocab * dim) per step, which defeats the
+            # touched-rows scaling the sparse path exists for.
+            raise ValueError(
+                "grad_mode='sparse' is driven by repro.sparse.SparseTrainer, "
+                "which updates embedding rows in place; the core Trainer's "
+                "full parameter round-trip would scale with the table size"
+            )
         if self.grad_mode == "ghost":
             if not getattr(optimizer, "requires_per_sample", False) or not hasattr(
                 optimizer, "ghost_clipped_sum"

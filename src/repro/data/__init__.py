@@ -12,6 +12,7 @@ from repro.data.datasets import Dataset, train_test_split
 from repro.data.mnist_like import make_mnist_like
 from repro.data.cifar_like import make_cifar_like
 from repro.data.text_like import make_text_like
+from repro.data.clicklog import make_click_log
 from repro.data.sampling import iterate_minibatches, minibatch_indices, poisson_indices
 from repro.data.gradients import collect_training_gradients, synthetic_gradient_batch
 from repro.data.augmentation import (
@@ -27,6 +28,7 @@ __all__ = [
     "make_mnist_like",
     "make_cifar_like",
     "make_text_like",
+    "make_click_log",
     "iterate_minibatches",
     "minibatch_indices",
     "poisson_indices",

@@ -1,0 +1,116 @@
+"""Procedural click-log dataset: huge vocabulary, tiny per-lot footprint.
+
+The embedding-scale regime the sparse DP pipeline targets: a vocabulary of
+hundreds of thousands of item/token ids, of which a single lot touches a
+small fraction.  Token popularity follows a Zipf-like power law (a handful
+of head tokens appear everywhere, the long tail rarely), which is also the
+adversarial case for gradient compaction — repeated tokens inside one
+sample must merge into one row, not inflate the per-sample norm.
+
+The label is a simple planted signal: each class owns a disjoint slice of
+the *head* of the popularity distribution, and a session is labelled by
+the class whose head tokens it contains most of.  A bag-of-embeddings
+classifier separates the classes while the tail rows stay almost
+untouched — exactly the touch profile ``benchmarks/bench_sparse.py``
+measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.utils.rng import as_rng
+
+__all__ = ["make_click_log"]
+
+
+def make_click_log(
+    num_samples: int = 1000,
+    rng=None,
+    *,
+    vocab_size: int = 10_000,
+    seq_length: int = 20,
+    num_classes: int = 2,
+    zipf_exponent: float = 1.1,
+    touch_rate: float = 0.01,
+    head_per_class: int = 8,
+    signal_rate: float = 0.4,
+    padding_idx: int | None = None,
+    min_length: int | None = None,
+) -> Dataset:
+    """Generate a Zipfian click-log classification dataset.
+
+    ``touch_rate`` caps the *support* of the token distribution: only the
+    ``ceil(touch_rate * vocab_size)`` most popular rows can ever be drawn,
+    so any lot touches at most that fraction of the table (usually much
+    less).  Within the support, token popularity decays as
+    ``rank^-zipf_exponent``.
+
+    Each class owns ``head_per_class`` disjoint head tokens; a session
+    draws from its class's head with probability ``signal_rate`` and from
+    the shared Zipfian background otherwise.
+
+    With ``padding_idx`` set, sessions get a random length in
+    ``[min_length, seq_length]`` (default ``min_length`` is half of
+    ``seq_length``) and are right-padded with ``padding_idx``; the padding
+    row is excluded from the drawable support.
+
+    Returns a :class:`Dataset` whose ``x`` is an integer token matrix
+    ``(N, seq_length)`` and ``y`` the class labels.
+    """
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    if seq_length < 1:
+        raise ValueError(f"seq_length must be >= 1, got {seq_length}")
+    if not 0.0 < touch_rate <= 1.0:
+        raise ValueError(f"touch_rate must be in (0, 1], got {touch_rate}")
+    if not 0.0 <= signal_rate <= 1.0:
+        raise ValueError(f"signal_rate must be in [0, 1], got {signal_rate}")
+    if zipf_exponent <= 0:
+        raise ValueError(f"zipf_exponent must be > 0, got {zipf_exponent}")
+    support = int(np.ceil(touch_rate * vocab_size))
+    needed = num_classes * head_per_class
+    if support <= needed:
+        raise ValueError(
+            f"touch_rate * vocab_size = {support} must exceed "
+            f"{needed} (= num_classes * head_per_class) head tokens"
+        )
+    if padding_idx is not None and not 0 <= padding_idx < vocab_size:
+        raise ValueError(
+            f"padding_idx must be in [0, {vocab_size}), got {padding_idx}"
+        )
+    rng = as_rng(rng)
+
+    # Drawable support: the most popular rows, skipping the padding row.
+    pool = np.arange(vocab_size, dtype=np.int64)
+    if padding_idx is not None:
+        pool = pool[pool != padding_idx]
+    support_tokens = pool[:support]
+    ranks = np.arange(1, support + 1, dtype=np.float64)
+    popularity = ranks**-zipf_exponent
+    popularity /= popularity.sum()
+
+    # Each class owns a disjoint slice of the head.
+    heads = support_tokens[:needed].reshape(num_classes, head_per_class)
+
+    tokens = np.empty((num_samples, seq_length), dtype=np.int64)
+    labels = np.arange(num_samples, dtype=np.int64) % num_classes
+    for i in range(num_samples):
+        background = rng.choice(support_tokens, size=seq_length, p=popularity)
+        is_signal = rng.random(seq_length) < signal_rate
+        n_signal = int(is_signal.sum())
+        background[is_signal] = rng.choice(heads[labels[i]], size=n_signal)
+        tokens[i] = background
+
+    if padding_idx is not None:
+        low = seq_length // 2 if min_length is None else min_length
+        if not 1 <= low <= seq_length:
+            raise ValueError(
+                f"min_length must be in [1, {seq_length}], got {low}"
+            )
+        lengths = rng.integers(low, seq_length + 1, size=num_samples)
+        pad = np.arange(seq_length)[None, :] >= lengths[:, None]
+        tokens[pad] = padding_idx
+
+    return Dataset(tokens, labels)

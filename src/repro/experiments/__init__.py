@@ -27,6 +27,7 @@ from repro.experiments.privacy_utility import run_privacy_utility, format_privac
 from repro.experiments.mia import run_mia, format_mia
 from repro.experiments.concentration import run_concentration, format_concentration
 from repro.experiments.trace import run_trace, format_trace
+from repro.experiments.sparse_scale import run_sparse_scale, format_sparse_scale
 
 __all__ = [
     "run_fig1",
@@ -53,4 +54,6 @@ __all__ = [
     "format_concentration",
     "run_trace",
     "format_trace",
+    "run_sparse_scale",
+    "format_sparse_scale",
 ]

@@ -28,6 +28,7 @@ from repro.experiments import (
     format_concentration,
     format_mia,
     format_privacy_utility,
+    format_sparse_scale,
     format_table2,
     format_table3,
     format_theory_validation,
@@ -40,6 +41,7 @@ from repro.experiments import (
     run_concentration,
     run_mia,
     run_privacy_utility,
+    run_sparse_scale,
     run_table2,
     run_table3,
     run_theory_validation,
@@ -78,6 +80,11 @@ EXPERIMENTS = {
         run_trace,
         format_trace,
         "Telemetry: instrumented DP-SGD vs GeoDP run (supports --telemetry)",
+    ),
+    "sparse": (
+        run_sparse_scale,
+        format_sparse_scale,
+        "Extension: embedding-scale sparse vs dense DP training",
     ),
 }
 

@@ -1,0 +1,158 @@
+"""Embedding-scale sparse DP training versus the dense pipeline.
+
+Trains the same bag-of-embeddings classifier on a Zipfian click log two
+ways — the core :class:`~repro.core.Trainer` on the ghost path (the best
+dense baseline: per-sample gradients never materialize, but every step
+still round-trips and noises the full table) and the
+:class:`~repro.sparse.SparseTrainer` (touched rows only, untouched-row
+noise deferred) — for both perturbation schemes (DP and GeoDP).  Reports
+per-step wall time, test accuracy, the touched-row fraction, and the
+accountant's epsilon for each side; the sparse path must spend *exactly*
+the same privacy as the dense one.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.dpsgd import DpSgdOptimizer
+from repro.core.geodp import GeoDpSgdOptimizer
+from repro.core.trainer import Trainer
+from repro.data.clicklog import make_click_log
+from repro.data.datasets import train_test_split
+from repro.experiments.common import check_scale
+from repro.privacy.accountant import RdpAccountant
+from repro.sparse import SparseTrainer
+from repro.utils.rng import as_rng
+from repro.utils.tables import format_table
+
+__all__ = ["run_sparse_scale", "format_sparse_scale"]
+
+_PRESETS = {
+    # (vocab, dim, samples, seq_length, touch_rate, batch, steps)
+    "smoke": (2_000, 8, 300, 12, 0.02, 30, 30),
+    "ci": (20_000, 16, 600, 16, 0.01, 60, 60),
+    "paper": (100_000, 16, 2_000, 20, 0.01, 100, 100),
+}
+
+_DELTA = 1e-5
+
+
+def _make_optimizer(scheme: str, sample_rate: float, rng, *, grad_mode: str):
+    kwargs = dict(
+        learning_rate=0.5,
+        clipping=1.0,
+        noise_multiplier=0.7,
+        rng=rng,
+        accountant=RdpAccountant(),
+        sample_rate=sample_rate,
+        grad_mode=grad_mode,
+    )
+    if scheme == "geodp":
+        return GeoDpSgdOptimizer(beta=0.02, **kwargs)
+    return DpSgdOptimizer(**kwargs)
+
+
+def run_sparse_scale(scale: str = "smoke", rng=None) -> dict:
+    """Dense-ghost vs sparse DP training on a click log, both schemes."""
+    check_scale(scale)
+    vocab, dim, samples, seq_length, touch_rate, batch, steps = _PRESETS[scale]
+    rng = as_rng(rng)
+    data = make_click_log(
+        samples,
+        rng=rng,
+        vocab_size=vocab,
+        seq_length=seq_length,
+        touch_rate=touch_rate,
+        padding_idx=0,
+    )
+    train, test = train_test_split(data, rng=rng)
+    sample_rate = batch / len(train)
+
+    def build_model(seed):
+        from repro.models.text import build_text_classifier
+
+        return build_text_classifier(
+            vocab, data.num_classes, embedding_dim=dim,
+            padding_idx=0, rng=np.random.default_rng(seed),
+        )
+
+    rows = []
+    for scheme in ("dp", "geodp"):
+        # Dense baseline: ghost path, full-table release every step.
+        model = build_model(0)
+        opt = _make_optimizer(scheme, sample_rate, np.random.default_rng(1), grad_mode="ghost")
+        trainer = Trainer(
+            model, opt, train, batch_size=batch,
+            test_data=test, rng=np.random.default_rng(2),
+        )
+        start = time.perf_counter()
+        trainer.train(steps)
+        dense_seconds = (time.perf_counter() - start) / steps
+        dense_acc = trainer.evaluate()
+        dense_eps = opt.accountant.get_epsilon(_DELTA)
+
+        # Sparse path: touched rows only, aggregate deferred noise.
+        model = build_model(0)
+        opt = _make_optimizer(scheme, sample_rate, np.random.default_rng(1), grad_mode="sparse")
+        sparse = SparseTrainer(
+            model, opt, train, batch_size=batch,
+            test_data=test, rng=np.random.default_rng(2),
+            noise_mode="aggregate", noise_seed=3,
+        )
+        start = time.perf_counter()
+        sparse.train(steps)
+        sparse_seconds = (time.perf_counter() - start) / steps
+        sparse_acc = sparse.evaluate()
+        sparse_eps = opt.accountant.get_epsilon(_DELTA)
+
+        rows.append(
+            {
+                "scheme": scheme,
+                "dense_seconds": dense_seconds,
+                "sparse_seconds": sparse_seconds,
+                "speedup": dense_seconds / max(sparse_seconds, 1e-12),
+                "dense_accuracy": dense_acc,
+                "sparse_accuracy": sparse_acc,
+                "dense_epsilon": dense_eps,
+                "sparse_epsilon": sparse_eps,
+                "epsilon_gap": abs(dense_eps - sparse_eps),
+            }
+        )
+    return {
+        "scale": scale,
+        "vocab_size": vocab,
+        "embedding_dim": dim,
+        "touch_rate": touch_rate,
+        "batch_size": batch,
+        "steps": steps,
+        "rows": rows,
+    }
+
+
+def format_sparse_scale(result: dict) -> str:
+    """Render the dense-vs-sparse comparison table."""
+    headers = [
+        "scheme", "dense s/it", "sparse s/it", "speedup",
+        "dense acc", "sparse acc", "eps gap",
+    ]
+    rows = [
+        [
+            r["scheme"],
+            f"{r['dense_seconds']:.4f}",
+            f"{r['sparse_seconds']:.4f}",
+            f"{r['speedup']:.1f}x",
+            f"{r['dense_accuracy']:.3f}",
+            f"{r['sparse_accuracy']:.3f}",
+            f"{r['epsilon_gap']:.2e}",
+        ]
+        for r in result["rows"]
+    ]
+    title = (
+        f"Sparse vs dense DP training (vocab={result['vocab_size']}, "
+        f"dim={result['embedding_dim']}, touch={result['touch_rate']:.0%}, "
+        f"{result['steps']} steps)"
+    )
+    return title + "\n" + format_table(headers, rows)

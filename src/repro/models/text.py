@@ -17,16 +17,20 @@ def build_text_classifier(
     *,
     embedding_dim: int = 16,
     hidden: int = 0,
+    padding_idx: int | None = None,
     rng=None,
 ) -> Sequential:
     """``embedding -> mean-pool (-> linear -> relu) -> linear`` classifier.
 
     With ``hidden = 0`` the model is linear in the pooled embedding (the
     classic fastText-style classifier); a positive ``hidden`` inserts one
-    ReLU layer.
+    ReLU layer.  With ``padding_idx`` set, padded positions contribute
+    neither gradient nor mean mass (the pool divides by each sample's
+    non-padded count).
     """
     rng = as_rng(rng)
-    layers = [Embedding(vocab_size, embedding_dim, rng=rng), SequenceMean()]
+    embedding = Embedding(vocab_size, embedding_dim, rng=rng, padding_idx=padding_idx)
+    layers = [embedding, SequenceMean(mask_source=embedding)]
     width = embedding_dim
     if hidden > 0:
         layers.append(Linear(width, hidden, rng=rng))

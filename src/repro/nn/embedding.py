@@ -5,6 +5,17 @@ sequences ``(B, L)`` are embedded to ``(B, L, D)`` and mean-pooled to
 ``(B, D)``.  Per-sample gradients for the embedding table are scatter-adds
 of the upstream gradient over each sample's own token ids, so DP-SGD's
 clipping applies exactly as for dense layers.
+
+For embedding-scale tables the dense ``(B, vocab, dim)`` per-sample
+scatter is the memory wall; :meth:`Embedding.backward_sparse` instead
+returns the per-sample gradients in compacted sparse form — only the rows
+each sample actually touched — which :mod:`repro.sparse` threads through
+the full clip → noise → step pipeline.
+
+With ``padding_idx`` set, padded positions contribute neither gradient
+mass (their upstream gradients are zeroed before any scatter or norm) nor
+mean mass (:class:`SequenceMean` divides by each sample's count of
+non-padded positions instead of the full sequence length).
 """
 
 from __future__ import annotations
@@ -12,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.backend import get_backend
-from repro.nn.layers import Layer
+from repro.nn.layers import Layer, coerce_param
 from repro.utils.rng import as_rng
 
 __all__ = ["Embedding", "SequenceMean"]
@@ -21,34 +32,74 @@ __all__ = ["Embedding", "SequenceMean"]
 class Embedding(Layer):
     """Token embedding table ``(vocab_size, dim)``."""
 
-    def __init__(self, vocab_size: int, dim: int, rng=None, *, scale: float = 0.1):
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        rng=None,
+        *,
+        scale: float = 0.1,
+        padding_idx: int | None = None,
+    ):
         if vocab_size < 1 or dim < 1:
             raise ValueError("vocab_size and dim must be >= 1")
+        if padding_idx is not None and not 0 <= padding_idx < vocab_size:
+            raise ValueError(
+                f"padding_idx must lie in [0, {vocab_size}), got {padding_idx}"
+            )
         self.vocab_size = vocab_size
         self.dim = dim
+        self.padding_idx = padding_idx
         self.weight = as_rng(rng).normal(0.0, scale, size=(vocab_size, dim))
+        if padding_idx is not None:
+            self.weight[padding_idx] = 0.0
         self._tokens: np.ndarray | None = None
+        #: Pad mask of the most recent forward — ``(B, L)`` bool, True at
+        #: padded positions; None when ``padding_idx`` is unset.  Refreshed
+        #: on *every* forward (train and eval) so a downstream
+        #: :class:`SequenceMean` always pools with the current batch's mask.
+        self.last_pad_mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
         tokens = np.asarray(x)
         if tokens.ndim != 2:
             raise ValueError(f"expected token matrix (B, L), got shape {tokens.shape}")
+        if tokens.shape[1] == 0:
+            # A zero-length sequence has no tokens to embed and would turn
+            # the downstream mean-pool into 0/0; reject it loudly.  A
+            # zero-sample batch (0, L) stays a well-defined no-op.
+            raise ValueError(
+                f"token matrix {tokens.shape} has zero sequence length"
+            )
         if not np.issubdtype(tokens.dtype, np.integer):
             if not np.allclose(tokens, np.round(tokens)):
                 raise ValueError("token ids must be integers")
             # Round, don't truncate: 2.999999 must map to token 3.
             tokens = np.round(tokens).astype(np.int64)
-        if tokens.min(initial=0) < 0 or tokens.max(initial=0) >= self.vocab_size:
+        if tokens.size and (tokens.min() < 0 or tokens.max() >= self.vocab_size):
             raise ValueError(f"token ids must lie in [0, {self.vocab_size})")
+        self.last_pad_mask = (
+            tokens == self.padding_idx if self.padding_idx is not None else None
+        )
         if train:
             self._tokens = tokens
         return self.weight[tokens]
+
+    def _masked_grad_out(self, grad_out: np.ndarray) -> np.ndarray:
+        """Upstream gradient with padded positions zeroed (no-op without pad)."""
+        if self.padding_idx is None or self._tokens is None:
+            return grad_out
+        pad = self._tokens == self.padding_idx
+        if not pad.any():
+            return grad_out
+        return np.where(pad[:, :, None], 0.0, grad_out)
 
     def backward(self, grad_out, per_sample: bool = False):
         if self._tokens is None:
             raise RuntimeError("backward called before forward(train=True)")
         tokens = self._tokens
         batch, length = tokens.shape
+        grad_out = self._masked_grad_out(grad_out)
         if per_sample:
             dw = np.zeros((batch, self.vocab_size, self.dim))
             # Scatter each sample's positional gradients onto its own rows.
@@ -56,12 +107,16 @@ class Embedding(Layer):
             np.add.at(
                 dw,
                 (batch_idx, tokens.ravel()),
-                grad_out.reshape(batch * length, self.dim),
+                np.ascontiguousarray(grad_out).reshape(batch * length, self.dim),
             )
             grads = {"weight": dw}
         else:
             dw = np.zeros((self.vocab_size, self.dim))
-            np.add.at(dw, tokens.ravel(), grad_out.reshape(-1, self.dim))
+            np.add.at(
+                dw,
+                tokens.ravel(),
+                np.ascontiguousarray(grad_out).reshape(-1, self.dim),
+            )
             grads = {"weight": dw}
         # Token inputs are not differentiable; propagate zeros of input shape.
         return np.zeros(tokens.shape), grads
@@ -75,16 +130,49 @@ class Embedding(Layer):
         # positional Gram masked by token equality.  Repeated tokens are what
         # makes this differ from a plain sum of ||g_l||^2.  O(B L^2 D)
         # instead of the (B, vocab, dim) scatter target.
-        norm_sq = get_backend().embedding_norm_sq(tokens, grad_out)
+        norm_sq = get_backend().embedding_norm_sq(
+            tokens, self._masked_grad_out(grad_out)
+        )
         return np.zeros(tokens.shape), norm_sq
 
     def accumulate_clipped(self, grad_out, factors):
         if self._tokens is None:
             raise RuntimeError("backward called before forward(train=True)")
         dw = get_backend().embedding_clip_accumulate(
-            self._tokens, grad_out, factors, self.vocab_size
+            self._tokens, self._masked_grad_out(grad_out), factors, self.vocab_size
         )
         return {"weight": dw}
+
+    def backward_sparse(self, grad_out):
+        """Per-sample gradients in compacted sparse row form.
+
+        Returns a :class:`repro.sparse.SparseBatchGrads` holding, for every
+        ``(sample, row)`` pair a sample actually touched, the summed
+        positional gradient for that row — never the ``(B, vocab, dim)``
+        dense scatter.  Padded positions are excluded.  Per-sample norms
+        computed from these values are *exact* (equal to the dense
+        per-sample gradient norms): compaction sums, it never drops.
+        """
+        if self._tokens is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        from repro.sparse.grads import SparseBatchGrads
+
+        tokens = self._tokens
+        valid = (
+            tokens != self.padding_idx
+            if self.padding_idx is not None
+            else np.ones(tokens.shape, dtype=bool)
+        )
+        sample_ids, rows, vals = get_backend().embedding_sparse_grads(
+            tokens, np.ascontiguousarray(grad_out), valid, self.vocab_size
+        )
+        return SparseBatchGrads(
+            batch_size=tokens.shape[0],
+            dim=self.dim,
+            sample_ids=sample_ids,
+            rows=rows,
+            vals=vals,
+        )
 
     def params(self) -> dict[str, np.ndarray]:
         return {"weight": self.weight}
@@ -92,28 +180,69 @@ class Embedding(Layer):
     def set_param(self, name: str, value: np.ndarray) -> None:
         if name != "weight":
             raise KeyError(f"Embedding has no parameter {name!r}")
-        self.weight = value.reshape(self.weight.shape)
+        self.weight = coerce_param("Embedding", name, value, self.weight.shape)
 
     def __repr__(self) -> str:
-        return f"Embedding(vocab={self.vocab_size}, dim={self.dim})"
+        pad = f", padding_idx={self.padding_idx}" if self.padding_idx is not None else ""
+        return f"Embedding(vocab={self.vocab_size}, dim={self.dim}{pad})"
 
 
 class SequenceMean(Layer):
-    """Mean over the sequence axis: ``(B, L, D) -> (B, D)``."""
+    """Mean over the sequence axis: ``(B, L, D) -> (B, D)``.
 
-    def __init__(self):
+    When constructed with a ``mask_source`` :class:`Embedding` whose
+    ``padding_idx`` is set, padded positions are excluded from the mean:
+    each sample is pooled as ``sum(valid positions) / count(valid
+    positions)`` — an all-padding sample pools to zeros.  Without a mask
+    the layer divides by the full sequence length as before.
+    """
+
+    def __init__(self, mask_source: Embedding | None = None):
+        self.mask_source = mask_source
         self._shape: tuple[int, ...] | None = None
+        self._valid: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+
+    def _current_mask(self, x: np.ndarray) -> np.ndarray | None:
+        if self.mask_source is None:
+            return None
+        pad = self.mask_source.last_pad_mask
+        if pad is None:
+            return None
+        if pad.shape != x.shape[:2]:
+            raise RuntimeError(
+                f"pad mask shape {pad.shape} does not match input {x.shape[:2]}; "
+                "SequenceMean must pool the mask source's own output"
+            )
+        return ~pad
 
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
         if x.ndim != 3:
             raise ValueError(f"expected (B, L, D), got shape {x.shape}")
+        if x.shape[1] == 0:
+            raise ValueError("cannot mean-pool a zero-length sequence axis")
+        valid = self._current_mask(x)
+        if valid is None:
+            if train:
+                self._shape, self._valid, self._counts = x.shape, None, None
+            return x.mean(axis=1)
+        # Clamp to 1 so an all-padding sample divides 0 by 1, pooling to 0.
+        counts = np.maximum(valid.sum(axis=1), 1).astype(np.float64)
         if train:
-            self._shape = x.shape
-        return x.mean(axis=1)
+            self._shape, self._valid, self._counts = x.shape, valid, counts
+        return (x * valid[:, :, None]).sum(axis=1) / counts[:, None]
 
     def backward(self, grad_out, per_sample: bool = False):
         if self._shape is None:
             raise RuntimeError("backward called before forward(train=True)")
-        _, length, _ = self._shape
-        grad = np.repeat(grad_out[:, None, :], length, axis=1) / length
+        if self._valid is None:
+            _, length, _ = self._shape
+            # Broadcast view, not np.repeat: bit-identical values (each
+            # element is grad_out[b, d] / length either way) at 1/L the
+            # memory.  Read-only, but every consumer only reads it.
+            grad = np.broadcast_to((grad_out / length)[:, None, :], self._shape)
+            return grad, {}
+        grad = (grad_out / self._counts[:, None])[:, None, :] * (
+            self._valid[:, :, None]
+        )
         return grad, {}

@@ -36,6 +36,22 @@ __all__ = [
 ]
 
 
+def coerce_param(owner: str, name: str, value, expected_shape) -> np.ndarray:
+    """Validate a replacement parameter strictly; never reshape silently.
+
+    A transposed ``(dim, vocab)`` embedding table or a flattened weight has
+    the right *size* but the wrong *shape*; loading it through ``reshape``
+    corrupts training without a trace.  Shape mismatches are errors.
+    """
+    value = np.asarray(value, dtype=np.float64)
+    if value.shape != tuple(expected_shape):
+        raise ValueError(
+            f"{owner}.{name} expects shape {tuple(expected_shape)}, "
+            f"got {value.shape}"
+        )
+    return value
+
+
 class Layer:
     """Base class; parameter-free layers only override forward/backward."""
 
@@ -177,9 +193,9 @@ class Linear(Layer):
 
     def set_param(self, name: str, value: np.ndarray) -> None:
         if name == "weight":
-            self.weight = value.reshape(self.weight.shape)
+            self.weight = coerce_param("Linear", name, value, self.weight.shape)
         elif name == "bias" and self.bias is not None:
-            self.bias = value.reshape(self.bias.shape)
+            self.bias = coerce_param("Linear", name, value, self.bias.shape)
         else:
             raise KeyError(f"Linear has no parameter {name!r}")
 
@@ -333,9 +349,9 @@ class Conv2d(Layer):
 
     def set_param(self, name: str, value: np.ndarray) -> None:
         if name == "weight":
-            self.weight = value.reshape(self.weight.shape)
+            self.weight = coerce_param("Conv2d", name, value, self.weight.shape)
         elif name == "bias" and self.bias is not None:
-            self.bias = value.reshape(self.bias.shape)
+            self.bias = coerce_param("Conv2d", name, value, self.bias.shape)
         else:
             raise KeyError(f"Conv2d has no parameter {name!r}")
 

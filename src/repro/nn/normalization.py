@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.layers import Layer
+from repro.nn.layers import Layer, coerce_param
 
 __all__ = ["GroupNorm", "LayerNorm", "BatchNorm2d"]
 
@@ -89,9 +89,9 @@ class GroupNorm(Layer):
 
     def set_param(self, name: str, value: np.ndarray) -> None:
         if name == "gamma":
-            self.gamma = value.reshape(self.gamma.shape)
+            self.gamma = coerce_param("GroupNorm", name, value, self.gamma.shape)
         elif name == "beta":
-            self.beta = value.reshape(self.beta.shape)
+            self.beta = coerce_param("GroupNorm", name, value, self.beta.shape)
         else:
             raise KeyError(f"GroupNorm has no parameter {name!r}")
 
@@ -168,9 +168,9 @@ class LayerNorm(Layer):
 
     def set_param(self, name: str, value: np.ndarray) -> None:
         if name == "gamma":
-            self.gamma = value.reshape(self.shape)
+            self.gamma = coerce_param("LayerNorm", name, value, self.shape)
         elif name == "beta":
-            self.beta = value.reshape(self.shape)
+            self.beta = coerce_param("LayerNorm", name, value, self.shape)
         else:
             raise KeyError(f"LayerNorm has no parameter {name!r}")
 
@@ -246,9 +246,9 @@ class BatchNorm2d(Layer):
 
     def set_param(self, name: str, value: np.ndarray) -> None:
         if name == "gamma":
-            self.gamma = value.reshape(self.gamma.shape)
+            self.gamma = coerce_param("BatchNorm2d", name, value, self.gamma.shape)
         elif name == "beta":
-            self.beta = value.reshape(self.beta.shape)
+            self.beta = coerce_param("BatchNorm2d", name, value, self.beta.shape)
         else:
             raise KeyError(f"BatchNorm2d has no parameter {name!r}")
 

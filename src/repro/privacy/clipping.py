@@ -62,6 +62,12 @@ class ClippingStrategy:
     #: (the requirement of the ghost-clipping fast path).
     supports_ghost = False
 
+    #: Whether :meth:`sensitivity` is the same constant for every release.
+    #: The sparse lazy-noise path (:mod:`repro.sparse`) requires this: noise
+    #: deferred at step ``t`` is materialized later with the scale
+    #: ``sigma * sensitivity``, which must not have drifted in between.
+    has_constant_sensitivity = True
+
     def clip(self, per_sample_grads) -> np.ndarray:
         """Return clipped per-sample gradients with norms <= :meth:`sensitivity`."""
         return self.clip_with_norms(per_sample_grads)[0]
@@ -250,6 +256,9 @@ class AdaptiveQuantileClipping(ClippingStrategy):
     """
 
     supports_ghost = True
+    #: The threshold (and with it the sensitivity) moves between releases,
+    #: so deferred noise cannot be rescaled correctly afterwards.
+    has_constant_sensitivity = False
 
     def __init__(
         self,

@@ -1,0 +1,43 @@
+"""Sparse embedding-scale DP training: touched rows only, noise deferred.
+
+Per-sample embedding gradients live as compacted ``(sample, row, value)``
+triples (:class:`SparseBatchGrads`) instead of ``(B, vocab, dim)`` scatters;
+untouched rows' DP cover noise is deferred through counter-based streams
+(:class:`LazyRowNoise`) and materialized only when a row is next touched or
+at a barrier.  :class:`SparseTrainer` drives the whole pipeline with step
+cost proportional to the rows a lot actually touches.  See ``docs/sparse.md``.
+"""
+
+from repro.sparse.grads import SparseBatchGrads
+from repro.sparse.noise import NOISE_MODES, LazyRowNoise, row_step_noise
+from repro.sparse.pipeline import (
+    dense_param_slices,
+    find_embedding,
+    get_dense_params,
+    set_dense_params,
+    sparse_clipped_sums,
+    sparse_loss_and_clipped_grads,
+)
+from repro.sparse.release import (
+    SparseRelease,
+    gaussian_sparse_release,
+    geodp_sparse_release,
+)
+from repro.sparse.trainer import SparseTrainer
+
+__all__ = [
+    "NOISE_MODES",
+    "LazyRowNoise",
+    "SparseBatchGrads",
+    "SparseRelease",
+    "SparseTrainer",
+    "dense_param_slices",
+    "find_embedding",
+    "gaussian_sparse_release",
+    "geodp_sparse_release",
+    "get_dense_params",
+    "row_step_noise",
+    "set_dense_params",
+    "sparse_clipped_sums",
+    "sparse_loss_and_clipped_grads",
+]

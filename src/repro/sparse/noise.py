@@ -1,0 +1,187 @@
+"""Deferred per-row Gaussian noise with deterministic counter streams.
+
+DP noise densifies sparse updates: every release must perturb *every*
+embedding row, touched or not, or the noise itself would leak the access
+pattern.  The LazyDP observation is that an untouched row's pending noise
+is never *read* until the row is next touched (or the table is released at
+a checkpoint / finalize), so its application can be deferred — and because
+the sum of ``k`` iid ``N(0, sigma^2)`` draws is ``N(0, k sigma^2)``, the
+deferred sum can even be drawn in one shot.
+
+To make deferral *exact* (not merely distribution-preserving), every
+``(row, step, coordinate)`` noise value comes from a counter-based
+generator — a splitmix64-style hash of ``(seed, row, step, coordinate)``
+fed through Box-Muller — i.e. it is a pure function of its key, drawable
+at any time in any order.  Two modes:
+
+* ``"replay"`` — materialization re-draws each pending step's value and
+  sums.  A lazy run applies *bit-identical* noise to an eager run (which
+  materializes every row every step), just later; final parameters match
+  to floating-point summation order.  Cost: amortized one draw per row per
+  step — exactness, not asymptotic speed.
+* ``"aggregate"`` — materialization draws once, keyed by the current step,
+  scaled by ``sqrt(pending)``.  Same distribution, O(touched) work per
+  step; this is the mode whose step cost scales with touched rows.
+
+Neither mode touches ``numpy.random`` stream state: the optimizer's RNG
+consumption is identical whether rows are noised eagerly, lazily, or not
+at all, which keeps dense-block noise and GeoDP draws reproducible across
+modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LazyRowNoise", "row_step_noise"]
+
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_M2 = np.uint64(0x94D049BB133111EB)
+_SALT_U1 = np.uint64(0xA5A5A5A5A5A5A5A5)
+_SALT_U2 = np.uint64(0x5A5A5A5A5A5A5A5A)
+
+#: Recognized materialization modes.
+NOISE_MODES = ("replay", "aggregate")
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer on uint64 arrays (wrapping arithmetic)."""
+    x = (x ^ (x >> np.uint64(30))) * _M1
+    x = (x ^ (x >> np.uint64(27))) * _M2
+    return x ^ (x >> np.uint64(31))
+
+
+def row_step_noise(seed: int, rows, steps, dim: int) -> np.ndarray:
+    """Standard-normal noise for ``(row, step)`` pairs: ``(N, dim)``.
+
+    A pure function of ``(seed, row, step, coordinate)`` — no stream
+    state — via a splitmix64-style key hash and Box-Muller.  ``rows`` and
+    ``steps`` are parallel integer arrays.
+    """
+    rows = np.asarray(rows, dtype=np.uint64)
+    steps = np.asarray(steps, dtype=np.uint64)
+    # All arithmetic on arrays: numpy integer *array* ops wrap silently
+    # (the intended splitmix64 semantics), scalar ops would warn.
+    base = np.full(rows.shape, np.uint64(int(seed) & 0xFFFFFFFFFFFFFFFF))
+    base = _mix64(base + _GAMMA)
+    base = _mix64(base ^ (rows * _GAMMA + _GAMMA))
+    base = _mix64(base ^ (steps * _GAMMA + _GAMMA))
+    coords = np.arange(dim, dtype=np.uint64) * _GAMMA
+    counters = base[:, None] + coords[None, :]
+    z1 = _mix64(counters ^ _SALT_U1)
+    z2 = _mix64(counters ^ _SALT_U2)
+    # 53-bit mantissas; u1 in (0, 1] so log never sees zero.
+    u1 = ((z1 >> np.uint64(11)).astype(np.float64) + 1.0) * 2.0**-53
+    u2 = (z2 >> np.uint64(11)).astype(np.float64) * 2.0**-53
+    return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+
+
+class LazyRowNoise:
+    """Per-row deferred unit-variance Gaussian noise over release steps.
+
+    Tracks, for each of ``num_rows`` rows, the last release step whose
+    noise has been applied.  :meth:`materialize` returns the unit-scale
+    noise owed to a set of rows through the current step (callers scale by
+    ``sigma * sensitivity / denominator`` and apply); :meth:`mark` records
+    rows whose current-step noise came from another mechanism (GeoDP's
+    geometric perturbation of the active subvector).  Steps are counted by
+    :meth:`advance`, one per DP release.
+    """
+
+    def __init__(self, num_rows: int, dim: int, *, seed: int, mode: str = "replay"):
+        if num_rows < 1 or dim < 1:
+            raise ValueError("num_rows and dim must be >= 1")
+        if mode not in NOISE_MODES:
+            raise ValueError(f"mode must be one of {NOISE_MODES}, got {mode!r}")
+        self.num_rows = int(num_rows)
+        self.dim = int(dim)
+        self.seed = int(seed)
+        self.mode = mode
+        #: Current release step (0 = before the first release).
+        self.step = 0
+        self._last = np.zeros(self.num_rows, dtype=np.int64)
+
+    def advance(self) -> None:
+        """Start a new release step."""
+        self.step += 1
+
+    def pending(self, rows=None) -> np.ndarray:
+        """Steps of noise owed per row (through the current step)."""
+        last = self._last if rows is None else self._last[np.asarray(rows)]
+        return self.step - last
+
+    def mark(self, rows) -> None:
+        """Record rows as noised through the current step without drawing."""
+        self._last[np.asarray(rows)] = self.step
+
+    def materialize(self, rows) -> np.ndarray:
+        """Unit-scale noise sum owed to ``rows`` through the current step.
+
+        Returns ``(len(rows), dim)`` — zeros for rows with nothing pending —
+        and advances their bookkeeping to the current step.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        k = self.step - self._last[rows]
+        out = np.zeros((rows.size, self.dim))
+        owed = k > 0
+        if owed.any():
+            if self.mode == "aggregate":
+                draws = row_step_noise(
+                    self.seed,
+                    rows[owed],
+                    np.full(int(owed.sum()), self.step, dtype=np.int64),
+                    self.dim,
+                )
+                out[owed] = draws * np.sqrt(k[owed].astype(np.float64))[:, None]
+            else:
+                out[owed] = self._replay_sum(rows[owed], k[owed])
+            self._last[rows] = self.step
+        return out
+
+    def _replay_sum(self, rows: np.ndarray, k: np.ndarray) -> np.ndarray:
+        """Re-draw each pending step's noise and sum — bit-identical to eager."""
+        total = int(k.sum())
+        seg = np.repeat(np.arange(rows.size), k)
+        row_rep = np.repeat(rows, k)
+        starts = np.repeat(self.step - k + 1, k)
+        block_starts = np.repeat(np.concatenate(([0], np.cumsum(k)[:-1])), k)
+        step_rep = starts + (np.arange(total) - block_starts)
+        draws = row_step_noise(self.seed, row_rep, step_rep, self.dim)
+        out = np.zeros((rows.size, self.dim))
+        np.add.at(out, seg, draws)
+        return out
+
+    def flush(self) -> tuple[np.ndarray, np.ndarray]:
+        """Materialize every row with pending noise: ``(rows, noise)``.
+
+        The checkpoint / finalize barrier: after a flush the table carries
+        all noise through the current step, exactly as an eager run would.
+        """
+        rows = np.nonzero(self._last < self.step)[0]
+        return rows, self.materialize(rows)
+
+    def state_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "mode": self.mode,
+            "step": self.step,
+            "last": self._last.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if int(state["seed"]) != self.seed or state["mode"] != self.mode:
+            raise ValueError(
+                "lazy-noise snapshot was produced with a different seed or mode"
+            )
+        self.step = int(state["step"])
+        last = np.asarray(state["last"], dtype=np.int64)
+        if last.shape != self._last.shape:
+            raise ValueError("lazy-noise snapshot covers a different table size")
+        self._last = last.copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"LazyRowNoise(rows={self.num_rows}, dim={self.dim}, "
+            f"mode={self.mode!r}, step={self.step})"
+        )

@@ -196,3 +196,92 @@ def test_reference_backend_is_default(monkeypatch):
     backend_mod._active = None  # force re-init; conftest fixture restores
     assert get_backend().name == "reference"
     assert get_backend().accelerated is False
+
+
+# ----------------------------------------------------------- sparse kernels
+def _token_patterns(vocab, b, length, seed):
+    """Adversarial token layouts for the sparse/ghost embedding kernels."""
+    rng = np.random.default_rng(seed + 900)
+    zipf = np.minimum(rng.zipf(1.3, size=(b, length)) - 1, vocab - 1)
+    return {
+        "uniform": rng.integers(0, vocab, size=(b, length)),
+        # Every position the same token: maximal within-sample compaction.
+        "all_repeated": np.full((b, length), vocab // 2, dtype=np.int64),
+        # Each sample hammers its own single token.
+        "single_token_lots": np.tile(
+            rng.integers(0, vocab, size=(b, 1)), (1, length)
+        ),
+        # Zipfian head collisions across samples.
+        "zipf": zipf,
+    }
+
+
+@pytest.mark.parametrize("shape", EMBED_SHAPES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_embedding_sparse_grads_parity(backend_name, shape, seed):
+    b, length, vocab, dim = shape
+    rng = np.random.default_rng(seed + 700)
+    gout = rng.normal(size=(b, length, dim))
+    for name, tokens in _token_patterns(vocab, b, length, seed).items():
+        valid = rng.random((b, length)) < 0.8
+        ref = REFERENCE.embedding_sparse_grads(tokens, gout, valid, vocab)
+        with use_backend(backend_name):
+            out = get_backend().embedding_sparse_grads(tokens, gout, valid, vocab)
+        np.testing.assert_array_equal(out[0], ref[0], err_msg=name)
+        np.testing.assert_array_equal(out[1], ref[1], err_msg=name)
+        np.testing.assert_allclose(out[2], ref[2], err_msg=name, **PARITY)
+
+
+@pytest.mark.parametrize("shape", EMBED_SHAPES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sparse_row_reduce_parity(backend_name, shape, seed):
+    b, length, vocab, dim = shape
+    rng = np.random.default_rng(seed + 800)
+    gout = rng.normal(size=(b, length, dim))
+    factors = rng.uniform(0.1, 1.0, size=b)
+    for name, tokens in _token_patterns(vocab, b, length, seed).items():
+        valid = np.ones((b, length), dtype=bool)
+        sids, rows, vals = REFERENCE.embedding_sparse_grads(tokens, gout, valid, vocab)
+        ref = REFERENCE.sparse_row_reduce(sids, rows, vals, factors)
+        with use_backend(backend_name):
+            out = get_backend().sparse_row_reduce(sids, rows, vals, factors)
+        np.testing.assert_array_equal(out[0], ref[0], err_msg=name)
+        np.testing.assert_allclose(out[1], ref[1], err_msg=name, **PARITY)
+
+
+@pytest.mark.parametrize("shape", EMBED_SHAPES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sparse_norms_match_ghost_and_dense(backend_name, shape, seed):
+    """Sparse per-sample norms == ghost norms == dense per-sample norms.
+
+    The sparse compaction must not change what the clipping strategy
+    observes, even under adversarial token collisions: within one sample,
+    repeated tokens merge into one row *before* the norm (the dense
+    per-sample gradient sums them too).
+    """
+    from repro.sparse.grads import SparseBatchGrads
+
+    b, length, vocab, dim = shape
+    rng = np.random.default_rng(seed + 600)
+    gout = rng.normal(size=(b, length, dim))
+    for name, tokens in _token_patterns(vocab, b, length, seed).items():
+        # Dense per-sample reference: scatter-add into (B, vocab, dim).
+        dense = np.zeros((b, vocab, dim))
+        for i in range(b):
+            np.add.at(dense[i], tokens[i], gout[i])
+        dense_norm_sq = np.einsum("bvd,bvd->b", dense, dense)
+        ghost_norm_sq = REFERENCE.embedding_norm_sq(tokens, gout)
+        valid = np.ones((b, length), dtype=bool)
+        with use_backend(backend_name):
+            sids, rows, vals = get_backend().embedding_sparse_grads(
+                tokens, gout, valid, vocab
+            )
+        sparse = SparseBatchGrads(
+            batch_size=b, dim=dim, sample_ids=sids, rows=rows, vals=vals
+        )
+        np.testing.assert_allclose(
+            sparse.norm_sq(), dense_norm_sq, err_msg=name, **PARITY
+        )
+        np.testing.assert_allclose(
+            ghost_norm_sq, dense_norm_sq, err_msg=name, **PARITY
+        )

@@ -60,5 +60,5 @@ class TestExecution:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "fig1", "fig3", "fig4", "fig5", "fig6", "table2", "table3",
-            "theory", "frontier", "mia", "concentration", "trace",
+            "theory", "frontier", "mia", "concentration", "trace", "sparse",
         }

@@ -1,0 +1,152 @@
+"""Embedding / SequenceMean edge cases: empty batches, padding, pooling.
+
+Covers the bounds-check bypass (empty batches used to sail past the token
+range check via vacuous min/max), the ``padding_idx`` gradient/mean-mass
+semantics, and the broadcast-view pooling backward that replaced
+``np.repeat``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.text import build_text_classifier
+from repro.nn.embedding import Embedding, SequenceMean
+
+
+class TestEmptyBatches:
+    def test_zero_samples_is_noop(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(0))
+        out = emb.forward(np.zeros((0, 5), dtype=np.int64))
+        assert out.shape == (0, 5, 4)
+        _, grads = emb.backward(np.zeros((0, 5, 4)))
+        np.testing.assert_array_equal(grads["weight"], 0.0)
+
+    def test_zero_length_sequence_rejected(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="zero sequence length"):
+            emb.forward(np.zeros((3, 0), dtype=np.int64))
+
+    def test_zero_length_pool_rejected(self):
+        with pytest.raises(ValueError, match="zero-length sequence"):
+            SequenceMean().forward(np.zeros((3, 0, 4)))
+
+    def test_out_of_range_still_rejected_near_empty(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="must lie in"):
+            emb.forward(np.array([[10]]))
+        with pytest.raises(ValueError, match="must lie in"):
+            emb.forward(np.array([[-1]]))
+
+
+class TestPaddingIdx:
+    def test_padding_row_initialized_to_zero(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(0), padding_idx=0)
+        np.testing.assert_array_equal(emb.weight[0], 0.0)
+
+    def test_invalid_padding_idx_rejected(self):
+        with pytest.raises(ValueError, match="padding_idx"):
+            Embedding(10, 4, padding_idx=10)
+
+    def test_padded_positions_get_no_gradient(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(0), padding_idx=0)
+        tokens = np.array([[1, 2, 0, 0]])
+        emb.forward(tokens, train=True)
+        _, grads = emb.backward(np.ones((1, 4, 4)))
+        np.testing.assert_array_equal(grads["weight"][0], 0.0)
+        assert np.all(grads["weight"][[1, 2]] != 0)
+
+    def test_ghost_norms_exclude_padding(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(0), padding_idx=0)
+        tokens = np.array([[1, 2, 0, 0], [1, 2, 3, 4]])
+        emb.forward(tokens, train=True)
+        gout = np.ones((2, 4, 4))
+        _, norm_sq = emb.backward_norm_sq(gout)
+        # Sample 0's norm must equal an unpadded 2-token sample's.
+        emb2 = Embedding(10, 4, rng=np.random.default_rng(0))
+        emb2.forward(np.array([[1, 2]]), train=True)
+        _, ref = emb2.backward_norm_sq(np.ones((1, 2, 4)))
+        assert norm_sq[0] == pytest.approx(ref[0], rel=1e-12)
+
+    def test_masked_mean_divides_by_valid_count(self):
+        emb = Embedding(10, 2, rng=np.random.default_rng(0), padding_idx=0)
+        pool = SequenceMean(mask_source=emb)
+        tokens = np.array([[1, 2, 0, 0]])
+        x = emb.forward(tokens, train=True)
+        out = pool.forward(x, train=True)
+        np.testing.assert_allclose(out[0], (emb.weight[1] + emb.weight[2]) / 2)
+
+    def test_all_padding_sample_pools_to_zero(self):
+        emb = Embedding(10, 2, rng=np.random.default_rng(0), padding_idx=0)
+        pool = SequenceMean(mask_source=emb)
+        x = emb.forward(np.array([[0, 0, 0]]), train=True)
+        np.testing.assert_array_equal(pool.forward(x, train=True), 0.0)
+
+    def test_mask_refreshed_in_eval_mode(self):
+        emb = Embedding(10, 2, rng=np.random.default_rng(0), padding_idx=0)
+        pool = SequenceMean(mask_source=emb)
+        x = emb.forward(np.array([[1, 0]]), train=True)
+        pool.forward(x, train=True)
+        # Eval forward with a different shape must not reuse the stale mask.
+        x2 = emb.forward(np.array([[1, 2, 3]]), train=False)
+        out = pool.forward(x2, train=False)
+        np.testing.assert_allclose(
+            out[0], (emb.weight[1] + emb.weight[2] + emb.weight[3]) / 3
+        )
+
+    def test_stale_mask_shape_mismatch_raises(self):
+        emb = Embedding(10, 2, rng=np.random.default_rng(0), padding_idx=0)
+        pool = SequenceMean(mask_source=emb)
+        emb.forward(np.array([[1, 0]]), train=True)
+        with pytest.raises(RuntimeError, match="pad mask shape"):
+            pool.forward(np.zeros((2, 5, 2)), train=True)
+
+    def test_classifier_gradcheck_with_padding(self):
+        model = build_text_classifier(
+            12, 3, embedding_dim=4, padding_idx=0, rng=np.random.default_rng(0)
+        )
+        tokens = np.array([[1, 2, 0, 0], [3, 4, 5, 0]])
+        y = np.array([0, 2])
+        losses, grads = model.loss_and_per_sample_gradients(tokens, y)
+        flat = grads.mean(axis=0)
+        params = model.get_params()
+        eps = 1e-6
+        rng = np.random.default_rng(1)
+        for idx in rng.choice(params.size, size=12, replace=False):
+            bumped = params.copy()
+            bumped[idx] += eps
+            model.set_params(bumped)
+            up = model.loss.per_sample(model.forward(tokens, train=False), y).mean()
+            bumped[idx] -= 2 * eps
+            model.set_params(bumped)
+            down = model.loss.per_sample(model.forward(tokens, train=False), y).mean()
+            model.set_params(params)
+            assert flat[idx] == pytest.approx((up - down) / (2 * eps), abs=1e-5)
+
+
+class TestBroadcastPoolBackward:
+    def test_backward_matches_repeat_reference(self):
+        pool = SequenceMean()
+        x = np.random.default_rng(0).normal(size=(3, 5, 4))
+        pool.forward(x, train=True)
+        gout = np.random.default_rng(1).normal(size=(3, 4))
+        grad, _ = pool.backward(gout)
+        reference = np.repeat((gout / 5)[:, None, :], 5, axis=1)
+        np.testing.assert_array_equal(grad, reference)  # bit-identical
+
+    def test_backward_is_view_not_copy(self):
+        pool = SequenceMean()
+        x = np.zeros((2, 100, 8))
+        pool.forward(x, train=True)
+        grad, _ = pool.backward(np.ones((2, 8)))
+        # The whole point: O(B*D) memory, not O(B*L*D).
+        assert grad.base is not None
+        assert grad.strides[1] == 0
+
+    def test_masked_backward_zeroes_padded_positions(self):
+        emb = Embedding(10, 2, rng=np.random.default_rng(0), padding_idx=0)
+        pool = SequenceMean(mask_source=emb)
+        x = emb.forward(np.array([[1, 2, 0]]), train=True)
+        pool.forward(x, train=True)
+        grad, _ = pool.backward(np.ones((1, 2)))
+        np.testing.assert_array_equal(grad[0, 2], 0.0)
+        np.testing.assert_allclose(grad[0, 0], 0.5)  # 1 / count(=2)

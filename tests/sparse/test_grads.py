@@ -1,0 +1,91 @@
+"""SparseBatchGrads: losslessness of the compacted representation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.embedding import Embedding
+from repro.sparse import SparseBatchGrads
+
+pytestmark = pytest.mark.sparse
+
+
+def _backward_sparse(vocab, dim, tokens, gout, padding_idx=None, seed=0):
+    emb = Embedding(vocab, dim, rng=np.random.default_rng(seed), padding_idx=padding_idx)
+    emb.forward(tokens, train=True)
+    return emb, emb.backward_sparse(gout)
+
+
+class TestSparseBatchGrads:
+    def test_scatter_back_matches_dense_per_sample(self):
+        rng = np.random.default_rng(0)
+        tokens = rng.integers(0, 12, size=(5, 7))
+        gout = rng.normal(size=(5, 7, 3))
+        _, sparse = _backward_sparse(12, 3, tokens, gout)
+        dense = np.zeros((5, 12, 3))
+        for i in range(5):
+            np.add.at(dense[i], tokens[i], gout[i])
+        np.testing.assert_allclose(sparse.to_dense(12), dense, atol=1e-12)
+
+    def test_norms_match_dense(self):
+        rng = np.random.default_rng(1)
+        tokens = rng.integers(0, 6, size=(4, 20))  # heavy collisions
+        gout = rng.normal(size=(4, 20, 5))
+        _, sparse = _backward_sparse(6, 5, tokens, gout)
+        dense = sparse.to_dense(6)
+        np.testing.assert_allclose(
+            sparse.norm_sq(), np.einsum("bvd,bvd->b", dense, dense), rtol=1e-12
+        )
+
+    def test_clipped_row_sum_matches_dense(self):
+        rng = np.random.default_rng(2)
+        tokens = rng.integers(0, 10, size=(6, 8))
+        gout = rng.normal(size=(6, 8, 4))
+        factors = rng.uniform(0.1, 1.0, size=6)
+        _, sparse = _backward_sparse(10, 4, tokens, gout)
+        rows, row_sum = sparse.clipped_row_sum(factors)
+        dense_sum = np.einsum("b,bvd->vd", factors, sparse.to_dense(10))
+        np.testing.assert_allclose(row_sum, dense_sum[rows], atol=1e-12)
+        # Untouched rows really are untouched.
+        untouched = np.setdiff1d(np.arange(10), rows)
+        np.testing.assert_array_equal(dense_sum[untouched], 0.0)
+
+    def test_padding_rows_excluded(self):
+        rng = np.random.default_rng(3)
+        tokens = rng.integers(1, 8, size=(3, 6))
+        tokens[:, -2:] = 0  # pad tail
+        gout = rng.normal(size=(3, 6, 2))
+        _, sparse = _backward_sparse(8, 2, tokens, gout, padding_idx=0)
+        assert 0 not in sparse.rows
+        # Padded positions contribute no gradient mass anywhere.
+        emb2 = Embedding(8, 2, rng=np.random.default_rng(0), padding_idx=0)
+        emb2.forward(tokens, train=True)
+        _, grads = emb2.backward(gout)
+        dense = grads["weight"]
+        np.testing.assert_array_equal(dense[0], 0.0)
+
+    def test_all_pad_sample_has_zero_norm(self):
+        tokens = np.array([[0, 0, 0], [1, 2, 1]])
+        gout = np.ones((2, 3, 2))
+        _, sparse = _backward_sparse(4, 2, tokens, gout, padding_idx=0)
+        norms = sparse.norm_sq()
+        assert norms[0] == 0.0 and norms[1] > 0.0
+
+    def test_empty_lot(self):
+        sparse = SparseBatchGrads(
+            batch_size=0,
+            dim=3,
+            sample_ids=np.zeros(0, dtype=np.int64),
+            rows=np.zeros(0, dtype=np.int64),
+            vals=np.zeros((0, 3)),
+        )
+        assert sparse.nnz == 0
+        assert sparse.norm_sq().shape == (0,)
+        rows, row_sum = sparse.clipped_row_sum(np.zeros(0))
+        assert rows.size == 0 and row_sum.shape == (0, 3)
+
+    def test_triples_sorted_and_compacted(self):
+        tokens = np.array([[3, 1, 3, 1, 3]])
+        gout = np.ones((1, 5, 2))
+        _, sparse = _backward_sparse(5, 2, tokens, gout)
+        np.testing.assert_array_equal(sparse.rows, [1, 3])
+        np.testing.assert_array_equal(sparse.vals, [[2.0, 2.0], [3.0, 3.0]])

@@ -1,0 +1,120 @@
+"""Counter-based row noise streams and the lazy deferral bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import LazyRowNoise, row_step_noise
+
+pytestmark = pytest.mark.sparse
+
+
+class TestRowStepNoise:
+    def test_pure_function_of_key(self):
+        rows = np.array([0, 5, 5, 999])
+        steps = np.array([1, 1, 2, 7])
+        a = row_step_noise(42, rows, steps, 8)
+        b = row_step_noise(42, rows, steps, 8)
+        np.testing.assert_array_equal(a, b)
+        # Same (row, step) key -> same value regardless of call shape.
+        single = row_step_noise(42, np.array([5]), np.array([2]), 8)
+        np.testing.assert_array_equal(a[2], single[0])
+
+    def test_distinct_keys_decorrelate(self):
+        base = row_step_noise(42, np.array([5]), np.array([1]), 64)
+        other_row = row_step_noise(42, np.array([6]), np.array([1]), 64)
+        other_step = row_step_noise(42, np.array([5]), np.array([2]), 64)
+        other_seed = row_step_noise(43, np.array([5]), np.array([1]), 64)
+        for other in (other_row, other_step, other_seed):
+            assert np.max(np.abs(base - other)) > 1e-6
+
+    @pytest.mark.slow
+    def test_moments_are_standard_normal(self):
+        rows = np.repeat(np.arange(200), 50)
+        steps = np.tile(np.arange(1, 51), 200)
+        draws = row_step_noise(0, rows, steps, 32).ravel()
+        assert abs(draws.mean()) < 0.01
+        assert abs(draws.std() - 1.0) < 0.01
+        assert np.all(np.isfinite(draws))
+
+    def test_no_stream_state_consumed(self):
+        state = np.random.get_state()[1].copy()
+        row_step_noise(7, np.arange(100), np.ones(100, dtype=np.int64), 16)
+        np.testing.assert_array_equal(np.random.get_state()[1], state)
+
+
+class TestLazyRowNoise:
+    def test_replay_matches_eager_accumulation(self):
+        """Deferring k steps then materializing == applying each step."""
+        lazy = LazyRowNoise(10, 4, seed=1, mode="replay")
+        eager = LazyRowNoise(10, 4, seed=1, mode="replay")
+        rows = np.array([2, 7])
+        eager_total = np.zeros((2, 4))
+        for _ in range(5):
+            lazy.advance()
+            eager.advance()
+            eager_total += eager.materialize(rows)
+        np.testing.assert_array_equal(lazy.materialize(rows), eager_total)
+
+    def test_aggregate_scales_by_sqrt_pending(self):
+        lazy = LazyRowNoise(10, 4, seed=1, mode="aggregate")
+        for _ in range(9):
+            lazy.advance()
+        draws = lazy.materialize(np.array([3]))
+        unit = row_step_noise(1, np.array([3]), np.array([9]), 4)
+        np.testing.assert_allclose(draws, 3.0 * unit)
+
+    def test_partial_materialize_bookkeeping(self):
+        """Materializing mid-way leaves exactly the remainder pending."""
+        split = LazyRowNoise(10, 4, seed=1, mode="replay")
+        whole = LazyRowNoise(10, 4, seed=1, mode="replay")
+        rows = np.array([0, 9])
+        for _ in range(3):
+            split.advance()
+            whole.advance()
+        first = split.materialize(rows)
+        for _ in range(2):
+            split.advance()
+            whole.advance()
+        second = split.materialize(rows)
+        # Same draws either way; only the fp summation grouping differs.
+        np.testing.assert_allclose(
+            first + second, whole.materialize(rows), atol=1e-12
+        )
+
+    def test_mark_discharges_without_drawing(self):
+        lazy = LazyRowNoise(10, 4, seed=1)
+        lazy.advance()
+        lazy.mark(np.array([4]))
+        assert lazy.pending(np.array([4]))[0] == 0
+        np.testing.assert_array_equal(lazy.materialize(np.array([4])), 0.0)
+
+    def test_flush_covers_all_pending_rows(self):
+        lazy = LazyRowNoise(6, 2, seed=1)
+        lazy.advance()
+        lazy.mark(np.array([1, 3]))
+        rows, noise = lazy.flush()
+        np.testing.assert_array_equal(rows, [0, 2, 4, 5])
+        assert noise.shape == (4, 2)
+        assert np.all(lazy.pending() == 0)
+
+    def test_state_dict_round_trip(self):
+        lazy = LazyRowNoise(8, 2, seed=5, mode="aggregate")
+        lazy.advance()
+        lazy.mark(np.array([0, 1]))
+        clone = LazyRowNoise(8, 2, seed=5, mode="aggregate")
+        clone.load_state_dict(lazy.state_dict())
+        np.testing.assert_array_equal(clone.pending(), lazy.pending())
+        with pytest.raises(ValueError, match="different seed or mode"):
+            LazyRowNoise(8, 2, seed=6, mode="aggregate").load_state_dict(
+                lazy.state_dict()
+            )
+        with pytest.raises(ValueError, match="different table size"):
+            LazyRowNoise(9, 2, seed=5, mode="aggregate").load_state_dict(
+                lazy.state_dict()
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            LazyRowNoise(4, 2, seed=0, mode="bogus")
+        with pytest.raises(ValueError, match=">= 1"):
+            LazyRowNoise(0, 2, seed=0)

@@ -97,3 +97,54 @@ class TestMain:
             == 1
         )
         capsys.readouterr()
+
+
+def _sparse_section(dense: float, sparse: float, touch_rate: float) -> dict:
+    return {
+        "vocab_size": 100_000,
+        "touch_rate": touch_rate,
+        "benchmarks": {
+            "dense_step": {"seconds": dense},
+            "sparse_step": {"seconds": sparse},
+        },
+    }
+
+
+class TestGateSparse:
+    def test_sparse_beats_dense_passes(self, compare_mod):
+        lines, failures = compare_mod.gate_sparse(_sparse_section(0.05, 0.002, 0.01))
+        assert failures == []
+        assert any("beats dense" in line for line in lines)
+
+    def test_sparse_slower_than_dense_fails(self, compare_mod):
+        _, failures = compare_mod.gate_sparse(_sparse_section(0.01, 0.02, 0.01))
+        assert len(failures) == 1
+        assert "must be < 1.00x" in failures[0]
+
+    def test_high_touch_rate_skips_gate(self, compare_mod):
+        # At 50% touch the dense path may legitimately win; never fail.
+        lines, failures = compare_mod.gate_sparse(_sparse_section(0.01, 0.02, 0.5))
+        assert failures == []
+        assert any("gate skipped" in line for line in lines)
+
+    def test_missing_section_skips_gate(self, compare_mod):
+        lines, failures = compare_mod.gate_sparse(None)
+        assert failures == []
+        assert any("skipped" in line for line in lines)
+
+    def test_gate_sparse_file(self, compare_mod, tmp_path):
+        path = tmp_path / "BENCH_0.json"
+        path.write_text(
+            json.dumps(
+                {"benchmarks": BASE, "sparse": _sparse_section(0.05, 0.002, 0.01)}
+            )
+        )
+        report, ok = compare_mod.gate_sparse_file(path)
+        assert ok and "PASS" in report
+        path.write_text(
+            json.dumps(
+                {"benchmarks": BASE, "sparse": _sparse_section(0.01, 0.02, 0.01)}
+            )
+        )
+        report, ok = compare_mod.gate_sparse_file(path)
+        assert not ok and "FAIL" in report
