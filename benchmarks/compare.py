@@ -50,6 +50,10 @@ MAX_ACCELERATED_SLOWDOWN = 0.25
 #: archive's touch rate is at or below this fraction of the table.
 MAX_SPARSE_TOUCH_RATE = 0.10
 
+#: Budget-server admission floors (see ``bench_service.service_section``).
+MIN_SERVICE_DECISIONS_PER_SEC = 200.0
+MAX_SERVICE_P95_SECONDS = 0.05
+
 _BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
 
@@ -275,6 +279,66 @@ def gate_sparse_file(path, **kwargs) -> tuple[str, bool]:
     return "\n".join(header + lines + footer), not failures
 
 
+def gate_service(
+    section: dict | None,
+    *,
+    min_per_second: float = MIN_SERVICE_DECISIONS_PER_SEC,
+    max_p95_seconds: float = MAX_SERVICE_P95_SECONDS,
+) -> tuple[list[str], list[str]]:
+    """Within-run gate: budget-server admission must stay fast.
+
+    ``section`` is an archive's ``"service"`` mapping (see
+    ``bench_service.service_section``); archives without one pass
+    trivially.  The archived run must have sustained at least
+    ``min_per_second`` admission decisions per second with a p95
+    per-decision latency at or below ``max_p95_seconds``.  Returns
+    ``(report lines, failures)``.
+    """
+    if not section:
+        return ["(no service section; admission gate skipped)"], []
+    per_second = section.get("decisions_per_second")
+    p95 = section.get("p95_latency_seconds")
+    if per_second is None or p95 is None:
+        return ["(service section lacks throughput/latency; gate skipped)"], []
+    lines = []
+    failures = []
+    per_second, p95 = float(per_second), float(p95)
+    ok = per_second >= min_per_second
+    lines.append(
+        f"admission throughput {per_second:10.0f} decisions/s "
+        f"(floor {min_per_second:.0f}/s)   {'ok' if ok else 'FAIL'}"
+    )
+    if not ok:
+        failures.append(
+            f"admission: {per_second:.0f} decisions/s "
+            f"(must be >= {min_per_second:.0f})"
+        )
+    ok = p95 <= max_p95_seconds
+    lines.append(
+        f"admission p95 latency {p95 * 1e3:9.3f} ms "
+        f"(ceiling {max_p95_seconds * 1e3:.0f} ms)   {'ok' if ok else 'FAIL'}"
+    )
+    if not ok:
+        failures.append(
+            f"admission: p95 latency {p95:.4f}s "
+            f"(must be <= {max_p95_seconds}s)"
+        )
+    return lines, failures
+
+
+def gate_service_file(path, **kwargs) -> tuple[str, bool]:
+    """Run :func:`gate_service` on one archive; returns ``(report, ok)``."""
+    payload = json.loads(Path(path).read_text())
+    lines, failures = gate_service(payload.get("service"), **kwargs)
+    header = [f"budget-server admission gate: {path}", ""]
+    footer = (
+        ["", "PASS: admission stays within its speed floors"]
+        if not failures
+        else ["", "FAIL:"] + [f"  - {failure}" for failure in failures]
+    )
+    return "\n".join(header + lines + footer), not failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -316,7 +380,9 @@ def main(argv=None) -> int:
     print(f"\n{gate_report}")
     sparse_report, sparse_ok = gate_sparse_file(candidate)
     print(f"\n{sparse_report}")
-    return 0 if ok and gate_ok and sparse_ok else 1
+    service_report, service_ok = gate_service_file(candidate)
+    print(f"\n{service_report}")
+    return 0 if ok and gate_ok and sparse_ok and service_ok else 1
 
 
 if __name__ == "__main__":

@@ -32,6 +32,10 @@ against the reference section of the same run (see ``compare.py``).  A
 ``sparse`` section (``bench_sparse.sparse_section``) times the sparse
 embedding-scale training step against the dense ghost step; the sparse
 step must beat dense at touch rates up to 10% (``compare.gate_sparse``).
+A ``service`` section (``bench_service.service_section``) measures
+budget-server admission throughput and p95 latency over a mixed
+two-tenant stream; ``compare.gate_service`` enforces >= 200 decisions/s
+and a 50ms p95 ceiling.
 """
 
 from __future__ import annotations
@@ -151,6 +155,17 @@ def main(argv=None) -> int:
     for name, entry in sparse["benchmarks"].items():
         print(f"  {name:28s} {entry['seconds'] * 1e3:9.3f} ms")
 
+    print("[service]")
+    from bench_service import service_section
+
+    service = service_section()
+    print(
+        f"  {'admission_throughput':28s} "
+        f"{service['decisions_per_second']:9.0f} decisions/s"
+    )
+    for name, entry in service["benchmarks"].items():
+        print(f"  {name:28s} {entry['seconds'] * 1e3:9.3f} ms")
+
     path = next_output_path(Path(args.out))
     path.write_text(
         json.dumps(
@@ -164,6 +179,7 @@ def main(argv=None) -> int:
                 "benchmarks": sections["reference"],
                 "backends": sections,
                 "sparse": sparse,
+                "service": service,
             },
             indent=2,
         )
@@ -175,6 +191,7 @@ def main(argv=None) -> int:
         bench_files,
         compare_files,
         gate_accelerated_file,
+        gate_service_file,
         gate_sparse_file,
     )
 
@@ -187,7 +204,9 @@ def main(argv=None) -> int:
     print(f"\n{gate_report}")
     sparse_report, sparse_ok = gate_sparse_file(path)
     print(f"\n{sparse_report}")
-    return 0 if ok and gate_ok and sparse_ok else 1
+    service_report, service_ok = gate_service_file(path)
+    print(f"\n{service_report}")
+    return 0 if ok and gate_ok and sparse_ok and service_ok else 1
 
 
 if __name__ == "__main__":

@@ -36,6 +36,7 @@ from repro.checkpoint.snapshot import (
     latest_snapshot,
     list_snapshots,
     load_snapshot,
+    prune_snapshots,
     save_snapshot,
     snapshot_path,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "snapshot_path",
     "list_snapshots",
     "latest_snapshot",
+    "prune_snapshots",
     "capture_training_state",
     "restore_training_state",
     "history_to_state",

@@ -38,6 +38,7 @@ __all__ = [
     "snapshot_path",
     "list_snapshots",
     "latest_snapshot",
+    "prune_snapshots",
 ]
 
 SCHEMA_VERSION = 1
@@ -161,6 +162,27 @@ def list_snapshots(directory) -> list[Path]:
         if match:
             found.append((int(match.group(1)), entry))
     return [path for _, path in sorted(found)]
+
+
+def prune_snapshots(directory, *, keep: int) -> list[Path]:
+    """Delete all but the ``keep`` newest snapshots in ``directory``.
+
+    Long-lived writers (the budget server snapshots its state after every
+    transition) would otherwise accumulate unbounded files.  The newest
+    ``keep`` snapshots are always retained — corruption recovery walks
+    newest-first, so keeping several bounds the damage of a partial write.
+    Returns the paths that were removed.
+    """
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
+    removed = []
+    for path in list_snapshots(directory)[:-keep]:
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        removed.append(path)
+    return removed
 
 
 def latest_snapshot(directory, *, max_iteration: int | None = None, telemetry=None):

@@ -10,6 +10,15 @@ Usage::
     python -m repro.experiments.cli report out.jsonl --format markdown
     python -m repro.experiments.cli report out.jsonl --chrome out.trace.json
     python -m repro.experiments.cli list
+
+Budget-server subcommands (see docs/service.md) route to
+:mod:`repro.service.cli`::
+
+    python -m repro.experiments.cli tenants add alice --state-dir d --epsilon 4
+    python -m repro.experiments.cli submit --state-dir d --tenant alice \\
+        --sigma 1.1 --sample-rate 0.01 --steps 100
+    python -m repro.experiments.cli serve --state-dir d --workers 4
+    python -m repro.experiments.cli tenants report --state-dir d
 """
 
 from __future__ import annotations
@@ -285,6 +294,11 @@ def run_report(path: str, *, fmt: str = "markdown", chrome: str | None = None) -
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] in ("serve", "submit", "tenants"):
+        from repro.service.cli import main as service_main
+
+        return service_main(argv)
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, (_, _, description) in sorted(EXPERIMENTS.items()):

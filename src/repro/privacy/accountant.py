@@ -81,6 +81,33 @@ class RdpAccountant:
         """Total number of releases recorded so far."""
         return sum(n for _, _, n in self.history)
 
+    def cost_of(
+        self,
+        noise_multiplier: float,
+        sample_rate: float,
+        num_steps: int = 1,
+        *,
+        delta: float,
+    ) -> float:
+        """Projected ε *after* hypothetically adding ``num_steps`` releases.
+
+        Pure pre-composition: the accountant's own state is untouched, so
+        admission controllers can ask "what would this job cost?" without
+        deep-copying the accountant.  The returned value is bit-identical
+        to calling :meth:`step` with the same arguments followed by
+        :meth:`get_epsilon` (the hypothetical RDP curve is built with the
+        same additions in the same order).
+        """
+        noise_multiplier = check_positive("noise_multiplier", noise_multiplier)
+        sample_rate = check_probability("sample_rate", sample_rate)
+        if num_steps < 1:
+            raise ValueError(f"num_steps must be >= 1, got {num_steps}")
+        rdp = self._rdp + num_steps * rdp_subsampled_gaussian(
+            sample_rate, noise_multiplier, self.alphas
+        )
+        eps, _ = rdp_to_dp(self.alphas, rdp, delta)
+        return eps
+
     def get_epsilon(self, delta: float) -> float:
         """Best epsilon achievable at ``delta`` for the recorded history."""
         if not self.history:

@@ -63,6 +63,16 @@ class ReleaseRecord:
     was recorded without an accountant attached).  ``entry_hash`` is
     ``sha256(prev_hash + canonical-json(payload))`` where the payload is
     every field except the hashes themselves.
+
+    ``namespace`` tags the record with the tenant (or other logical owner)
+    it belongs to, so one process can interleave several tenants in one
+    chain without ambiguity.  The empty default is *omitted* from the
+    hashed payload, which keeps every pre-namespace ledger verifying
+    byte-for-byte.
+
+    A record with ``num_steps == 0`` is a non-spending **annotation** — an
+    auditable chain entry (e.g. a refused admission) that consumes no
+    privacy budget and is skipped by replay verification.
     """
 
     index: int
@@ -75,10 +85,16 @@ class ReleaseRecord:
     prev_hash: str
     entry_hash: str
     meta: dict = field(default_factory=dict)
+    namespace: str = ""
+
+    @property
+    def is_annotation(self) -> bool:
+        """Whether this entry spends no budget (``num_steps == 0``)."""
+        return self.num_steps == 0
 
     def payload(self) -> dict:
         """The hashed portion of the record."""
-        return {
+        payload = {
             "index": int(self.index),
             "mechanism": self.mechanism,
             "sigma": float(self.sigma),
@@ -88,6 +104,9 @@ class ReleaseRecord:
             "epsilon": None if self.epsilon is None else float(self.epsilon),
             "meta": dict(self.meta),
         }
+        if self.namespace:
+            payload["namespace"] = str(self.namespace)
+        return payload
 
     def compute_hash(self) -> str:
         """Recompute this record's hash from its predecessor link + payload."""
@@ -115,6 +134,7 @@ class ReleaseRecord:
             prev_hash=str(payload["prev_hash"]),
             entry_hash=str(payload["entry_hash"]),
             meta=dict(payload.get("meta", {})),
+            namespace=str(payload.get("namespace", "")),
         )
 
 
@@ -124,12 +144,17 @@ class ReleaseLedger:
     ``delta`` fixes the failure probability at which per-release ε values
     are evaluated; it must match the δ the run is finally reported at for
     the recorded trajectory to be the run's ε curve.
+
+    ``namespace`` is the default tenant tag applied to every record this
+    ledger appends (overridable per record); the empty default preserves
+    the historical hashing exactly.
     """
 
-    def __init__(self, *, delta: float = 1e-5):
+    def __init__(self, *, delta: float = 1e-5, namespace: str = ""):
         if not 0.0 < delta < 1.0:
             raise ValueError(f"delta must be in (0, 1), got {delta}")
         self.delta = float(delta)
+        self.namespace = str(namespace)
         self.entries: list[ReleaseRecord] = []
 
     @property
@@ -147,26 +172,79 @@ class ReleaseLedger:
         num_steps: int = 1,
         accountant: RdpAccountant | None = None,
         meta: dict | None = None,
+        namespace: str | None = None,
     ) -> ReleaseRecord:
         """Append one release; called by the optimizers after accounting.
 
         ``accountant`` (the live one, already stepped for this release)
         supplies ε-at-release via ``get_epsilon(self.delta)``.  Returns the
-        chained record.
+        chained record.  ``namespace`` defaults to the ledger's own.
         """
-        epsilon = None if accountant is None else float(accountant.get_epsilon(self.delta))
-        prev_hash = self.head
-        record = ReleaseRecord(
-            index=len(self.entries),
+        if num_steps < 1:
+            raise ValueError(f"num_steps must be >= 1, got {num_steps}")
+        return self._append(
             mechanism=str(mechanism),
             sigma=float(sigma),
             sensitivity=float(sensitivity),
             sample_rate=float(sample_rate),
             num_steps=int(num_steps),
+            accountant=accountant,
+            meta=meta,
+            namespace=namespace,
+        )
+
+    def record_annotation(
+        self,
+        *,
+        kind: str,
+        accountant: RdpAccountant | None = None,
+        meta: dict | None = None,
+        namespace: str | None = None,
+    ) -> ReleaseRecord:
+        """Append an auditable, **non-spending** chain entry.
+
+        Annotations (``num_steps == 0``, mechanism ``annotation.<kind>``)
+        record decisions that must be tamper-evident without representing
+        a noise release — e.g. a refused admission.  Replay verification
+        skips them when recomposing ε, but still checks that the ε they
+        recorded matches the cumulative ε at that point in the chain.
+        """
+        return self._append(
+            mechanism=f"annotation.{kind}",
+            sigma=0.0,
+            sensitivity=0.0,
+            sample_rate=0.0,
+            num_steps=0,
+            accountant=accountant,
+            meta=meta,
+            namespace=namespace,
+        )
+
+    def _append(
+        self,
+        *,
+        mechanism: str,
+        sigma: float,
+        sensitivity: float,
+        sample_rate: float,
+        num_steps: int,
+        accountant: RdpAccountant | None,
+        meta: dict | None,
+        namespace: str | None,
+    ) -> ReleaseRecord:
+        epsilon = None if accountant is None else float(accountant.get_epsilon(self.delta))
+        record = ReleaseRecord(
+            index=len(self.entries),
+            mechanism=mechanism,
+            sigma=sigma,
+            sensitivity=sensitivity,
+            sample_rate=sample_rate,
+            num_steps=num_steps,
             epsilon=epsilon,
-            prev_hash=prev_hash,
+            prev_hash=self.head,
             entry_hash="",
             meta=dict(meta or {}),
+            namespace=self.namespace if namespace is None else str(namespace),
         )
         record = replace(record, entry_hash=record.compute_hash())
         self.entries.append(record)
@@ -218,14 +296,18 @@ class ReleaseLedger:
     # --------------------------------------------------------- checkpointing
     def state_dict(self) -> dict:
         """Full ledger contents for checkpointing / export."""
-        return {
+        state = {
             "delta": self.delta,
             "entries": [record.to_dict() for record in self.entries],
         }
+        if self.namespace:
+            state["namespace"] = self.namespace
+        return state
 
     def load_state_dict(self, state: dict) -> None:
         """Restore a captured ledger and re-verify its hash chain."""
         self.delta = float(state["delta"])
+        self.namespace = str(state.get("namespace", ""))
         self.entries = [ReleaseRecord.from_dict(p) for p in state["entries"]]
         self.verify_chain()
 
@@ -266,7 +348,10 @@ def verify_ledger(
     ``accountant`` is given, its current ε also matches the replay to
     within ``tol`` — i.e. the ledger accounts for everything the accountant
     has seen.  σ values are replayed as ``max(σ, 1e-12)``, mirroring how
-    the optimizers account a zero-noise ablation.
+    the optimizers account a zero-noise ablation.  Non-spending annotation
+    entries (``num_steps == 0``) contribute nothing to the replayed
+    composition, but any ε they recorded must still equal the cumulative ε
+    at their position in the chain.
 
     With ``strict=True`` (default) a failed check raises
     :class:`LedgerError`; otherwise the failure is reported in the returned
@@ -295,9 +380,10 @@ def verify_ledger(
     replay = RdpAccountant(alphas=alphas)
     recorded: float | None = None
     for record in ledger.entries:
-        replay.step(
-            max(record.sigma, 1e-12), record.sample_rate, num_steps=record.num_steps
-        )
+        if record.num_steps > 0:
+            replay.step(
+                max(record.sigma, 1e-12), record.sample_rate, num_steps=record.num_steps
+            )
         if record.epsilon is not None:
             recorded = record.epsilon
             replayed = replay.get_epsilon(ledger.delta)

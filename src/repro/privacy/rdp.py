@@ -23,6 +23,7 @@ privacy loss of the whole training process" (§II-A).  This module implements:
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 import numpy as np
 from scipy.special import binom, gammaln, log_ndtr, logsumexp
@@ -169,6 +170,18 @@ def rdp_subsampled_gaussian(q: float, sigma: float, alphas=DEFAULT_ALPHAS) -> np
     if q == 1.0:
         return np.array([rdp_gaussian(a, sigma) for a in alphas])
 
+    return _subsampled_curve(q, sigma, tuple(alphas.tolist())).copy()
+
+
+@lru_cache(maxsize=512)
+def _subsampled_curve(q: float, sigma: float, alphas: tuple) -> np.ndarray:
+    """Memoized curve for one (q, sigma, alphas) triple.
+
+    The per-order series expansions cost ~10ms per curve, and callers
+    (notably budget-server admission, which evaluates the same mechanism
+    parameters for every decision) re-request identical triples heavily.
+    Cached arrays are returned by copy from the public wrapper.
+    """
     out = np.empty(len(alphas))
     for idx, alpha in enumerate(alphas):
         if alpha == int(alpha):

@@ -1,0 +1,57 @@
+"""``repro.service`` — DP-training-as-a-service budget server.
+
+The subsystem that turns the single-run reproduction into the "heavy
+traffic" shape of the roadmap: a long-lived, multi-tenant server that
+admits or refuses DP training jobs **before** any noise is drawn.
+
+* :mod:`repro.service.tenants` — per-tenant (ε, δ) budgets, namespaced
+  hash-chained ledgers, replay-derived accountants, per-tenant locks;
+* :mod:`repro.service.admission` — worst-case RDP pre-composition
+  (:meth:`~repro.privacy.accountant.RdpAccountant.cost_of`) and the
+  serialized check-then-commit that makes concurrent submissions safe;
+* :mod:`repro.service.queue` — job lifecycle records and fair-share
+  dispatch ordering;
+* :mod:`repro.service.server` — the :class:`BudgetServer` loop: spool
+  ingestion, dispatch on the :mod:`repro.runtime` pool with shipped-back
+  telemetry, graceful drain;
+* :mod:`repro.service.persist` — per-transition checkpoint snapshots and
+  the submission spool (kill-anywhere durability);
+* :mod:`repro.service.report` — per-tenant budget reports (rendered by
+  :func:`repro.telemetry.render_budget_report`);
+* :mod:`repro.service.cli` — the ``repro serve | submit | tenants``
+  subcommands.
+
+See ``docs/service.md`` for the architecture, the admission math and the
+restart guarantees.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.persist import ServiceStore, read_submissions, write_submission
+from repro.service.queue import JOB_STATES, JobQueue, JobRecord, JobSpec
+from repro.service.report import build_budget_report
+from repro.service.server import BudgetServer, execute_job
+from repro.service.tenants import (
+    Tenant,
+    TenantPolicy,
+    TenantRegistry,
+    replay_accountant,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "BudgetServer",
+    "JOB_STATES",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "ServiceStore",
+    "Tenant",
+    "TenantPolicy",
+    "TenantRegistry",
+    "build_budget_report",
+    "execute_job",
+    "read_submissions",
+    "replay_accountant",
+    "write_submission",
+]

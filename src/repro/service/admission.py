@@ -1,0 +1,148 @@
+"""Pre-dispatch admission control: spend the budget *before* the noise.
+
+"Rethinking the Security of DP-SGD" argues that budget enforcement
+reconstructed after the fact is no enforcement at all — a release that
+has already happened cannot be un-spent.  The controller therefore
+commits a job's **worst-case** ε cost at admission time, before any noise
+is drawn:
+
+1. project the cumulative ε the tenant would reach if the job ran to
+   completion, via :meth:`RdpAccountant.cost_of` (pure RDP
+   pre-composition over the job's σ, sample rate and step count);
+2. admit only if the projection fits the budget, in which case the
+   accountant is stepped and a ``service.<mechanism>`` release is chained
+   into the tenant's ledger *in the same critical section*;
+3. otherwise refuse (or park as pending, per tenant policy), chaining a
+   non-spending ``annotation.refused`` entry so the refusal itself is
+   tamper-evident.
+
+The check-then-commit sequence runs under the tenant's lock, so two
+threads racing for the last slice of a budget serialize: exactly one of
+them sees the headroom, and the ledger order *is* the admission order.
+Dispatch failures after admission never refund ε — an authorized release
+is accounted whether or not the job's results are ever consumed, which is
+the conservative direction for privacy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.service.queue import JobSpec
+from repro.service.tenants import Tenant, TenantRegistry
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check (admitted, refused, or queued)."""
+
+    admitted: bool
+    #: ``"admitted"`` | ``"refused"`` | ``"queued"``.
+    outcome: str
+    #: Cumulative ε the tenant would reach (or now has reached) with this job.
+    projected_epsilon: float
+    #: Cumulative ε before the decision.
+    spent_epsilon: float
+    #: The tenant's ε budget at decision time.
+    epsilon_budget: float
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.outcome}: projected epsilon {self.projected_epsilon:.6g} "
+            f"vs budget {self.epsilon_budget:.6g} ({self.reason})"
+        )
+
+
+class AdmissionController:
+    """Serialized worst-case budget checks over a :class:`TenantRegistry`."""
+
+    def __init__(self, registry: TenantRegistry, *, telemetry=None):
+        self.registry = registry
+        self.telemetry = telemetry
+
+    def _count(self, name: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.increment(name)
+
+    def project(self, spec: JobSpec) -> tuple[Tenant, float]:
+        """The cumulative ε ``spec``'s tenant would reach — no mutation."""
+        tenant = self.registry.get(spec.tenant)
+        projected = tenant.accountant.cost_of(
+            spec.sigma, spec.sample_rate, spec.steps, delta=tenant.policy.delta
+        )
+        return tenant, projected
+
+    def admit(self, spec: JobSpec, *, job_id: str) -> AdmissionDecision:
+        """Check-then-commit one job under the tenant's lock.
+
+        On admission the tenant's accountant is stepped and the release is
+        chained into its ledger with the job id in ``meta`` — the spend is
+        durable in the chain before the caller ever dispatches.  On
+        refusal a non-spending annotation carrying the projection and the
+        budget is chained instead.
+        """
+        tenant = self.registry.get(spec.tenant)
+        with tenant.lock:
+            spent = tenant.spent_epsilon()
+            projected = tenant.accountant.cost_of(
+                spec.sigma, spec.sample_rate, spec.steps, delta=tenant.policy.delta
+            )
+            budget = tenant.policy.epsilon_budget
+            if projected <= budget:
+                tenant.accountant.step(spec.sigma, spec.sample_rate, spec.steps)
+                tenant.ledger.record_release(
+                    mechanism=f"service.{spec.mechanism}",
+                    sigma=spec.sigma,
+                    sensitivity=1.0,
+                    sample_rate=spec.sample_rate,
+                    num_steps=spec.steps,
+                    accountant=tenant.accountant,
+                    meta={"job_id": job_id},
+                )
+                self._count("service_jobs_admitted")
+                return AdmissionDecision(
+                    admitted=True,
+                    outcome="admitted",
+                    projected_epsilon=projected,
+                    spent_epsilon=spent,
+                    epsilon_budget=budget,
+                    reason="projected cost fits the budget",
+                )
+            reason = (
+                f"projected epsilon {projected:.6g} exceeds budget {budget:.6g} "
+                f"(spent {spent:.6g})"
+            )
+            if tenant.policy.on_overspend == "queue":
+                self._count("service_jobs_queued")
+                return AdmissionDecision(
+                    admitted=False,
+                    outcome="queued",
+                    projected_epsilon=projected,
+                    spent_epsilon=spent,
+                    epsilon_budget=budget,
+                    reason=reason,
+                )
+            tenant.ledger.record_annotation(
+                kind="refused",
+                accountant=tenant.accountant,
+                meta={
+                    "job_id": job_id,
+                    "sigma": float(spec.sigma),
+                    "sample_rate": float(spec.sample_rate),
+                    "steps": int(spec.steps),
+                    "projected_epsilon": float(projected),
+                    "epsilon_budget": float(budget),
+                },
+            )
+            self._count("service_jobs_refused")
+            return AdmissionDecision(
+                admitted=False,
+                outcome="refused",
+                projected_epsilon=projected,
+                spent_epsilon=spent,
+                epsilon_budget=budget,
+                reason=reason,
+            )

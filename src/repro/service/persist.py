@@ -1,0 +1,133 @@
+"""Durable server state: checkpoint snapshots + a submission spool.
+
+Two on-disk structures under one ``state_dir``:
+
+``state_dir/snapshots/``
+    The server's full state (tenant registry incl. per-tenant ledgers,
+    job queue, transition counter) written through
+    :func:`repro.checkpoint.save_snapshot` after **every** state
+    transition — one atomic, fsynced, versioned ``.npz`` per transition
+    sequence number, pruned to the newest few.  A SIGKILL at any instant
+    leaves either the previous or the new snapshot complete on disk,
+    never a torn one; :func:`repro.checkpoint.latest_snapshot` skips a
+    partial newest file, so restart costs at most the final transition.
+
+``state_dir/spool/``
+    One atomically-written JSON file per ``repro submit`` invocation.
+    The spool decouples submission from the server process: clients only
+    append; the server ingests in filename order (a wall-clock+pid+counter
+    prefix, so concurrent submitters interleave stably) and deletes each
+    file once its admission decision is snapshotted.
+
+The accountants are never persisted — they are replayed from the ledgers
+on load (see :func:`repro.service.tenants.replay_accountant`), which is
+what makes a restarted server's ε reports bit-identical.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.checkpoint import (
+    latest_snapshot,
+    prune_snapshots,
+    save_snapshot,
+    snapshot_path,
+)
+from repro.service.queue import JobSpec
+from repro.utils.serialization import atomic_write_bytes
+
+__all__ = ["ServiceStore", "write_submission", "read_submissions"]
+
+#: Distinguishes spool files from stray artifacts.
+_SPOOL_SUFFIX = ".job.json"
+
+#: Per-process tie-break for submissions landing in the same nanosecond.
+_spool_counter = itertools.count()
+
+
+def write_submission(spool_dir, spec: JobSpec, *, job_id: str | None = None) -> Path:
+    """Atomically drop one submission into the spool; returns its path.
+
+    ``job_id`` defaults to the filename stem, which is unique across
+    concurrent submitters (wall-clock ns + pid + per-process counter) and
+    sorts in submission order for a single submitter.
+    """
+    spool_dir = Path(spool_dir)
+    spool_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"{time.time_ns():020d}-{os.getpid():07d}-{next(_spool_counter):06d}"
+    job_id = job_id or stem
+    path = spool_dir / f"{stem}{_SPOOL_SUFFIX}"
+    payload = {"job_id": job_id, "spec": spec.to_dict()}
+    atomic_write_bytes(path, json.dumps(payload, indent=2).encode("utf-8"))
+    return path
+
+
+def read_submissions(spool_dir) -> list[tuple[Path, str, JobSpec]]:
+    """Spooled submissions in filename (= submission) order.
+
+    Unreadable files are skipped, not consumed: a submission mid-write by
+    another process (before its atomic rename) is simply not visible yet.
+    """
+    spool_dir = Path(spool_dir)
+    if not spool_dir.is_dir():
+        return []
+    out = []
+    for path in sorted(spool_dir.iterdir()):
+        if not path.name.endswith(_SPOOL_SUFFIX):
+            continue
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            spec = JobSpec.from_dict(payload["spec"])
+            job_id = str(payload["job_id"])
+        except (OSError, ValueError, KeyError):
+            continue
+        out.append((path, job_id, spec))
+    return out
+
+
+class ServiceStore:
+    """Filesystem layout + snapshot rotation for one budget server."""
+
+    def __init__(self, state_dir, *, keep_snapshots: int = 8):
+        if keep_snapshots < 1:
+            raise ValueError(f"keep_snapshots must be >= 1, got {keep_snapshots}")
+        self.state_dir = Path(state_dir)
+        self.keep_snapshots = int(keep_snapshots)
+        self.snapshots_dir = self.state_dir / "snapshots"
+        self.spool_dir = self.state_dir / "spool"
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.snapshots_dir.mkdir(parents=True, exist_ok=True)
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+
+    def save(self, state: dict, *, seq: int) -> Path:
+        """Snapshot one transition's full state and prune old files."""
+        path = save_snapshot(snapshot_path(self.snapshots_dir, seq), state)
+        prune_snapshots(self.snapshots_dir, keep=self.keep_snapshots)
+        return path
+
+    def load(self, *, telemetry=None) -> dict | None:
+        """Newest valid snapshot state, or ``None`` on a fresh directory."""
+        found = latest_snapshot(self.snapshots_dir, telemetry=telemetry)
+        if found is None:
+            return None
+        _, state = found
+        return state
+
+    # ------------------------------------------------------------- spool
+    def submit_to_spool(self, spec: JobSpec) -> Path:
+        return write_submission(self.spool_dir, spec)
+
+    def pending_submissions(self) -> list[tuple[Path, str, JobSpec]]:
+        return read_submissions(self.spool_dir)
+
+    def consume(self, path: Path) -> None:
+        """Remove one ingested spool file (idempotent)."""
+        try:
+            Path(path).unlink()
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,252 @@
+"""Job specifications, lifecycle states and the fair-share queue.
+
+A submitted job moves through a small state machine::
+
+    submit -> admitted -> running -> done
+           -> pending  (over budget, tenant policy "queue"; re-checked
+                        whenever the tenant's budget changes)
+           -> refused  (over budget, tenant policy "refuse"; terminal,
+                        recorded as a non-spending ledger annotation)
+    running -> failed  (runner raised; the spend stays committed — the
+                        release was authorized and must stay accounted)
+
+The queue itself is plain data plus deterministic ordering — all
+concurrency control lives in the admission controller (per-tenant locks)
+and the server (one state lock around queue mutation + persistence).
+
+**Fair-share dispatch**: :meth:`JobQueue.next_batch` interleaves tenants
+by dispatch deficit — repeatedly picking the admitted job whose tenant
+has dispatched the fewest jobs so far (ties broken by submission order) —
+so a tenant that floods the queue cannot starve the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["JobSpec", "JobRecord", "JobQueue", "JOB_STATES"]
+
+#: Every state a job record can be in.
+JOB_STATES = ("pending", "admitted", "running", "done", "refused", "failed")
+#: States that still hold queue resources (survive restarts as work).
+ACTIVE_STATES = ("pending", "admitted", "running")
+#: Terminal states (never re-run).
+TERMINAL_STATES = ("done", "refused", "failed")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What a tenant asked for: the DP release shape plus workload knobs.
+
+    ``sigma`` / ``sample_rate`` / ``steps`` fully determine the job's
+    worst-case ε cost under RDP pre-composition; the remaining fields only
+    shape the dispatched workload, never the accounting.
+    """
+
+    tenant: str
+    sigma: float
+    sample_rate: float
+    steps: int
+    mechanism: str = "gaussian"
+    #: Gradient dimensionality of the simulated releases.
+    dim: int = 64
+    #: Seed of the job's private noise stream.
+    seed: int = 0
+    #: Artificial per-job wall-clock cost in ms (testing/back-pressure).
+    work_ms: float = 0.0
+
+    def __post_init__(self):
+        if not self.tenant:
+            raise ValueError("tenant must be non-empty")
+        if self.sigma <= 0:
+            raise ValueError(f"sigma must be > 0, got {self.sigma}")
+        if not 0.0 < self.sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in (0, 1], got {self.sample_rate}")
+        if self.steps < 1:
+            raise ValueError(f"steps must be >= 1, got {self.steps}")
+        if self.dim < 1:
+            raise ValueError(f"dim must be >= 1, got {self.dim}")
+        if self.work_ms < 0:
+            raise ValueError(f"work_ms must be >= 0, got {self.work_ms}")
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "sigma": float(self.sigma),
+            "sample_rate": float(self.sample_rate),
+            "steps": int(self.steps),
+            "mechanism": self.mechanism,
+            "dim": int(self.dim),
+            "seed": int(self.seed),
+            "work_ms": float(self.work_ms),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobSpec":
+        return cls(
+            tenant=str(payload["tenant"]),
+            sigma=float(payload["sigma"]),
+            sample_rate=float(payload["sample_rate"]),
+            steps=int(payload["steps"]),
+            mechanism=str(payload.get("mechanism", "gaussian")),
+            dim=int(payload.get("dim", 64)),
+            seed=int(payload.get("seed", 0)),
+            work_ms=float(payload.get("work_ms", 0.0)),
+        )
+
+
+@dataclass
+class JobRecord:
+    """One job's full lifecycle: spec, status, decision data, result."""
+
+    job_id: str
+    spec: JobSpec
+    status: str
+    #: Monotonic submission sequence (FIFO tie-break inside a tenant).
+    submit_seq: int
+    #: Projected cumulative ε had/has this job been admitted.
+    projected_epsilon: float | None = None
+    #: Human-readable admission outcome ("admitted", "over budget ...").
+    reason: str = ""
+    #: Runner attempts (each restart of a killed-while-running job adds one).
+    attempts: int = 0
+    #: Server transition sequence at which the job finished (restart audit).
+    finished_seq: int | None = None
+    result: dict | None = field(default=None, repr=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "spec": self.spec.to_dict(),
+            "status": self.status,
+            "submit_seq": int(self.submit_seq),
+            "projected_epsilon": (
+                None if self.projected_epsilon is None else float(self.projected_epsilon)
+            ),
+            "reason": self.reason,
+            "attempts": int(self.attempts),
+            "finished_seq": (
+                None if self.finished_seq is None else int(self.finished_seq)
+            ),
+            "result": self.result,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobRecord":
+        projected = payload.get("projected_epsilon")
+        finished = payload.get("finished_seq")
+        return cls(
+            job_id=str(payload["job_id"]),
+            spec=JobSpec.from_dict(payload["spec"]),
+            status=str(payload["status"]),
+            submit_seq=int(payload["submit_seq"]),
+            projected_epsilon=None if projected is None else float(projected),
+            reason=str(payload.get("reason", "")),
+            attempts=int(payload.get("attempts", 0)),
+            finished_seq=None if finished is None else int(finished),
+            result=payload.get("result"),
+        )
+
+
+class JobQueue:
+    """Ordered store of every job the server has ever seen.
+
+    Jobs are never deleted — terminal records are the audit trail the
+    per-tenant reports and the restart tests read.  Insertion order is the
+    submission order; dispatch order is fair-share (see module docstring).
+    """
+
+    def __init__(self):
+        self._records: dict[str, JobRecord] = {}
+        self._next_seq = 0
+
+    def next_seq(self) -> int:
+        """Allocate the next submission sequence number."""
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def add(self, record: JobRecord) -> JobRecord:
+        if record.job_id in self._records:
+            raise ValueError(f"duplicate job id {record.job_id!r}")
+        if record.status not in JOB_STATES:
+            raise ValueError(f"unknown job status {record.status!r}")
+        self._records[record.job_id] = record
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        try:
+            return self._records[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job {job_id!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(sorted(self._records.values(), key=lambda r: r.submit_seq))
+
+    def by_status(self, *statuses: str) -> list[JobRecord]:
+        """Records in the given states, in submission order."""
+        for status in statuses:
+            if status not in JOB_STATES:
+                raise ValueError(f"unknown job status {status!r}")
+        return [record for record in self if record.status in statuses]
+
+    def counts(self) -> dict[str, int]:
+        """``state -> count`` over all records (all states present)."""
+        counts = {state: 0 for state in JOB_STATES}
+        for record in self._records.values():
+            counts[record.status] += 1
+        return counts
+
+    def tenant_counts(self, tenant: str) -> dict[str, int]:
+        """``state -> count`` restricted to one tenant."""
+        counts = {state: 0 for state in JOB_STATES}
+        for record in self._records.values():
+            if record.spec.tenant == tenant:
+                counts[record.status] += 1
+        return counts
+
+    def next_batch(self, limit: int, dispatch_counts: dict[str, int]) -> list[JobRecord]:
+        """Up to ``limit`` admitted jobs in fair-share order.
+
+        ``dispatch_counts`` maps tenant -> jobs dispatched so far (the
+        registry's per-tenant counters); the returned batch repeatedly
+        takes the admitted job whose tenant has the smallest count,
+        incrementing a local copy after each pick, so one call interleaves
+        tenants the same way successive single-job calls would.  The
+        caller owns persisting the real counters.
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        admitted: dict[str, list[JobRecord]] = {}
+        for record in self.by_status("admitted"):
+            admitted.setdefault(record.spec.tenant, []).append(record)
+        counts = dict(dispatch_counts)
+        batch: list[JobRecord] = []
+        while admitted and len(batch) < limit:
+            tenant = min(
+                admitted,
+                key=lambda t: (counts.get(t, 0), admitted[t][0].submit_seq),
+            )
+            record = admitted[tenant].pop(0)
+            if not admitted[tenant]:
+                del admitted[tenant]
+            counts[tenant] = counts.get(tenant, 0) + 1
+            batch.append(record)
+        return batch
+
+    # --------------------------------------------------------- persistence
+    def state_dict(self) -> dict:
+        return {
+            "records": [record.to_dict() for record in self],
+            "next_seq": int(self._next_seq),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._records = {}
+        for payload in state["records"]:
+            record = JobRecord.from_dict(payload)
+            self._records[record.job_id] = record
+        self._next_seq = int(state["next_seq"])

@@ -1,0 +1,68 @@
+"""Per-tenant budget reports over a server's registry + queue.
+
+:func:`build_budget_report` assembles a JSON-serialisable payload — spend
+vs budget (replayed from the ledger, not trusted from live state), job
+state counts, refusal annotations and the ε trajectory — and
+:func:`repro.telemetry.report.render_budget_report` renders it as
+markdown or JSON for the ``repro tenants report`` CLI.
+"""
+
+from __future__ import annotations
+
+from repro.privacy.ledger import verify_ledger
+
+__all__ = ["build_budget_report"]
+
+
+def _tenant_section(tenant, queue) -> dict:
+    verification = verify_ledger(tenant.ledger, tenant.accountant, strict=False)
+    spent = (
+        verification.replayed_epsilon
+        if verification.replayed_epsilon is not None
+        else 0.0
+    )
+    budget = tenant.policy.epsilon_budget
+    refusals = [
+        {
+            "job_id": record.meta.get("job_id"),
+            "projected_epsilon": record.meta.get("projected_epsilon"),
+            "epsilon_at_refusal": record.epsilon,
+        }
+        for record in tenant.ledger.entries
+        if record.is_annotation and record.mechanism == "annotation.refused"
+    ]
+    return {
+        "epsilon_budget": budget,
+        "delta": tenant.policy.delta,
+        "on_overspend": tenant.policy.on_overspend,
+        # Replayed spend is the *audited* number: what the hash chain
+        # composes to, not what mutable accountant state claims.
+        "spent_epsilon": spent,
+        "remaining_epsilon": max(0.0, budget - spent),
+        "utilization": spent / budget if budget > 0 else 0.0,
+        "dispatch_count": tenant.dispatch_count,
+        "jobs": queue.tenant_counts(tenant.name),
+        "refusals": refusals,
+        "ledger": {
+            "entries": len(tenant.ledger.entries),
+            "head": tenant.ledger.head,
+            "namespace": tenant.ledger.namespace,
+            "verified": verification.ok,
+            "verification": str(verification),
+        },
+        "epsilon_trajectory": [
+            [int(steps), float(eps)] for steps, eps in tenant.ledger.epsilon_trajectory()
+        ],
+    }
+
+
+def build_budget_report(server) -> dict:
+    """Budget/spend/jobs/audit payload for every tenant of ``server``."""
+    return {
+        "seq": server.seq,
+        "tenants": {
+            tenant.name: _tenant_section(tenant, server.queue)
+            for tenant in server.registry
+        },
+        "jobs": server.queue.counts(),
+    }

@@ -25,7 +25,13 @@ from repro.telemetry.export import (
     load_traces,
 )
 from repro.telemetry.recorder import MetricsRecorder
-from repro.telemetry.report import build_report, metric_summary, render_report, summarize
+from repro.telemetry.report import (
+    build_report,
+    metric_summary,
+    render_budget_report,
+    render_report,
+    summarize,
+)
 from repro.telemetry.tracing import Span, Tracer, joint_span, maybe_span
 
 __all__ = [
@@ -47,5 +53,6 @@ __all__ = [
     "metric_summary",
     "summarize",
     "build_report",
+    "render_budget_report",
     "render_report",
 ]

@@ -21,7 +21,13 @@ import numpy as np
 
 from repro.utils.tables import format_table
 
-__all__ = ["metric_summary", "summarize", "build_report", "render_report"]
+__all__ = [
+    "metric_summary",
+    "summarize",
+    "build_report",
+    "render_report",
+    "render_budget_report",
+]
 
 
 def metric_summary(recorder, name: str) -> dict[str, float]:
@@ -234,6 +240,69 @@ def _render_run(run: str, payload: dict) -> str:
             lines.append(f"| {name} | {value:g} |")
         lines.append("")
     return "\n".join(lines)
+
+
+def _render_tenant(name: str, payload: dict) -> str:
+    ledger = payload["ledger"]
+    status = "PASS" if ledger["verified"] else "FAIL"
+    lines = [f"## Tenant `{name}`", ""]
+    lines.append(
+        f"- budget: epsilon = {payload['epsilon_budget']:.6g} at "
+        f"delta = {payload['delta']:.3g} (on overspend: {payload['on_overspend']})"
+    )
+    lines.append(
+        f"- spent: {payload['spent_epsilon']:.6g} "
+        f"({payload['utilization']:.1%} of budget, "
+        f"{payload['remaining_epsilon']:.6g} remaining)"
+    )
+    lines.append(
+        f"- ledger: {ledger['entries']} entries, head `{ledger['head'][:12]}...`, "
+        f"verification **{status}** ({ledger['verification']})"
+    )
+    lines.append("")
+    lines.append("| job state | count |")
+    lines.append("| --- | ---: |")
+    for state, count in sorted(payload["jobs"].items()):
+        lines.append(f"| {state} | {count} |")
+    lines.append("")
+    if payload["refusals"]:
+        lines.append("### Refusals (non-spending annotations)")
+        lines.append("")
+        lines.append("| job | projected epsilon | epsilon at refusal |")
+        lines.append("| --- | ---: | ---: |")
+        for refusal in payload["refusals"]:
+            projected = refusal["projected_epsilon"]
+            at = refusal["epsilon_at_refusal"]
+            lines.append(
+                f"| {refusal['job_id']} "
+                f"| {'n/a' if projected is None else format(projected, '.6g')} "
+                f"| {'n/a' if at is None else format(at, '.6g')} |"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_budget_report(report: dict, *, fmt: str = "markdown") -> str:
+    """Render a per-tenant budget report payload as markdown or JSON.
+
+    ``report`` is the output of
+    :func:`repro.service.report.build_budget_report`; this renderer lives
+    with the other report formatting so every human-facing surface (run
+    reports, budget reports) shares one home.
+    """
+    if fmt == "json":
+        return json.dumps(report, indent=2, sort_keys=True)
+    if fmt != "markdown":
+        raise ValueError(f"fmt must be 'markdown' or 'json', got {fmt!r}")
+    sections = ["# Tenant budget report", ""]
+    totals = report.get("jobs", {})
+    if totals:
+        summary = ", ".join(f"{state}: {count}" for state, count in sorted(totals.items()))
+        sections.append(f"Jobs — {summary}")
+        sections.append("")
+    for name in sorted(report["tenants"]):
+        sections.append(_render_tenant(name, report["tenants"][name]))
+    return "\n".join(sections).rstrip() + "\n"
 
 
 def render_report(report: dict, *, fmt: str = "markdown") -> str:

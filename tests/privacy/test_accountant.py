@@ -38,6 +38,24 @@ class TestRdpAccountant:
         acc.step(2.0, 0.02, num_steps=10)
         assert acc.get_epsilon(1e-5) > 0
 
+    def test_cost_of_is_pure_pre_composition(self):
+        # The "what if" projection equals step-then-get_epsilon bit-for-bit
+        # and leaves the accountant untouched (the admission-control
+        # contract: projecting a job's cost must not spend anything).
+        acc = RdpAccountant()
+        acc.step(1.0, 0.01, num_steps=50)
+        history = list(acc.history)
+        projected = acc.cost_of(1.2, 0.02, 200, delta=1e-5)
+        assert acc.history == history
+        stepped = RdpAccountant()
+        stepped.step(1.0, 0.01, num_steps=50)
+        stepped.step(1.2, 0.02, num_steps=200)
+        assert projected == stepped.get_epsilon(1e-5)
+
+    def test_cost_of_validation(self):
+        with pytest.raises(ValueError, match="num_steps"):
+            RdpAccountant().cost_of(1.0, 0.01, 0, delta=1e-5)
+
     def test_privacy_spent_record(self):
         acc = RdpAccountant()
         acc.step(1.0, 0.01, num_steps=10)

@@ -167,3 +167,99 @@ class TestSerialisation:
     def test_record_round_trip(self):
         record = _filled_ledger(1).entries[0]
         assert ReleaseRecord.from_dict(record.to_dict()) == record
+
+
+class TestNamespace:
+    def test_default_namespace_absent_from_hashed_payload(self):
+        # Back-compat: pre-namespace ledgers must keep their exact hashes,
+        # so the empty default may not appear in the hashed payload at all.
+        record = _filled_ledger(1).entries[0]
+        assert record.namespace == ""
+        assert "namespace" not in record.payload()
+        assert "namespace" not in record.to_dict()
+
+    def test_pre_namespace_state_still_verifies(self):
+        ledger = _filled_ledger(3)
+        state = ledger.state_dict()
+        assert "namespace" not in state
+        clone = ReleaseLedger()
+        clone.load_state_dict(state)  # re-verifies the chain on load
+        assert clone.namespace == ""
+        assert clone.head == ledger.head
+
+    def test_namespace_is_hashed_when_set(self):
+        ledger = ReleaseLedger(namespace="alice")
+        record = ledger.record_release(
+            mechanism="gaussian", sigma=1.0, sensitivity=1.0, sample_rate=0.01
+        )
+        assert record.namespace == "alice"
+        assert record.payload()["namespace"] == "alice"
+        stripped = dataclasses.replace(record, namespace="")
+        assert stripped.compute_hash() != record.entry_hash
+
+    def test_per_record_namespace_override(self):
+        ledger = ReleaseLedger(namespace="alice")
+        record = ledger.record_release(
+            mechanism="gaussian", sigma=1.0, sensitivity=1.0,
+            sample_rate=0.01, namespace="bob",
+        )
+        assert record.namespace == "bob"
+        ledger.verify_chain()
+
+    def test_state_round_trip_preserves_namespace(self):
+        ledger = ReleaseLedger(namespace="alice")
+        ledger.record_release(
+            mechanism="gaussian", sigma=1.0, sensitivity=1.0, sample_rate=0.01
+        )
+        state = ledger.state_dict()
+        assert state["namespace"] == "alice"
+        clone = ReleaseLedger()
+        clone.load_state_dict(state)
+        assert clone.namespace == "alice"
+        assert clone.entries[0].namespace == "alice"
+        assert clone.head == ledger.head
+
+
+class TestAnnotations:
+    def test_annotation_spends_nothing(self):
+        accountant = RdpAccountant()
+        ledger = ReleaseLedger()
+        accountant.step(1.2, 0.05)
+        ledger.record_release(
+            mechanism="gaussian", sigma=1.2, sensitivity=0.1,
+            sample_rate=0.05, accountant=accountant,
+        )
+        note = ledger.record_annotation(
+            kind="refused", accountant=accountant, meta={"job_id": "j1"}
+        )
+        assert note.is_annotation and note.num_steps == 0
+        assert note.mechanism == "annotation.refused"
+        assert note.meta["job_id"] == "j1"
+        # Replay skips the annotation: cumulative ε is the release's alone.
+        verification = verify_ledger(ledger, accountant, tol=1e-9)
+        assert verification.ok
+        assert verification.replayed_epsilon == pytest.approx(
+            accountant.get_epsilon(1e-5), abs=1e-9
+        )
+
+    def test_annotation_epsilon_is_still_audited(self):
+        accountant = RdpAccountant()
+        ledger = ReleaseLedger()
+        accountant.step(1.2, 0.05)
+        ledger.record_release(
+            mechanism="gaussian", sigma=1.2, sensitivity=0.1,
+            sample_rate=0.05, accountant=accountant,
+        )
+        ledger.record_annotation(kind="refused", accountant=accountant)
+        bad = dataclasses.replace(ledger.entries[-1], epsilon=99.0)
+        ledger.entries[-1] = dataclasses.replace(bad, entry_hash=bad.compute_hash())
+        with pytest.raises(LedgerError, match="replay"):
+            verify_ledger(ledger)
+
+    def test_record_release_rejects_zero_steps(self):
+        # num_steps == 0 is reserved for annotations.
+        with pytest.raises(ValueError, match="num_steps"):
+            ReleaseLedger().record_release(
+                mechanism="gaussian", sigma=1.0, sensitivity=1.0,
+                sample_rate=0.01, num_steps=0,
+            )

@@ -1,0 +1,167 @@
+"""Admission-control unit tests: budget math, refusals, pending policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.privacy.accountant import RdpAccountant
+from repro.privacy.ledger import verify_ledger
+from repro.service import (
+    AdmissionController,
+    BudgetServer,
+    JobSpec,
+    TenantPolicy,
+    TenantRegistry,
+    replay_accountant,
+)
+
+pytestmark = pytest.mark.service
+
+
+def spec(tenant="alice", sigma=1.1, sample_rate=0.01, steps=100, **kw):
+    return JobSpec(tenant=tenant, sigma=sigma, sample_rate=sample_rate, steps=steps, **kw)
+
+
+class TestCostOf:
+    """The pure pre-composition helper the controller is built on."""
+
+    def test_does_not_mutate_state(self):
+        acc = RdpAccountant()
+        acc.step(1.0, 0.01, 50)
+        before_rdp = acc.rdp_curve()
+        before_history = list(acc.history)
+        acc.cost_of(1.2, 0.02, 200, delta=1e-5)
+        assert np.array_equal(acc.rdp_curve(), before_rdp)
+        assert acc.history == before_history
+
+    def test_matches_step_then_get_epsilon_exactly(self):
+        probe = RdpAccountant()
+        probe.step(1.0, 0.01, 50)
+        projected = probe.cost_of(1.2, 0.02, 200, delta=1e-5)
+        stepped = RdpAccountant()
+        stepped.step(1.0, 0.01, 50)
+        stepped.step(1.2, 0.02, 200)
+        assert projected == stepped.get_epsilon(1e-5)
+
+    def test_empty_accountant(self):
+        acc = RdpAccountant()
+        stepped = RdpAccountant()
+        stepped.step(1.0, 0.05, 10)
+        assert acc.cost_of(1.0, 0.05, 10, delta=1e-5) == stepped.get_epsilon(1e-5)
+
+    def test_validation(self):
+        acc = RdpAccountant()
+        with pytest.raises(ValueError):
+            acc.cost_of(-1.0, 0.01, 1, delta=1e-5)
+        with pytest.raises(ValueError):
+            acc.cost_of(1.0, 2.0, 1, delta=1e-5)
+        with pytest.raises(ValueError):
+            acc.cost_of(1.0, 0.01, 0, delta=1e-5)
+
+
+class TestAdmission:
+    def make(self, *, budget=1.0, on_overspend="refuse"):
+        registry = TenantRegistry()
+        registry.add("alice", epsilon_budget=budget, on_overspend=on_overspend)
+        return registry, AdmissionController(registry)
+
+    def test_admits_within_budget_and_commits(self):
+        registry, ctl = self.make(budget=10.0)
+        decision = ctl.admit(spec(), job_id="j0")
+        tenant = registry.get("alice")
+        assert decision.admitted and decision.outcome == "admitted"
+        assert tenant.spent_epsilon() == decision.projected_epsilon
+        assert len(tenant.ledger.entries) == 1
+        record = tenant.ledger.entries[0]
+        assert record.mechanism == "service.gaussian"
+        assert record.namespace == "alice"
+        assert record.meta["job_id"] == "j0"
+        assert record.num_steps == 100 and not record.is_annotation
+
+    def test_refuses_over_budget_without_spending(self):
+        registry, ctl = self.make(budget=0.2)
+        decision = ctl.admit(spec(steps=10_000), job_id="j0")
+        tenant = registry.get("alice")
+        assert not decision.admitted and decision.outcome == "refused"
+        assert tenant.spent_epsilon() == 0.0
+        # The refusal itself is chained, auditable and non-spending.
+        assert len(tenant.ledger.entries) == 1
+        record = tenant.ledger.entries[0]
+        assert record.is_annotation
+        assert record.mechanism == "annotation.refused"
+        assert record.meta["job_id"] == "j0"
+        assert record.meta["projected_epsilon"] == decision.projected_epsilon
+        verification = verify_ledger(tenant.ledger, tenant.accountant)
+        assert verification.ok
+
+    def test_greedy_sequence_stops_exactly_at_budget(self):
+        registry, ctl = self.make(budget=1.0)
+        outcomes = [ctl.admit(spec(), job_id=f"j{i}").outcome for i in range(30)]
+        admitted = outcomes.count("admitted")
+        # Independently recompute the greedy admissible count.
+        probe = RdpAccountant()
+        expected = 0
+        while probe.cost_of(1.1, 0.01, 100, delta=1e-5) <= 1.0:
+            probe.step(1.1, 0.01, 100)
+            expected += 1
+        assert 0 < admitted < 30
+        assert admitted == expected
+        # Everything after the first refusal is refused too (costs identical).
+        assert outcomes[:admitted] == ["admitted"] * admitted
+        assert set(outcomes[admitted:]) == {"refused"}
+        tenant = registry.get("alice")
+        assert tenant.spent_epsilon() <= 1.0
+        assert verify_ledger(tenant.ledger, tenant.accountant).ok
+
+    def test_queue_policy_parks_without_annotation(self):
+        registry, ctl = self.make(budget=0.2, on_overspend="queue")
+        decision = ctl.admit(spec(steps=10_000), job_id="j0")
+        tenant = registry.get("alice")
+        assert not decision.admitted and decision.outcome == "queued"
+        assert tenant.ledger.entries == []
+
+    def test_unknown_tenant(self):
+        _, ctl = self.make()
+        with pytest.raises(KeyError):
+            ctl.admit(spec(tenant="mallory"), job_id="j0")
+
+
+class TestReplayAccountant:
+    def test_bit_identical_to_live(self):
+        registry, ctl = self.make_registry()
+        for i in range(5):
+            ctl.admit(spec(sigma=1.0 + 0.1 * i, steps=50 + i), job_id=f"j{i}")
+        ctl.admit(spec(steps=10**6), job_id="refused")  # annotation entry
+        tenant = registry.get("alice")
+        replayed = replay_accountant(tenant.ledger)
+        assert np.array_equal(replayed.rdp_curve(), tenant.accountant.rdp_curve())
+        assert replayed.history == tenant.accountant.history
+
+    @staticmethod
+    def make_registry():
+        registry = TenantRegistry()
+        registry.add("alice", epsilon_budget=2.0)
+        return registry, AdmissionController(registry)
+
+
+class TestServerSubmit:
+    def test_pending_jobs_admitted_after_budget_raise(self, tmp_path):
+        server = BudgetServer(tmp_path / "svc", batch_size=2)
+        server.add_tenant("carol", epsilon_budget=0.05, on_overspend="queue")
+        record, decision = server.submit(spec(tenant="carol"))
+        assert record.status == "pending" and decision.outcome == "queued"
+        assert server.run_once() == 0  # still parked
+        server.set_tenant_budget("carol", 5.0)
+        record2 = server.queue.get(record.job_id)
+        assert record2.status == "admitted"
+        server.run_until_idle()
+        assert server.queue.get(record.job_id).status == "done"
+
+    def test_tenant_policy_validation(self):
+        with pytest.raises(ValueError):
+            TenantPolicy(epsilon_budget=0.0)
+        with pytest.raises(ValueError):
+            TenantPolicy(epsilon_budget=1.0, delta=2.0)
+        with pytest.raises(ValueError):
+            TenantPolicy(epsilon_budget=1.0, on_overspend="explode")

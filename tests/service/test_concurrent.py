@@ -1,0 +1,139 @@
+"""Concurrent submissions racing for the last budget slice.
+
+Every test derives the expected admitted count from a *serial* greedy
+probe: because each job in a batch is identical, the tenant accountant's
+state after ``j`` admissions is bit-identical regardless of thread
+interleaving, so the number of affordable jobs is deterministic — the
+race can only change who wins, never how many win.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.privacy.accountant import RdpAccountant
+from repro.service import BudgetServer, JobSpec, replay_accountant
+
+pytestmark = pytest.mark.service
+
+
+def exact_budget_for(sigma, sample_rate, steps, jobs, *, delta=1e-5):
+    """Exact cumulative ε after ``jobs`` identical admissions.
+
+    Used as a tenant budget: the ``jobs``-th admission lands exactly on
+    the budget (float-equal, same operations in the same order), the next
+    one strictly exceeds it.
+    """
+    probe = RdpAccountant()
+    for _ in range(jobs):
+        probe.step(sigma, sample_rate, num_steps=steps)
+    return probe.get_epsilon(delta)
+
+
+def submit_racing(server, spec, *, threads, per_thread):
+    """Fire ``threads`` barrier-synchronized submitters; return decisions."""
+    barrier = threading.Barrier(threads)
+    decisions = []
+    lock = threading.Lock()
+
+    def worker():
+        barrier.wait()
+        for _ in range(per_thread):
+            _, decision = server.submit(spec)
+            with lock:
+                decisions.append(decision)
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    return decisions
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_exactly_affordable_count_admitted(seed):
+    rng = np.random.default_rng(seed)
+    sigma = float(rng.uniform(0.8, 1.5))
+    sample_rate = float(rng.uniform(0.01, 0.05))
+    steps = int(rng.integers(50, 200))
+    threads = int(rng.integers(4, 9))
+    per_thread = 2
+    total = threads * per_thread
+    affordable = int(rng.integers(1, total))
+    budget = exact_budget_for(sigma, sample_rate, steps, affordable)
+
+    server = BudgetServer()  # in-memory: admission only, no dispatch
+    server.add_tenant("alice", epsilon_budget=budget)
+    spec = JobSpec(tenant="alice", sigma=sigma, sample_rate=sample_rate, steps=steps)
+    decisions = submit_racing(server, spec, threads=threads, per_thread=per_thread)
+
+    assert len(decisions) == total
+    assert sum(d.admitted for d in decisions) == affordable
+    assert sum(d.outcome == "refused" for d in decisions) == total - affordable
+
+    tenant = server.registry.get("alice")
+    # The last admission lands float-exactly on the budget; never over.
+    assert tenant.spent_epsilon() == budget
+    # Every decision is chained: spends + refusal annotations.
+    assert len(tenant.ledger.entries) == total
+    spends = [r for r in tenant.ledger.entries if not r.is_annotation]
+    assert len(spends) == affordable
+    verification = tenant.verify(tol=1e-9)
+    assert verification.ok, str(verification)
+    replayed = replay_accountant(tenant.ledger)
+    assert np.array_equal(replayed.rdp_curve(), tenant.accountant.rdp_curve())
+
+
+def test_single_slice_single_winner():
+    """16 threads race for a budget that fits exactly one job."""
+    budget = exact_budget_for(1.0, 0.02, 100, 1)
+    server = BudgetServer()
+    server.add_tenant("alice", epsilon_budget=budget)
+    spec = JobSpec(tenant="alice", sigma=1.0, sample_rate=0.02, steps=100)
+    decisions = submit_racing(server, spec, threads=16, per_thread=1)
+    assert sum(d.admitted for d in decisions) == 1
+    tenant = server.registry.get("alice")
+    assert tenant.spent_epsilon() == budget
+    assert tenant.verify(tol=1e-9).ok
+
+
+def test_tenants_race_independently():
+    """Concurrent load on one tenant never leaks spend into another."""
+    budget_a = exact_budget_for(1.0, 0.02, 100, 3)
+    budget_b = exact_budget_for(1.3, 0.01, 80, 2)
+    server = BudgetServer()
+    server.add_tenant("alice", epsilon_budget=budget_a)
+    server.add_tenant("bob", epsilon_budget=budget_b)
+    spec_a = JobSpec(tenant="alice", sigma=1.0, sample_rate=0.02, steps=100)
+    spec_b = JobSpec(tenant="bob", sigma=1.3, sample_rate=0.01, steps=80)
+
+    barrier = threading.Barrier(8)
+
+    def worker(spec):
+        barrier.wait()
+        for _ in range(2):
+            server.submit(spec)
+
+    pool = [
+        threading.Thread(target=worker, args=(spec_a if i % 2 == 0 else spec_b,))
+        for i in range(8)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+
+    alice = server.registry.get("alice")
+    bob = server.registry.get("bob")
+    assert alice.spent_epsilon() == budget_a  # 3 of 8 alice jobs fit
+    assert bob.spent_epsilon() == budget_b  # 2 of 8 bob jobs fit
+    assert all(r.namespace == "alice" for r in alice.ledger.entries)
+    assert all(r.namespace == "bob" for r in bob.ledger.entries)
+    assert alice.verify(tol=1e-9).ok
+    assert bob.verify(tol=1e-9).ok
+    counts = server.queue.counts()
+    assert counts["admitted"] == 5 and counts["refused"] == 11

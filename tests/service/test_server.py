@@ -1,0 +1,244 @@
+"""Server-loop behaviour: fair share, drain, spool, failures, reports, CLI."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    BudgetServer,
+    JobQueue,
+    JobRecord,
+    JobSpec,
+    build_budget_report,
+    write_submission,
+)
+from repro.telemetry.report import render_budget_report
+
+pytestmark = pytest.mark.service
+
+
+def spec(tenant, *, seed=0, work_ms=0.0, steps=100):
+    return JobSpec(
+        tenant=tenant, sigma=1.1, sample_rate=0.01, steps=steps, dim=8,
+        seed=seed, work_ms=work_ms,
+    )
+
+
+class TestFairShare:
+    @staticmethod
+    def admitted(job_id, tenant, seq):
+        return JobRecord(
+            job_id=job_id, spec=spec(tenant), status="admitted", submit_seq=seq
+        )
+
+    def test_next_batch_interleaves_tenants(self):
+        queue = JobQueue()
+        for i in range(6):
+            queue.add(self.admitted(f"a{i}", "alice", queue.next_seq()))
+        for i in range(2):
+            queue.add(self.admitted(f"b{i}", "bob", queue.next_seq()))
+        batch = queue.next_batch(4, {"alice": 0, "bob": 0})
+        # alice flooded first, but bob is interleaved 1:1 by dispatch deficit.
+        assert [r.job_id for r in batch] == ["a0", "b0", "a1", "b1"]
+
+    def test_next_batch_respects_existing_deficit(self):
+        queue = JobQueue()
+        queue.add(self.admitted("a0", "alice", queue.next_seq()))
+        queue.add(self.admitted("b0", "bob", queue.next_seq()))
+        # alice already dispatched 5 jobs; bob none — bob goes first.
+        batch = queue.next_batch(2, {"alice": 5, "bob": 0})
+        assert [r.job_id for r in batch] == ["b0", "a0"]
+
+    def test_dispatch_order_on_server(self):
+        executed = []
+
+        def runner(job):
+            executed.append(job.key)
+            return {}
+
+        server = BudgetServer(batch_size=8, runner=runner)
+        server.add_tenant("alice", epsilon_budget=50.0)
+        server.add_tenant("bob", epsilon_budget=50.0)
+        for i in range(3):
+            server.submit(spec("alice"), job_id=f"a{i}")
+        server.submit(spec("bob"), job_id="b0")
+        server.run_until_idle()
+        assert executed == ["a0", "b0", "a1", "a2"]
+        assert server.registry.get("alice").dispatch_count == 3
+        assert server.registry.get("bob").dispatch_count == 1
+
+
+class TestDispatch:
+    def test_runner_failure_marks_failed_and_keeps_spend(self):
+        def boom(job):
+            raise RuntimeError("boom")
+
+        server = BudgetServer(runner=boom)
+        server.add_tenant("alice", epsilon_budget=10.0)
+        record, _ = server.submit(spec("alice"))
+        spent = server.registry.get("alice").spent_epsilon()
+        server.run_until_idle()
+        record = server.queue.get(record.job_id)
+        assert record.status == "failed"
+        assert record.result["ok"] is False and "boom" in record.result["error"]
+        # The authorized release stays accounted — failure never refunds ε.
+        assert server.registry.get("alice").spent_epsilon() == spent
+        assert server.verify()["alice"].ok
+
+    def test_default_runner_ships_job_telemetry(self):
+        server = BudgetServer(workers=2, batch_size=4)
+        server.add_tenant("alice", epsilon_budget=50.0)
+        for i in range(4):
+            server.submit(spec("alice", seed=i))
+        server.run_until_idle()
+        done = server.queue.by_status("done")
+        assert len(done) == 4
+        for record in done:
+            assert record.result["ok"] is True
+            assert record.result["steps_simulated"] >= 1
+        counters = server.telemetry.state_dict()["counters"]
+        assert counters["service_release_draws"] > 0
+        assert counters["service_jobs_completed"] == 4
+
+
+class TestSpool:
+    def test_ingest_consumes_and_is_idempotent(self, tmp_path):
+        server = BudgetServer(tmp_path / "svc")
+        server.add_tenant("alice", epsilon_budget=10.0)
+        path = write_submission(server.store.spool_dir, spec("alice"))
+        job_id = path.name[: -len(".job.json")]
+        assert server.ingest_spool() == 1
+        assert not path.exists()
+        entries = len(server.registry.get("alice").ledger.entries)
+        # Crash replay: the admission was snapshotted but the spool file
+        # survived — re-ingesting the same job id must not spend twice.
+        write_submission(server.store.spool_dir, spec("alice"), job_id=job_id)
+        assert server.ingest_spool() == 0
+        assert server.store.pending_submissions() == []
+        assert len(server.registry.get("alice").ledger.entries) == entries
+
+    def test_unknown_tenant_stays_spooled(self, tmp_path):
+        server = BudgetServer(tmp_path / "svc")
+        write_submission(server.store.spool_dir, spec("carol"))
+        assert server.ingest_spool() == 0
+        assert len(server.store.pending_submissions()) == 1  # not dropped
+        server.add_tenant("carol", epsilon_budget=10.0)
+        assert server.ingest_spool() == 1
+        assert server.store.pending_submissions() == []
+
+
+class TestDrain:
+    def test_shutdown_finishes_batch_and_queued_jobs_survive(self, tmp_path):
+        state_dir = tmp_path / "svc"
+        server = BudgetServer(state_dir, batch_size=1)
+        server.add_tenant("alice", epsilon_budget=100.0)
+        for i in range(6):
+            server.submit(spec("alice", seed=i, work_ms=60.0))
+        thread = threading.Thread(
+            target=server.serve, kwargs={"poll_interval": 0.01}
+        )
+        thread.start()
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline and server.queue.counts()["done"] < 1:
+            time.sleep(0.01)
+        server.shutdown()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        counts = server.queue.counts()
+        # The in-flight batch completed; nothing was abandoned mid-run.
+        assert counts["running"] == 0
+        assert counts["done"] >= 1
+        assert counts["done"] + counts["admitted"] == 6
+
+        # Queued jobs survive to a fresh server; finished jobs stay finished.
+        restarted = BudgetServer(state_dir, batch_size=4)
+        finished = {
+            r.job_id: (r.attempts, r.finished_seq)
+            for r in restarted.queue.by_status("done")
+        }
+        restarted.run_until_idle()
+        assert restarted.queue.counts()["done"] == 6
+        for job_id, before in finished.items():
+            record = restarted.queue.get(job_id)
+            assert (record.attempts, record.finished_seq) == before
+        assert restarted.verify()["alice"].ok
+
+
+class TestReport:
+    def test_structure_and_rendering(self):
+        server = BudgetServer()
+        server.add_tenant("alice", epsilon_budget=2.0)
+        server.add_tenant("bob", epsilon_budget=0.01)
+        server.submit(spec("alice"), job_id="a0")
+        server.submit(spec("bob"), job_id="b0")  # over budget -> refused
+        server.run_until_idle()
+        report = build_budget_report(server)
+        alice, bob = report["tenants"]["alice"], report["tenants"]["bob"]
+        assert alice["ledger"]["verified"] and bob["ledger"]["verified"]
+        assert 0.0 < alice["spent_epsilon"] <= 2.0
+        assert alice["utilization"] == alice["spent_epsilon"] / 2.0
+        assert bob["spent_epsilon"] == 0.0
+        assert bob["refusals"][0]["job_id"] == "b0"
+        assert report["jobs"]["done"] == 1 and report["jobs"]["refused"] == 1
+        assert alice["epsilon_trajectory"]
+
+        markdown = render_budget_report(report)
+        assert "alice" in markdown and "bob" in markdown
+        assert "refus" in markdown.lower()
+        payload = json.loads(render_budget_report(report, fmt="json"))
+        assert payload["tenants"]["bob"]["refusals"]
+        with pytest.raises(ValueError):
+            render_budget_report(report, fmt="yaml")
+
+
+class TestCli:
+    def test_round_trip(self, tmp_path, capsys):
+        from repro.experiments.cli import main as cli_main
+
+        state_dir = str(tmp_path / "svc")
+        assert cli_main(
+            ["tenants", "add", "alice", "--state-dir", state_dir, "--epsilon", "4.0"]
+        ) == 0
+        assert cli_main(
+            ["submit", "--state-dir", state_dir, "--tenant", "alice",
+             "--sigma", "1.1", "--sample-rate", "0.01", "--steps", "100"]
+        ) == 0
+        assert "spooled" in capsys.readouterr().out
+        assert cli_main(["serve", "--state-dir", state_dir, "--once"]) == 0
+        assert cli_main(["tenants", "list", "--state-dir", state_dir]) == 0
+        assert "alice" in capsys.readouterr().out
+        assert cli_main(
+            ["tenants", "report", "--state-dir", state_dir, "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tenants"]["alice"]["spent_epsilon"] > 0.0
+        assert payload["tenants"]["alice"]["ledger"]["verified"]
+        assert payload["jobs"]["done"] == 1
+
+    def test_set_budget_unblocks_pending(self, tmp_path, capsys):
+        from repro.experiments.cli import main as cli_main
+
+        state_dir = str(tmp_path / "svc")
+        assert cli_main(
+            ["tenants", "add", "carol", "--state-dir", state_dir,
+             "--epsilon", "0.01", "--on-overspend", "queue"]
+        ) == 0
+        assert cli_main(
+            ["submit", "--state-dir", state_dir, "--tenant", "carol",
+             "--sigma", "1.1", "--sample-rate", "0.01", "--steps", "100"]
+        ) == 0
+        assert cli_main(["serve", "--state-dir", state_dir, "--once"]) == 0
+        server = BudgetServer(state_dir)
+        assert server.queue.counts()["pending"] == 1
+        assert cli_main(
+            ["tenants", "set-budget", "carol", "--state-dir", state_dir,
+             "--epsilon", "5.0"]
+        ) == 0
+        assert cli_main(["serve", "--state-dir", state_dir, "--once"]) == 0
+        server = BudgetServer(state_dir)
+        assert server.queue.counts()["done"] == 1
+        capsys.readouterr()

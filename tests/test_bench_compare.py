@@ -148,3 +148,54 @@ class TestGateSparse:
         )
         report, ok = compare_mod.gate_sparse_file(path)
         assert not ok and "FAIL" in report
+
+
+def _service_section(per_second: float, p95: float) -> dict:
+    return {
+        "decisions": 500,
+        "decisions_per_second": per_second,
+        "p95_latency_seconds": p95,
+        "benchmarks": {"admission_decision_p95": {"seconds": p95}},
+    }
+
+
+class TestGateService:
+    def test_fast_admission_passes(self, compare_mod):
+        lines, failures = compare_mod.gate_service(_service_section(5000.0, 0.001))
+        assert failures == []
+        assert all("FAIL" not in line for line in lines)
+
+    def test_slow_throughput_fails(self, compare_mod):
+        _, failures = compare_mod.gate_service(_service_section(150.0, 0.001))
+        assert len(failures) == 1
+        assert "decisions/s" in failures[0]
+
+    def test_high_p95_fails(self, compare_mod):
+        _, failures = compare_mod.gate_service(_service_section(5000.0, 0.2))
+        assert len(failures) == 1
+        assert "p95" in failures[0]
+
+    def test_missing_section_skips_gate(self, compare_mod):
+        lines, failures = compare_mod.gate_service(None)
+        assert failures == []
+        assert any("skipped" in line for line in lines)
+
+    def test_incomplete_section_skips_gate(self, compare_mod):
+        lines, failures = compare_mod.gate_service({"decisions": 10})
+        assert failures == []
+        assert any("skipped" in line for line in lines)
+
+    def test_gate_service_file(self, compare_mod, tmp_path):
+        path = tmp_path / "BENCH_0.json"
+        path.write_text(
+            json.dumps(
+                {"benchmarks": BASE, "service": _service_section(5000.0, 0.001)}
+            )
+        )
+        report, ok = compare_mod.gate_service_file(path)
+        assert ok and "PASS" in report
+        path.write_text(
+            json.dumps({"benchmarks": BASE, "service": _service_section(10.0, 0.2)})
+        )
+        report, ok = compare_mod.gate_service_file(path)
+        assert not ok and "FAIL" in report
