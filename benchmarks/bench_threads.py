@@ -1,0 +1,139 @@
+"""Thread-scaling and zero-allocation benchmarks for the kernel hot paths.
+
+``threads_section()`` produces the ``"threads"`` mapping archived by
+``run_all.py`` and gated by ``compare.gate_threads``:
+
+* **Byte equality** — the headline kernels are executed under 1, 2 and 4
+  configured threads with identical inputs (and, for the perturbation,
+  identically seeded RNG streams); every output must be *byte-identical*.
+  This is the determinism contract of :mod:`repro.backend.threads` and is
+  gated unconditionally, on any machine.
+* **Speedup** — median wall time of the headline kernels at 1 thread vs
+  ``min(4, cpu_count)`` threads.  The ratio is recorded always but only
+  *gated* (>= 1.8x) when the machine actually has >= 4 CPUs — a
+  single-core CI box cannot show parallel speedup and must not fail.
+* **Steady-state allocation** — tracemalloc peak of one
+  ``perturb_geodp_batch`` release *after* the workspace arena is warm.
+  With pooling, the only steady-state allocation is the output buffer the
+  caller keeps, so the peak must sit far below the ~23 MB the same release
+  allocated before the arena existed (``compare.RELEASE_STEADY_PEAK_CEILING``).
+
+The section also snapshots the :mod:`repro.backend.workspace` counters so
+archives document the arena hit rate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+
+import numpy as np
+
+#: Kernel shape for the scaling measurements — matches the headline
+#: ``perturb_geodp_batch`` benchmark in ``run_all.py``.
+SHAPE = (64, 5000)
+
+#: Thread counts exercised for the byte-equality check.
+EQUALITY_THREAD_COUNTS = (1, 2, 4)
+
+
+def _median_seconds(fn, repeats: int) -> float:
+    fn()  # warm-up
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+def _build_ghost_inputs():
+    from repro.data import make_mnist_like
+    from repro.models import build_cnn
+    from repro.privacy.clipping import FlatClipping
+
+    batch = 64
+    data = make_mnist_like(batch, rng=0, size=16)
+    model = build_cnn((1, 16, 16), num_classes=100, channels=(16, 32), rng=0)
+    y = np.random.default_rng(1).integers(0, 100, size=batch)
+    clipping = FlatClipping(1.0)
+
+    def ghost():
+        _, summed, _ = model.loss_and_clipped_grad_sum(data.x, y, clipping)
+        return summed
+
+    return ghost
+
+
+def threads_section(repeats: int = 5) -> dict:
+    """Measure thread determinism, scaling and steady-state allocation."""
+    from repro.backend import get_backend, use_backend, use_num_threads, workspace
+    from repro.core import perturb_geodp_batch
+
+    cpu_count = os.cpu_count() or 1
+    target_threads = min(4, cpu_count)
+
+    rng_seed = 7
+    grads = np.random.default_rng(0).normal(size=SHAPE) * 0.01
+
+    with use_backend("auto"):
+        backend_name = get_backend().name
+
+        def perturb():
+            return perturb_geodp_batch(
+                grads, 0.1, 1.0, 1024, 0.1, np.random.default_rng(rng_seed)
+            )
+
+        ghost = _build_ghost_inputs()
+
+        # --- byte equality across thread counts (identical RNG streams) ---
+        byte_equal = True
+        with use_num_threads(1):
+            perturb_base = perturb().tobytes()
+            ghost_base = ghost().tobytes()
+        for n in EQUALITY_THREAD_COUNTS[1:]:
+            with use_num_threads(n):
+                byte_equal &= perturb().tobytes() == perturb_base
+                byte_equal &= ghost().tobytes() == ghost_base
+
+        # --- scaling: 1 thread vs min(4, cpu_count) ---
+        speedup = {}
+        for name, fn in (("perturb_geodp_batch", perturb), ("ghost_clipped_sum", ghost)):
+            with use_num_threads(1):
+                t1 = _median_seconds(fn, repeats)
+            with use_num_threads(target_threads):
+                tn = _median_seconds(fn, repeats)
+            speedup[name] = {
+                "t1_seconds": t1,
+                "tn_seconds": tn,
+                "threads": target_threads,
+                "speedup": t1 / tn if tn > 0 else 1.0,
+            }
+
+        # --- steady-state release allocation (arena warm) ---
+        with use_num_threads(1):
+            workspace.reset_stats()
+            perturb()
+            perturb()  # two warm-ups so every (shape, dtype) key is pooled
+            tracemalloc.start()
+            perturb()
+            _, steady_peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            arena = workspace.stats()
+
+    return {
+        "cpu_count": cpu_count,
+        "backend": backend_name,
+        "shape": list(SHAPE),
+        "byte_equal": bool(byte_equal),
+        "speedup": speedup,
+        "release_steady_peak_bytes": int(steady_peak),
+        "workspace": arena,
+    }
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(threads_section(), indent=2))

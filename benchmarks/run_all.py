@@ -35,13 +35,22 @@ step must beat dense at touch rates up to 10% (``compare.gate_sparse``).
 A ``service`` section (``bench_service.service_section``) measures
 budget-server admission throughput and p95 latency over a mixed
 two-tenant stream; ``compare.gate_service`` enforces >= 200 decisions/s
-and a 50ms p95 ceiling.
+and a 50ms p95 ceiling.  A ``threads`` section
+(``bench_threads.threads_section``) checks byte-identical outputs across
+thread counts, headline-kernel speedup at min(4, cpu_count) threads, and
+the steady-state (workspace-arena-warm) allocation peak of one GeoDP
+release; ``compare.gate_threads`` enforces determinism unconditionally,
+the 1.8x speedup floor only on machines with >= 4 CPUs, and the
+allocation ceiling always.  The archive header records ``cpu_count``,
+the ``REPRO_THREADS`` setting and backend availability so regression
+comparisons carry their machine context.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -130,7 +139,7 @@ def main(argv=None) -> int:
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
 
-    from repro.backend import available_backends, use_backend
+    from repro.backend import THREADS_ENV, available_backends, get_num_threads, use_backend
 
     backends = [name for name, ok in available_backends().items() if ok]
     sections: dict[str, dict] = {}
@@ -166,6 +175,20 @@ def main(argv=None) -> int:
     for name, entry in service["benchmarks"].items():
         print(f"  {name:28s} {entry['seconds'] * 1e3:9.3f} ms")
 
+    print("[threads]")
+    from bench_threads import threads_section
+
+    threads = threads_section(repeats=args.repeats)
+    print(f"  byte_equal: {threads['byte_equal']}")
+    for name, entry in threads["speedup"].items():
+        print(
+            f"  {name:28s} {entry['speedup']:5.2f}x at {entry['threads']} threads"
+        )
+    print(
+        f"  {'release_steady_peak':28s} "
+        f"{threads['release_steady_peak_bytes'] / 2**20:8.2f} MiB"
+    )
+
     path = next_output_path(Path(args.out))
     path.write_text(
         json.dumps(
@@ -173,6 +196,13 @@ def main(argv=None) -> int:
                 "python": platform.python_version(),
                 "numpy": np.__version__,
                 "repeats": args.repeats,
+                # Machine context: regression ratios only mean something
+                # between comparable machines, and the thread gate needs
+                # to know how many CPUs the archived run actually had.
+                "cpu_count": os.cpu_count() or 1,
+                "num_threads": get_num_threads(),
+                "threads_env": os.environ.get(THREADS_ENV),
+                "backends_available": available_backends(),
                 # Top-level mapping stays the reference backend so old
                 # archives (which predate the backend layer) remain
                 # comparable baselines.
@@ -180,6 +210,7 @@ def main(argv=None) -> int:
                 "backends": sections,
                 "sparse": sparse,
                 "service": service,
+                "threads": threads,
             },
             indent=2,
         )
@@ -193,6 +224,7 @@ def main(argv=None) -> int:
         gate_accelerated_file,
         gate_service_file,
         gate_sparse_file,
+        gate_threads_file,
     )
 
     ok = True
@@ -206,7 +238,9 @@ def main(argv=None) -> int:
     print(f"\n{sparse_report}")
     service_report, service_ok = gate_service_file(path)
     print(f"\n{service_report}")
-    return 0 if ok and gate_ok and sparse_ok and service_ok else 1
+    threads_report, threads_ok = gate_threads_file(path)
+    print(f"\n{threads_report}")
+    return 0 if ok and gate_ok and sparse_ok and service_ok and threads_ok else 1
 
 
 if __name__ == "__main__":

@@ -40,6 +40,14 @@ random numbers a DP release consumes — noise is drawn by the callers, in a
 fixed order, and handed to the kernels — so accounting and ledger replay
 are bit-identical across backends (``tests/backend/`` enforces this).
 
+The accelerated backends additionally run their kernels across an
+intra-kernel thread pool (:func:`set_num_threads` / ``REPRO_THREADS`` /
+``--threads``; default 1) with the same guarantee in the other direction:
+the thread count never changes a single output bit (see
+:mod:`repro.backend.threads` and ``docs/parallelism.md``).  Hot-path
+buffers come from the :mod:`repro.backend.workspace` arena so
+steady-state release allocation is near zero.
+
 See ``docs/backends.md`` for the full contract.
 """
 
@@ -52,6 +60,12 @@ from repro.backend.cext import CExtBackend, compiler_available
 from repro.backend.fused import FusedBackend
 from repro.backend.numba_backend import NumbaBackend, numba_available
 from repro.backend.reference import ReferenceBackend
+from repro.backend.threads import (
+    THREADS_ENV,
+    get_num_threads,
+    set_num_threads,
+    use_num_threads,
+)
 
 __all__ = [
     "available_backends",
@@ -59,9 +73,13 @@ __all__ = [
     "set_backend",
     "use_backend",
     "note_backend",
+    "set_num_threads",
+    "get_num_threads",
+    "use_num_threads",
     "BACKEND_NAMES",
     "BACKEND_ENV",
     "BACKEND_DISABLE_ENV",
+    "THREADS_ENV",
 ]
 
 #: Selectable names, in documentation order ("auto" resolves to one of them).

@@ -1,5 +1,5 @@
 """Optimized pure-numpy backend: cache-blocked geometry, BLAS-routed
-ghost kernels, blocked conv Grams.
+ghost kernels, blocked conv Grams — all chunk-parallel.
 
 Three ideas carry the speedups:
 
@@ -16,9 +16,17 @@ Three ideas carry the speedups:
 * **BLAS routing**: the batched Gram/contract einsums of the ghost norms
   become ``matmul``/``tensordot`` calls, which dispatch to BLAS instead of
   einsum's generic loops.
-* **Batch blocking**: the conv ``(B, L, L)`` Gram intermediates are
-  computed in batch blocks, bounding peak memory without changing the
-  contraction.
+* **Chunk parallelism**: the row blocks above double as the unit of
+  thread scheduling (:mod:`repro.backend.threads`).  Chunk boundaries are
+  derived from the input *shape* alone and partial reductions are summed
+  in chunk-index order, so the thread count never changes a single output
+  bit — only which thread computes which block.  Numpy's ufunc and BLAS
+  inner loops release the GIL, so a plain ``ThreadPoolExecutor`` scales.
+
+Temporaries and outputs come from the :mod:`repro.backend.workspace`
+arena instead of fresh allocation, so the steady-state hot path allocates
+(next to) nothing; the tier-1 lint forbids direct ``np.empty``/``np.zeros``
+here.
 
 Everything here must match :class:`~repro.backend.reference.ReferenceBackend`
 to 1e-10 — enforced by ``tests/backend/test_parity.py``; the geometry
@@ -29,7 +37,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import workspace
 from repro.backend.reference import ReferenceBackend
+from repro.backend.threads import chunk_spans, run_chunks
 
 __all__ = ["FusedBackend"]
 
@@ -40,15 +50,27 @@ _BLOCK_THRESHOLD = 1 << 17
 #: Target doubles per row block (~128 KiB per temporary buffer).
 _BLOCK_DOUBLES = 1 << 14
 
-#: Target doubles per blocked conv Gram buffer (~4 MiB).
+#: Target doubles per blocked conv Gram / ghost-reduction buffer (~4 MiB).
 _GRAM_BLOCK_DOUBLES = 1 << 19
 
 
 def _row_block(m: int, d: int) -> int:
-    """Rows per block for an ``(m, d)`` geometry kernel (``m`` = no blocking)."""
+    """Rows per block for an ``(m, d)`` geometry kernel (``m`` = no blocking).
+
+    Depends only on the shape — never on the thread count — so chunk
+    boundaries (and therefore every output bit) are identical whether the
+    chunks run serially or across the pool.
+    """
     if m * d <= _BLOCK_THRESHOLD:
         return m
     return max(1, _BLOCK_DOUBLES // max(1, d))
+
+
+def _batch_block(batch: int, per_row_doubles: int, target: int = _GRAM_BLOCK_DOUBLES) -> int:
+    """Batch rows per block for a ghost kernel with the given per-row cost."""
+    if batch * per_row_doubles <= _BLOCK_THRESHOLD:
+        return batch
+    return max(1, target // max(1, per_row_doubles))
 
 
 class FusedBackend(ReferenceBackend):
@@ -63,13 +85,15 @@ class FusedBackend(ReferenceBackend):
         block = _row_block(m, d)
         if block >= m:
             return super().spherical_decompose(grads)
-        magnitudes = np.empty(m)
-        thetas = np.empty((m, d - 1))
-        for start in range(0, m, block):
-            stop = min(start + block, m)
-            magnitudes[start:stop], thetas[start:stop] = super().spherical_decompose(
-                grads[start:stop]
+        magnitudes = workspace.take(m)
+        thetas = workspace.take((m, d - 1))
+
+        def chunk(start, stop):
+            magnitudes[start:stop], thetas[start:stop] = ReferenceBackend.spherical_decompose(
+                self, grads[start:stop]
             )
+
+        run_chunks(chunk, chunk_spans(m, block))
         return magnitudes, thetas
 
     def spherical_compose(self, magnitudes: np.ndarray, thetas: np.ndarray) -> np.ndarray:
@@ -77,12 +101,14 @@ class FusedBackend(ReferenceBackend):
         block = _row_block(m, d_minus_1 + 1)
         if block >= m:
             return super().spherical_compose(magnitudes, thetas)
-        g = np.empty((m, d_minus_1 + 1))
-        for start in range(0, m, block):
-            stop = min(start + block, m)
-            g[start:stop] = super().spherical_compose(
-                magnitudes[start:stop], thetas[start:stop]
+        g = workspace.take((m, d_minus_1 + 1))
+
+        def chunk(start, stop):
+            g[start:stop] = ReferenceBackend.spherical_compose(
+                self, magnitudes[start:stop], thetas[start:stop]
             )
+
+        run_chunks(chunk, chunk_spans(m, block))
         return g
 
     def geodp_perturb(
@@ -92,32 +118,72 @@ class FusedBackend(ReferenceBackend):
         block = _row_block(m, d)
         if block >= m:
             return super().geodp_perturb(clipped, mag_noise, theta_noise)
-        out = np.empty((m, d))
-        for start in range(0, m, block):
-            stop = min(start + block, m)
-            out[start:stop] = super().geodp_perturb(
-                clipped[start:stop], mag_noise[start:stop], theta_noise[start:stop]
+        out = workspace.take((m, d))
+
+        def chunk(start, stop):
+            out[start:stop] = ReferenceBackend.geodp_perturb(
+                self,
+                clipped[start:stop],
+                mag_noise[start:stop],
+                theta_noise[start:stop],
             )
+
+        run_chunks(chunk, chunk_spans(m, block))
+        return out
+
+    def canonicalize_angles(self, thetas: np.ndarray) -> np.ndarray:
+        m, d_minus_1 = thetas.shape
+        block = _row_block(m, d_minus_1 + 1)
+        if block >= m:
+            return super().canonicalize_angles(thetas)
+        out = workspace.take((m, d_minus_1))
+
+        def chunk(start, stop):
+            out[start:stop] = ReferenceBackend.canonicalize_angles(
+                self, thetas[start:stop]
+            )
+
+        run_chunks(chunk, chunk_spans(m, block))
         return out
 
     # ---------------------------------------------------------- ghost norms
+    def linear_norm_sq(
+        self, x: np.ndarray, grad_out: np.ndarray, bias: bool
+    ) -> np.ndarray:
+        batch = x.shape[0]
+        block = _batch_block(batch, x.shape[1] + grad_out.shape[1])
+        if block >= batch:
+            return super().linear_norm_sq(x, grad_out, bias)
+        norm_sq = workspace.take(batch)
+
+        def chunk(start, stop):
+            norm_sq[start:stop] = ReferenceBackend.linear_norm_sq(
+                self, x[start:stop], grad_out[start:stop], bias
+            )
+
+        run_chunks(chunk, chunk_spans(batch, block))
+        return norm_sq
+
     def conv_norm_sq(self, cols: np.ndarray, dy: np.ndarray, bias: bool) -> np.ndarray:
         batch = cols.shape[0]
         out_channels = dy.shape[1]
         k_dim, length = cols.shape[1], cols.shape[2]
         if length * length <= out_channels * k_dim:
             # Blocked Gram trick: per-block (block, L, L) intermediates via
-            # batched BLAS matmul, freed before the next block.
+            # batched BLAS matmul, freed before the next block.  The blocks
+            # are the thread-scheduling unit; each writes a disjoint slice.
             block = max(1, _GRAM_BLOCK_DOUBLES // max(1, length * length))
-            norm_sq = np.empty(batch)
-            for start in range(0, batch, block):
-                stop = min(start + block, batch)
+            norm_sq = workspace.take(batch)
+
+            def chunk(start, stop):
                 c = cols[start:stop]
                 e = dy[start:stop]
                 ga = np.matmul(c.transpose(0, 2, 1), c)
                 ge = np.matmul(e.transpose(0, 2, 1), e)
                 ga *= ge
                 norm_sq[start:stop] = ga.sum(axis=(1, 2))
+
+            run_chunks(chunk, chunk_spans(batch, block))
         else:
             dw = np.matmul(dy, cols.transpose(0, 2, 1))  # (B, O, K) via BLAS
             norm_sq = np.einsum("bok,bok->b", dw, dw)
@@ -127,21 +193,77 @@ class FusedBackend(ReferenceBackend):
         return norm_sq
 
     def embedding_norm_sq(self, tokens: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
-        # Batched BLAS Gram, masked in place (no float64 copy of the mask).
-        gram = np.matmul(grad_out, grad_out.transpose(0, 2, 1))
-        gram *= tokens[:, :, None] == tokens[:, None, :]
-        return gram.sum(axis=(1, 2))
+        batch, length, dim = grad_out.shape
+        block = _batch_block(batch, length * length + length * dim)
+        if block >= batch:
+            # Batched BLAS Gram, masked in place (no float64 copy of the mask).
+            gram = np.matmul(grad_out, grad_out.transpose(0, 2, 1))
+            gram *= tokens[:, :, None] == tokens[:, None, :]
+            return gram.sum(axis=(1, 2))
+        norm_sq = workspace.take(batch)
+
+        def chunk(start, stop):
+            gram = np.matmul(
+                grad_out[start:stop], grad_out[start:stop].transpose(0, 2, 1)
+            )
+            gram *= tokens[start:stop, :, None] == tokens[start:stop, None, :]
+            norm_sq[start:stop] = gram.sum(axis=(1, 2))
+
+        run_chunks(chunk, chunk_spans(batch, block))
+        return norm_sq
 
     # ------------------------------------------------- clipped accumulation
+    # The accumulate kernels reduce over the batch, so parallel chunks
+    # produce *partial* sums.  Chunk boundaries come from the shape and the
+    # partials are summed in chunk-index order on the calling thread, so
+    # the result is byte-identical for every thread count (including 1 —
+    # a single chunk degenerates to the unchunked formulation).
+
+    def linear_clip_accumulate(
+        self, x: np.ndarray, grad_out: np.ndarray, factors: np.ndarray, bias: bool
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        batch = x.shape[0]
+        block = _batch_block(batch, x.shape[1] + grad_out.shape[1])
+        spans = chunk_spans(batch, block)
+        if len(spans) <= 1:
+            return super().linear_clip_accumulate(x, grad_out, factors, bias)
+        partials: list = [None] * len(spans)
+
+        def chunk(start, stop):
+            partials[start // block] = ReferenceBackend.linear_clip_accumulate(
+                self, x[start:stop], grad_out[start:stop], factors[start:stop], bias
+            )
+
+        run_chunks(chunk, spans)
+        return _reduce_pairs(partials, bias)
+
     def conv_clip_accumulate(
         self, cols: np.ndarray, dy: np.ndarray, factors: np.ndarray, bias: bool
     ) -> tuple[np.ndarray, np.ndarray | None]:
-        scaled = dy * factors[:, None, None]
-        # tensordot reshapes to one (O, B*L) @ (B*L, K) GEMM; einsum's
-        # generic 3-index loop is an order of magnitude slower here.
-        dw = np.tensordot(scaled, cols, axes=([0, 2], [0, 2]))
-        db = scaled.sum(axis=(0, 2)) if bias else None
-        return dw, db
+        batch = cols.shape[0]
+        k_dim, length = cols.shape[1], cols.shape[2]
+        out_channels = dy.shape[1]
+        block = _batch_block(batch, (k_dim + out_channels) * length)
+        spans = chunk_spans(batch, block)
+        if len(spans) <= 1:
+            with workspace.scratch(dy.shape) as scaled:
+                np.multiply(dy, factors[:, None, None], out=scaled)
+                # tensordot reshapes to one (O, B*L) @ (B*L, K) GEMM; einsum's
+                # generic 3-index loop is an order of magnitude slower here.
+                dw = np.tensordot(scaled, cols, axes=([0, 2], [0, 2]))
+                db = scaled.sum(axis=(0, 2)) if bias else None
+            return dw, db
+        partials: list = [None] * len(spans)
+
+        def chunk(start, stop):
+            with workspace.scratch((stop - start,) + dy.shape[1:]) as scaled:
+                np.multiply(dy[start:stop], factors[start:stop, None, None], out=scaled)
+                dw = np.tensordot(scaled, cols[start:stop], axes=([0, 2], [0, 2]))
+                db = scaled.sum(axis=(0, 2)) if bias else None
+            partials[start // block] = (dw, db)
+
+        run_chunks(chunk, spans)
+        return _reduce_pairs(partials, bias)
 
     # ------------------------------------------------- sparse embedding path
     def embedding_sparse_grads(
@@ -161,7 +283,7 @@ class FusedBackend(ReferenceBackend):
         uniq, inverse = np.unique(keys, return_inverse=True)
         # bincount's contiguous accumulation loop beats np.add.at's fancy
         # indexing; one pass per (small) embedding dim.
-        vals = np.empty((uniq.size, dim))
+        vals = workspace.take((uniq.size, dim))
         for j in range(dim):
             vals[:, j] = np.bincount(
                 inverse, weights=flat_grads[:, j], minlength=uniq.size
@@ -177,9 +299,19 @@ class FusedBackend(ReferenceBackend):
     ) -> tuple[np.ndarray, np.ndarray]:
         scaled = vals * factors[sample_ids][:, None]
         uniq_rows, inverse = np.unique(rows, return_inverse=True)
-        out = np.empty((uniq_rows.size, vals.shape[1]))
+        out = workspace.take((uniq_rows.size, vals.shape[1]))
         for j in range(vals.shape[1]):
             out[:, j] = np.bincount(
                 inverse, weights=scaled[:, j], minlength=uniq_rows.size
             )
         return uniq_rows, out
+
+
+def _reduce_pairs(partials, bias: bool):
+    """Sum ``(dw, db)`` chunk partials in chunk-index order, in place."""
+    dw, db = partials[0]
+    for part_dw, part_db in partials[1:]:
+        dw += part_dw
+        if bias:
+            db += part_db
+    return dw, (db if bias else None)

@@ -1,0 +1,166 @@
+"""Deterministic intra-kernel thread parallelism.
+
+All four kernel backends can split their row-parallel work across a pool
+of threads.  The cardinal rule, inherited from the backend contract, is
+that the thread count may change *who* computes a chunk but never *what*
+is computed:
+
+* **Chunk boundaries are a pure function of the input shape.**  An
+  ``(m, d)`` kernel is split into fixed row spans derived from ``(m, d)``
+  alone (:func:`chunk_spans`); requesting 1, 2 or 4 threads schedules the
+  same spans onto fewer or more workers.
+* **Each chunk is computed independently**, writing to a disjoint slice
+  of the output (geometry kernels, per-sample norms) or to its own
+  partial buffer.
+* **Partial buffers are reduced in chunk-index order** on the calling
+  thread, so floating-point accumulation order is fixed.
+
+Together these make every kernel's output *byte-identical* for any
+thread count — asserted by ``tests/backend/test_threads.py`` — and leave
+the RNG untouched (kernels never draw randomness; see
+:mod:`repro.backend`).
+
+Selection::
+
+    from repro.backend import set_num_threads, use_num_threads
+
+    set_num_threads(4)            # process-wide
+    with use_num_threads(2):      # scoped (tests, benchmarks)
+        ...
+
+or via the environment (``REPRO_THREADS=4``) or the CLI (``--threads``).
+The default is 1 — serial execution, bit-identical to the historical
+library — because thread efficiency depends on kernel sizes the library
+cannot guess.  The Python-side pool is a persistent
+:class:`~concurrent.futures.ThreadPoolExecutor` shared by the fused
+backend's GIL-releasing numpy calls; the C backend keeps its own
+persistent pthread pool (see ``repro/backend/cext.py``).  Both pools are
+torn down in forked children (``os.register_at_fork``) so
+:mod:`repro.runtime`'s fork-based workers never inherit dead threads.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = [
+    "THREADS_ENV",
+    "MAX_THREADS",
+    "set_num_threads",
+    "get_num_threads",
+    "use_num_threads",
+    "chunk_spans",
+    "run_chunks",
+]
+
+#: Environment variable naming the initial thread count (default: 1).
+THREADS_ENV = "REPRO_THREADS"
+
+#: Hard cap on the pool size; requests above it are clamped.
+MAX_THREADS = 64
+
+_num_threads: int | None = None
+_executor: ThreadPoolExecutor | None = None
+_executor_size = 0
+
+
+def set_num_threads(n: int) -> int:
+    """Set the process-wide kernel thread count; returns the clamped value.
+
+    ``n = 1`` (the default) is fully serial.  Thread counts never change
+    kernel outputs (chunking is shape-derived; see the module docstring),
+    so this is purely a performance knob.
+    """
+    n = int(n)
+    if n < 1:
+        raise ValueError(f"thread count must be >= 1, got {n}")
+    global _num_threads
+    _num_threads = min(n, MAX_THREADS)
+    return _num_threads
+
+
+def get_num_threads() -> int:
+    """The active thread count (initialized from ``REPRO_THREADS`` on first use)."""
+    global _num_threads
+    if _num_threads is None:
+        raw = os.environ.get(THREADS_ENV, "1")
+        try:
+            set_num_threads(int(raw))
+        except ValueError:
+            _num_threads = 1
+    return _num_threads
+
+
+class use_num_threads:
+    """Context manager scoping a thread-count selection (restores the previous)."""
+
+    def __init__(self, n: int):
+        self._n = n
+        self._previous: int | None = None
+
+    def __enter__(self) -> int:
+        self._previous = get_num_threads()
+        return set_num_threads(self._n)
+
+    def __exit__(self, *exc):
+        global _num_threads
+        _num_threads = self._previous
+        return False
+
+
+def chunk_spans(total: int, rows_per_chunk: int) -> list[tuple[int, int]]:
+    """Fixed ``[start, stop)`` spans covering ``total`` rows.
+
+    The boundaries depend only on ``total`` and ``rows_per_chunk`` (which
+    callers derive from the input shape), never on the thread count —
+    the determinism contract hangs on this.
+    """
+    rows_per_chunk = max(1, int(rows_per_chunk))
+    return [
+        (start, min(start + rows_per_chunk, total))
+        for start in range(0, max(total, 0), rows_per_chunk)
+    ]
+
+
+def _get_executor(workers: int) -> ThreadPoolExecutor:
+    """The persistent executor, resized (recreated) when the target grows."""
+    global _executor, _executor_size
+    if _executor is None or _executor_size < workers:
+        if _executor is not None:
+            _executor.shutdown(wait=False)
+        _executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-kernel"
+        )
+        _executor_size = workers
+    return _executor
+
+
+def run_chunks(fn, spans) -> None:
+    """Run ``fn(start, stop)`` for every span, possibly on the thread pool.
+
+    With one span or one configured thread the spans run serially in
+    order on the calling thread — the scheduling (not the arithmetic)
+    is all the thread count changes, so outputs are byte-identical either
+    way.  Exceptions propagate to the caller.
+    """
+    spans = list(spans)
+    n = get_num_threads()
+    if n <= 1 or len(spans) <= 1:
+        for start, stop in spans:
+            fn(start, stop)
+        return
+    executor = _get_executor(min(n, len(spans), MAX_THREADS))
+    # list() drains the iterator so worker exceptions surface here.
+    list(executor.map(lambda span: fn(span[0], span[1]), spans))
+
+
+def _reset_after_fork() -> None:
+    """Drop the inherited executor in forked children (its threads are gone)."""
+    global _executor, _executor_size
+    _executor = None
+    _executor_size = 0
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(after_in_child=_reset_after_fork)

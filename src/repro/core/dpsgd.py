@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import workspace
 from repro.privacy.clipping import ClippingStrategy, FlatClipping
 from repro.telemetry.diagnostics import record_clipping, record_release
 from repro.telemetry.tracing import joint_span
@@ -159,14 +160,20 @@ class DpSgdOptimizer:
             raise ValueError(
                 "empty batch with no lot_size: set lot_size for Poisson sampling"
             )
+        workspace.note_release_shape(self, clipped_sum.shape)
         scale = self.noise_multiplier * self.clipping.sensitivity()
         if self.recorder is None and self.tracer is None:
-            noise = (
-                self.rng.normal(0.0, scale, size=clipped_sum.shape)
-                if scale > 0
-                else 0.0
-            )
-            return (clipped_sum + noise) / denominator
+            if scale == 0:
+                return (clipped_sum + 0.0) / denominator
+            # Workspace-pooled release: same RNG stream and element-wise
+            # arithmetic as ``(clipped_sum + rng.normal(0, scale, shape)) /
+            # denominator``, with zero steady-state allocation.
+            noisy = workspace.take(clipped_sum.shape)
+            self.rng.standard_normal(out=noisy)
+            noisy *= scale
+            np.add(clipped_sum, noisy, out=noisy)
+            noisy /= denominator
+            return noisy
         with joint_span(self.recorder, self.tracer, "noise"):
             noise = (
                 self.rng.normal(0.0, scale, size=clipped_sum.shape)

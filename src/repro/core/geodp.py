@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import workspace
 from repro.core.perturbation import perturb_geodp
 from repro.geometry.bounding import (
     delta_prime_upper_bound,
@@ -155,9 +156,14 @@ class GeoDpSgdOptimizer:
             raise ValueError(
                 "empty batch with no lot_size: set lot_size for Poisson sampling"
             )
-        avg = clipped_sum / denominator
+        workspace.note_release_shape(self, clipped_sum.shape)
         if self.recorder is None and self.tracer is None:
-            return perturb_geodp(
+            # Workspace-pooled average (bit-identical to ``clipped_sum /
+            # denominator``); the buffer is recycled once the release no
+            # longer references it.
+            avg = workspace.take(clipped_sum.shape)
+            np.divide(clipped_sum, denominator, out=avg)
+            noisy = perturb_geodp(
                 avg,
                 self.clipping.sensitivity(),
                 self.noise_multiplier,
@@ -167,6 +173,9 @@ class GeoDpSgdOptimizer:
                 clip=False,  # per-sample clipping already bounded the average
                 sensitivity_mode=self.sensitivity_mode,
             )
+            workspace.give(avg)
+            return noisy
+        avg = clipped_sum / denominator
         with joint_span(self.recorder, self.tracer, "noise"):
             noisy = perturb_geodp(
                 avg,

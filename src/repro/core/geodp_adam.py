@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import workspace
 from repro.core.perturbation import perturb_geodp
 from repro.core.sgd import AdamOptimizer
 from repro.geometry.bounding import (
@@ -113,6 +114,24 @@ class GeoDpAdamOptimizer(AdamOptimizer):
         """GeoDP perturbation of an already clipped-and-summed gradient."""
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
+        workspace.note_release_shape(self, clipped_sum.shape)
+        if self.recorder is None and self.tracer is None:
+            # Workspace-pooled average (bit-identical to ``clipped_sum /
+            # count``), recycled once the release no longer references it.
+            avg = workspace.take(clipped_sum.shape)
+            np.divide(clipped_sum, count, out=avg)
+            noisy = perturb_geodp(
+                avg,
+                self.clipping.sensitivity(),
+                self.noise_multiplier,
+                count,
+                self.beta,
+                self.rng,
+                clip=False,
+                sensitivity_mode=self.sensitivity_mode,
+            )
+            workspace.give(avg)
+            return noisy
         avg = clipped_sum / count
         with joint_span(self.recorder, self.tracer, "noise"):
             noisy = perturb_geodp(

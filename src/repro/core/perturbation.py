@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.backend import get_backend
+from repro.backend import get_backend, workspace
 from repro.geometry.bounding import (
     bound_angles,
     direction_sensitivity,
@@ -46,12 +46,25 @@ __all__ = [
 
 
 def clip_gradients(grads, clip_norm: float) -> np.ndarray:
-    """Flat-clip each row of ``grads`` to L2 norm at most ``clip_norm`` (Eq. 6)."""
+    """Flat-clip each row of ``grads`` to L2 norm at most ``clip_norm`` (Eq. 6).
+
+    All working memory comes from the :mod:`repro.backend.workspace` arena
+    (the returned buffer is owned by the caller); the in-place formulation
+    is bit-identical to the historical ``np.linalg.norm`` expression.
+    """
     grads = check_matrix("grads", grads)
     clip_norm = check_positive("clip_norm", clip_norm)
-    norms = np.linalg.norm(grads, axis=1)
-    scale = 1.0 / np.maximum(1.0, norms / clip_norm)
-    return grads * scale[:, None]
+    m = grads.shape[0]
+    out = workspace.take(grads.shape)
+    with workspace.scratch(grads.shape) as sq, workspace.scratch(m) as scale:
+        np.multiply(grads, grads, out=sq)
+        np.add.reduce(sq, axis=1, out=scale)
+        np.sqrt(scale, out=scale)
+        scale /= clip_norm
+        np.maximum(scale, 1.0, out=scale)
+        np.divide(1.0, scale, out=scale)
+        np.multiply(grads, scale[:, None], out=out)
+    return out
 
 
 def perturb_dp_batch(
@@ -81,8 +94,17 @@ def perturb_dp_batch(
         # noiseless path, so DP runs and their noise-free baselines share
         # one RNG stream.  Copy so callers never alias the input.
         return clipped if clip else clipped.copy()
-    noise = rng.normal(0.0, noise_multiplier, size=clipped.shape)
-    return clipped + (clip_norm / batch_size) * noise
+    # Draw into a workspace buffer and scale in place: bit-identical to
+    # ``clipped + (C/B) * rng.normal(0, sigma, shape)`` (same stream, same
+    # element-wise arithmetic) with zero steady-state allocation.
+    out = workspace.take(clipped.shape)
+    rng.standard_normal(out=out)
+    out *= noise_multiplier
+    out *= clip_norm / batch_size
+    out += clipped
+    if clip:
+        workspace.give(clipped)
+    return out
 
 
 def perturb_geodp_batch(
@@ -164,7 +186,10 @@ def perturb_geodp_batch(
             thetas = bound_angles(thetas, beta)
         if noise_multiplier == 0:
             with maybe_span(tracer, "spherical"):
-                return to_cartesian_batch(magnitudes, thetas)
+                out = to_cartesian_batch(magnitudes, thetas)
+            if clip:
+                workspace.give(clipped)
+            return out
         noisy_mag = magnitudes + mag_scale * rng.normal(
             0.0, noise_multiplier, size=magnitudes.shape
         )
@@ -178,11 +203,25 @@ def perturb_geodp_batch(
     # explicit path above, so every backend consumes the identical RNG
     # stream — then hand the deterministic fused kernel to the backend.
     # The reference backend is literally decompose -> add -> compose,
-    # bit-identical to the historical implementation.
-    mag_noise = mag_scale * rng.normal(0.0, noise_multiplier, size=(m,))
-    theta_noise = dir_scale * rng.normal(0.0, noise_multiplier, size=(m, d - 1))
+    # bit-identical to the historical implementation.  Noise buffers come
+    # from the workspace arena; drawing with ``standard_normal(out=...)``
+    # and scaling in place consumes the same stream and produces the same
+    # bits as ``scale * rng.normal(0, sigma, shape)``.
+    mag_noise = workspace.take(m)
+    rng.standard_normal(out=mag_noise)
+    mag_noise *= noise_multiplier
+    mag_noise *= mag_scale
+    theta_noise = workspace.take((m, d - 1))
+    rng.standard_normal(out=theta_noise)
+    theta_noise *= noise_multiplier
+    theta_noise *= dir_scale
     with maybe_span(tracer, "spherical"):
-        return get_backend().geodp_perturb(clipped, mag_noise, theta_noise)
+        out = get_backend().geodp_perturb(clipped, mag_noise, theta_noise)
+    workspace.give(mag_noise)
+    workspace.give(theta_noise)
+    if clip:
+        workspace.give(clipped)
+    return out
 
 
 def perturb_dp(

@@ -191,6 +191,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "intra-kernel thread count for the accelerated backends "
+            "(default: the REPRO_THREADS env var, else 1); outputs are "
+            "bit-identical for any N — chunking is derived from input "
+            "shapes, never from the thread count (see docs/parallelism.md)"
+        ),
+    )
+    parser.add_argument(
         "--grad-mode",
         default=None,
         choices=("materialize", "ghost"),
@@ -326,6 +338,13 @@ def main(argv=None) -> int:
         active = get_backend().name
         if args.backend != "auto" and active != args.backend:
             print(f"[backend {args.backend!r} unavailable; using {active!r}]")
+    if args.threads is not None:
+        from repro.backend import set_num_threads
+
+        if args.threads < 1:
+            print("--threads must be >= 1", file=sys.stderr)
+            return 2
+        set_num_threads(args.threads)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(

@@ -123,28 +123,9 @@ def canonicalize_angles(thetas) -> np.ndarray:
         thetas = thetas[None, :]
     elif thetas.ndim != 2:
         raise ValueError(f"thetas must be 1-D or 2-D, got shape {thetas.shape}")
-    out = np.empty_like(thetas)
-    d_minus_1 = thetas.shape[1]
-    # Whether a polar angle folds (raw value mod 2*pi lands in (pi, 2*pi))
-    # does not depend on a pending negation: negating maps t -> pi - t,
-    # which permutes the fold region onto itself.  The pending-negation
-    # flag at position z is therefore the XOR of the fold flags strictly
-    # before z — an exclusive prefix parity, computable in one cumsum —
-    # and a pending negation turns the folded angle t into pi - t.
-    if d_minus_1 > 1:
-        polar = np.mod(thetas[:, :-1], 2.0 * np.pi)
-        above = polar > np.pi
-        folded = np.where(above, 2.0 * np.pi - polar, polar)
-        fold_count = np.cumsum(above, axis=1)
-        pending = (fold_count - above) % 2 == 1  # exclusive prefix parity
-        out[:, :-1] = np.where(pending, np.pi - folded, folded)
-        negate = fold_count[:, -1] % 2 == 1
-    else:
-        negate = np.zeros(thetas.shape[0], dtype=bool)
-    last = thetas[:, -1].copy()
-    last[negate] += np.pi
-    last = np.mod(last + np.pi, 2 * np.pi) - np.pi
-    # mod maps pi -> -pi; keep the canonical (-pi, pi] convention.
-    last[last == -np.pi] = np.pi
-    out[:, -1] = last
+    if thetas.shape[1] == 0:
+        raise ValueError("thetas must have at least one angle column")
+    # The fold itself is a backend kernel (row-parallel hot loop); see
+    # ReferenceBackend.canonicalize_angles for the fold-parity algebra.
+    out = get_backend().canonicalize_angles(np.ascontiguousarray(thetas))
     return out[0] if single else out

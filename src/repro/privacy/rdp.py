@@ -32,9 +32,12 @@ from repro.utils.validation import check_positive, check_probability
 
 __all__ = [
     "DEFAULT_ALPHAS",
+    "SUBSAMPLED_CURVE_CACHE_SIZE",
     "rdp_gaussian",
     "rdp_subsampled_gaussian",
     "rdp_to_dp",
+    "subsampled_curve_cache_info",
+    "subsampled_curve_cache_clear",
 ]
 
 # Renyi orders: fractional orders just above 1 (where the conversion is
@@ -173,7 +176,15 @@ def rdp_subsampled_gaussian(q: float, sigma: float, alphas=DEFAULT_ALPHAS) -> np
     return _subsampled_curve(q, sigma, tuple(alphas.tolist())).copy()
 
 
-@lru_cache(maxsize=512)
+#: Bound on memoized subsampled-RDP curves.  Each cached entry is one
+#: small float64 array (~64 orders), so the cache tops out around 256 KiB;
+#: the explicit bound exists so a parameter sweep over thousands of
+#: (q, sigma) pairs evicts rather than grows without limit
+#: (least-recently-used first — tested in ``tests/privacy/test_rdp.py``).
+SUBSAMPLED_CURVE_CACHE_SIZE = 512
+
+
+@lru_cache(maxsize=SUBSAMPLED_CURVE_CACHE_SIZE)
 def _subsampled_curve(q: float, sigma: float, alphas: tuple) -> np.ndarray:
     """Memoized curve for one (q, sigma, alphas) triple.
 
@@ -189,6 +200,17 @@ def _subsampled_curve(q: float, sigma: float, alphas: tuple) -> np.ndarray:
         else:
             out[idx] = _rdp_frac_order(q, sigma, float(alpha))
     return out
+
+
+def subsampled_curve_cache_info():
+    """Hit/miss/size statistics of the subsampled-curve memo (``functools``
+    ``CacheInfo``); ``maxsize`` is :data:`SUBSAMPLED_CURVE_CACHE_SIZE`."""
+    return _subsampled_curve.cache_info()
+
+
+def subsampled_curve_cache_clear() -> None:
+    """Drop every memoized subsampled-RDP curve (tests, memory pressure)."""
+    _subsampled_curve.cache_clear()
 
 
 def rdp_to_dp(alphas, rdp, delta: float) -> tuple[float, float]:

@@ -138,3 +138,69 @@ class TestRdpToDp:
         eps1, _ = rdp_to_dp(DEFAULT_ALPHAS, steps * rdp, 1e-5)
         eps2, _ = rdp_to_dp(DEFAULT_ALPHAS, (steps + 100) * rdp, 1e-5)
         assert eps2 >= eps1
+
+
+class TestSubsampledCurveCache:
+    """The memoized curve is bounded and evicts least-recently-used first."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        from repro.privacy.rdp import subsampled_curve_cache_clear
+
+        subsampled_curve_cache_clear()
+        yield
+        subsampled_curve_cache_clear()
+
+    def test_cache_bound_is_explicit(self):
+        from repro.privacy.rdp import (
+            SUBSAMPLED_CURVE_CACHE_SIZE,
+            subsampled_curve_cache_info,
+        )
+
+        info = subsampled_curve_cache_info()
+        assert info.maxsize == SUBSAMPLED_CURVE_CACHE_SIZE
+        assert SUBSAMPLED_CURVE_CACHE_SIZE >= 1
+
+    def test_repeat_parameters_hit_the_cache(self):
+        from repro.privacy.rdp import subsampled_curve_cache_info
+
+        first = rdp_subsampled_gaussian(0.01, 1.1, (2.0, 3.0))
+        again = rdp_subsampled_gaussian(0.01, 1.1, (2.0, 3.0))
+        np.testing.assert_array_equal(first, again)
+        info = subsampled_curve_cache_info()
+        assert info.hits == 1 and info.misses == 1
+        # The public wrapper returns a copy: mutating it cannot poison
+        # the memo for later callers.
+        again[:] = -1.0
+        clean = rdp_subsampled_gaussian(0.01, 1.1, (2.0, 3.0))
+        np.testing.assert_array_equal(clean, first)
+
+    def test_cache_never_exceeds_bound_and_evicts_lru(self):
+        from repro.privacy.rdp import (
+            SUBSAMPLED_CURVE_CACHE_SIZE,
+            subsampled_curve_cache_info,
+        )
+
+        size = SUBSAMPLED_CURVE_CACHE_SIZE
+        # Cheap single-order curves so filling the cache stays fast.
+        qs = [0.001 + 0.4 * i / (size + 8) for i in range(size + 8)]
+        for q in qs[:size]:
+            rdp_subsampled_gaussian(q, 1.0, (2.0,))
+        info = subsampled_curve_cache_info()
+        assert info.currsize == size
+
+        # Touch the oldest entry so it becomes most-recently-used...
+        rdp_subsampled_gaussian(qs[0], 1.0, (2.0,))
+        assert subsampled_curve_cache_info().hits == 1
+
+        # ...then overflow the cache: qs[1] is now the LRU and must go.
+        for q in qs[size:]:
+            rdp_subsampled_gaussian(q, 1.0, (2.0,))
+        info = subsampled_curve_cache_info()
+        assert info.currsize == size  # bounded, not grown
+
+        before = subsampled_curve_cache_info()
+        rdp_subsampled_gaussian(qs[0], 1.0, (2.0,))  # protected: still cached
+        assert subsampled_curve_cache_info().hits == before.hits + 1
+        rdp_subsampled_gaussian(qs[1], 1.0, (2.0,))  # evicted: recomputed
+        assert subsampled_curve_cache_info().misses == before.misses + 1

@@ -1,10 +1,17 @@
-"""Tier-1 lint gate: run ruff with the repo's pyproject configuration.
+"""Tier-1 lint gates: ruff, plus an AST allocation check for the hot path.
 
-Skips when ruff is not installed (the check then runs wherever the dev
-environment provides it); when available, lint errors fail the suite with
-ruff's own diagnostics as the assertion message.
+The ruff gate skips when ruff is not installed (the check then runs
+wherever the dev environment provides it); when available, lint errors
+fail the suite with ruff's own diagnostics as the assertion message.
+
+The allocation gate is pure stdlib ``ast`` and always runs: the release
+hot-path modules must route every buffer through the
+:mod:`repro.backend.workspace` arena, so a direct ``np.empty`` /
+``np.zeros`` there is a regression of the zero-allocation contract even
+when it is numerically harmless.
 """
 
+import ast
 import importlib.util
 import subprocess
 import sys
@@ -13,6 +20,54 @@ from pathlib import Path
 import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Release hot-path modules: all allocation goes through the workspace
+#: arena.  ``repro/backend/workspace.py`` (the arena itself) and
+#: ``repro/backend/reference.py`` (the serial historical golden, kept
+#: byte-for-byte as the parity baseline) are exempt by design.
+HOT_PATH_MODULES = (
+    "src/repro/core/perturbation.py",
+    "src/repro/backend/fused.py",
+    "src/repro/backend/cext.py",
+    "src/repro/backend/threads.py",
+)
+
+#: ``np.<name>`` calls that allocate fresh buffers.
+FORBIDDEN_ALLOCATORS = frozenset({"empty", "zeros", "empty_like", "zeros_like"})
+
+
+def _direct_allocations(source: str, filename: str) -> list[str]:
+    """``file:line np.<fn>`` for every direct numpy allocation call."""
+    violations = []
+    for node in ast.walk(ast.parse(source, filename=filename)):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        func = node.func
+        if (
+            func.attr in FORBIDDEN_ALLOCATORS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("np", "numpy")
+        ):
+            violations.append(f"{filename}:{node.lineno} np.{func.attr}")
+    return violations
+
+
+def test_hot_path_allocates_only_through_workspace():
+    violations = []
+    for relative in HOT_PATH_MODULES:
+        path = REPO_ROOT / relative
+        violations.extend(_direct_allocations(path.read_text(), relative))
+    assert violations == [], (
+        "direct numpy allocation in a release hot-path module — use "
+        "repro.backend.workspace (take/scratch/zeros) instead:\n  "
+        + "\n  ".join(violations)
+    )
+
+
+def test_hot_path_module_list_is_current():
+    """The lint covers real files (a rename must update the list)."""
+    for relative in HOT_PATH_MODULES:
+        assert (REPO_ROOT / relative).is_file(), f"{relative} missing"
 
 
 def ruff_available() -> bool:
