@@ -75,6 +75,13 @@ MAX_SPARSE_TOUCH_RATE = 0.10
 MIN_SERVICE_DECISIONS_PER_SEC = 200.0
 MAX_SERVICE_P95_SECONDS = 0.05
 
+#: Live observability ceilings (see ``bench_live.live_section``): the
+#: registry + per-step HealthMonitor may add at most this fraction over a
+#: recorder-only run, and one scrape render / rule evaluation must stay
+#: below this latency so scraping never perturbs the run.
+MAX_LIVE_OVERHEAD = 0.05
+MAX_LIVE_SCRAPE_P95_SECONDS = 0.05
+
 _BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
 
@@ -472,6 +479,74 @@ def gate_service_file(path, **kwargs) -> tuple[str, bool]:
     return "\n".join(header + lines + footer), not failures
 
 
+def gate_live(
+    section: dict | None,
+    *,
+    max_overhead: float = MAX_LIVE_OVERHEAD,
+    max_scrape_p95_seconds: float = MAX_LIVE_SCRAPE_P95_SECONDS,
+) -> tuple[list[str], list[str]]:
+    """Within-run gate: live observability must stay near-free.
+
+    ``section`` is an archive's ``"live"`` mapping (see
+    ``bench_live.live_section``); archives without one pass trivially.
+    The archived run's steady-state overhead (registry mirroring plus
+    per-step alert evaluation, relative to a recorder-only run) must be
+    under ``max_overhead``, and both the rule-evaluation and
+    Prometheus-render p95 latencies must be at or below
+    ``max_scrape_p95_seconds``.  Returns ``(report lines, failures)``.
+    """
+    if not section:
+        return ["(no live section; observability gate skipped)"], []
+    overhead = section.get("overhead_fraction")
+    if overhead is None:
+        return ["(live section lacks overhead_fraction; gate skipped)"], []
+    lines = []
+    failures = []
+    overhead = float(overhead)
+    ok = overhead < max_overhead
+    lines.append(
+        f"live-layer overhead {overhead:+10.2%} "
+        f"(budget {max_overhead:.0%})   {'ok' if ok else 'FAIL'}"
+    )
+    if not ok:
+        failures.append(
+            f"live: overhead {overhead:+.2%} (must be < {max_overhead:.0%})"
+        )
+    for key, label in (
+        ("evaluate_p95_seconds", "rule evaluation"),
+        ("render_p95_seconds", "prometheus render"),
+    ):
+        p95 = section.get(key)
+        if p95 is None:
+            continue
+        p95 = float(p95)
+        ok = p95 <= max_scrape_p95_seconds
+        lines.append(
+            f"{label} p95 {p95 * 1e3:9.3f} ms "
+            f"(ceiling {max_scrape_p95_seconds * 1e3:.0f} ms)   "
+            f"{'ok' if ok else 'FAIL'}"
+        )
+        if not ok:
+            failures.append(
+                f"live: {label} p95 {p95:.4f}s "
+                f"(must be <= {max_scrape_p95_seconds}s)"
+            )
+    return lines, failures
+
+
+def gate_live_file(path, **kwargs) -> tuple[str, bool]:
+    """Run :func:`gate_live` on one archive; returns ``(report, ok)``."""
+    payload = json.loads(Path(path).read_text())
+    lines, failures = gate_live(payload.get("live"), **kwargs)
+    header = [f"live observability gate: {path}", ""]
+    footer = (
+        ["", "PASS: live observability stays within its ceilings"]
+        if not failures
+        else ["", "FAIL:"] + [f"  - {failure}" for failure in failures]
+    )
+    return "\n".join(header + lines + footer), not failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -517,7 +592,11 @@ def main(argv=None) -> int:
     print(f"\n{service_report}")
     threads_report, threads_ok = gate_threads_file(candidate)
     print(f"\n{threads_report}")
-    return 0 if ok and gate_ok and sparse_ok and service_ok and threads_ok else 1
+    live_report, live_ok = gate_live_file(candidate)
+    print(f"\n{live_report}")
+    return 0 if (
+        ok and gate_ok and sparse_ok and service_ok and threads_ok and live_ok
+    ) else 1
 
 
 if __name__ == "__main__":

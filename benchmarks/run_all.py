@@ -35,7 +35,10 @@ step must beat dense at touch rates up to 10% (``compare.gate_sparse``).
 A ``service`` section (``bench_service.service_section``) measures
 budget-server admission throughput and p95 latency over a mixed
 two-tenant stream; ``compare.gate_service`` enforces >= 200 decisions/s
-and a 50ms p95 ceiling.  A ``threads`` section
+and a 50ms p95 ceiling.  A ``live`` section (``bench_live.live_section``) measures the live
+observability layer (registry mirroring + per-step alert evaluation)
+against a recorder-only run plus scrape/evaluate p95 latency;
+``compare.gate_live`` enforces a 5% overhead ceiling.  A ``threads`` section
 (``bench_threads.threads_section``) checks byte-identical outputs across
 thread counts, headline-kernel speedup at min(4, cpu_count) threads, and
 the steady-state (workspace-arena-warm) allocation peak of one GeoDP
@@ -175,6 +178,14 @@ def main(argv=None) -> int:
     for name, entry in service["benchmarks"].items():
         print(f"  {name:28s} {entry['seconds'] * 1e3:9.3f} ms")
 
+    print("[live]")
+    from bench_live import live_section
+
+    live = live_section()
+    print(f"  {'overhead_fraction':28s} {live['overhead_fraction']:+9.2%}")
+    for name, entry in live["benchmarks"].items():
+        print(f"  {name:28s} {entry['seconds'] * 1e3:9.3f} ms")
+
     print("[threads]")
     from bench_threads import threads_section
 
@@ -211,6 +222,7 @@ def main(argv=None) -> int:
                 "sparse": sparse,
                 "service": service,
                 "threads": threads,
+                "live": live,
             },
             indent=2,
         )
@@ -222,6 +234,7 @@ def main(argv=None) -> int:
         bench_files,
         compare_files,
         gate_accelerated_file,
+        gate_live_file,
         gate_service_file,
         gate_sparse_file,
         gate_threads_file,
@@ -240,7 +253,11 @@ def main(argv=None) -> int:
     print(f"\n{service_report}")
     threads_report, threads_ok = gate_threads_file(path)
     print(f"\n{threads_report}")
-    return 0 if ok and gate_ok and sparse_ok and service_ok and threads_ok else 1
+    live_report, live_ok = gate_live_file(path)
+    print(f"\n{live_report}")
+    return 0 if (
+        ok and gate_ok and sparse_ok and service_ok and threads_ok and live_ok
+    ) else 1
 
 
 if __name__ == "__main__":

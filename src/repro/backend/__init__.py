@@ -73,6 +73,7 @@ __all__ = [
     "set_backend",
     "use_backend",
     "note_backend",
+    "publish_metrics",
     "set_num_threads",
     "get_num_threads",
     "use_num_threads",
@@ -217,3 +218,36 @@ def note_backend(recorder) -> None:
     recorder.increment(f"backend_active_{backend.name}")
     if _active_fell_back:
         recorder.increment("backend_fallbacks")
+
+
+def publish_metrics(registry) -> None:
+    """Set backend-layer gauges on a live ``MetricsRegistry``.
+
+    Designed as a registry *collector* (``registry.register_collector(
+    publish_metrics)``), invoked at scrape/evaluation time: active
+    backend (``backend_active{backend=...}`` one-hot), fallback state,
+    workspace-arena hit/miss/bytes/keys, configured kernel thread count,
+    and current intra-kernel thread-pool occupancy.  Read-only.
+    """
+    from repro.backend import threads as _threads
+    from repro.backend import workspace as _workspace
+
+    backend = get_backend()
+    for name in BACKEND_NAMES:
+        registry.set_gauge(
+            "backend_active",
+            1.0 if name == backend.name else 0.0,
+            labels={"backend": name},
+        )
+    registry.set_gauge("backend_fell_back", 1.0 if _active_fell_back else 0.0)
+    for name, value in _workspace.stats().items():
+        registry.set_gauge(f"backend_{name}", float(value))
+    registry.set_gauge("backend_threads_configured", float(get_num_threads()))
+    executor = _threads._executor
+    pool_size = float(_threads._executor_size if executor is not None else 0)
+    occupancy = 0.0
+    if executor is not None:
+        # Threads exist lazily; count the ones actually alive right now.
+        occupancy = float(sum(1 for t in executor._threads if t.is_alive()))
+    registry.set_gauge("backend_thread_pool_size", pool_size)
+    registry.set_gauge("backend_thread_pool_occupancy", occupancy)

@@ -234,6 +234,10 @@ class DpSgdOptimizer:
                 accountant=self.accountant,
                 meta=self._ledger_meta(),
             )
+        if self.recorder is not None:
+            # Per-mechanism release counter for the live metric surface
+            # (release mix across gaussian/geodp under one registry).
+            self.recorder.increment(f"releases_{self.ledger_mechanism}")
 
     def step(self, params: np.ndarray, per_sample_grads) -> np.ndarray:
         """One DP-SGD update; returns the new parameter vector."""

@@ -177,6 +177,10 @@ class GeoDpAdamOptimizer(AdamOptimizer):
                 accountant=self.accountant,
                 meta=self._ledger_meta(),
             )
+        if self.recorder is not None:
+            # Per-mechanism release counter for the live metric surface
+            # (release mix across gaussian/geodp under one registry).
+            self.recorder.increment(f"releases_{self.ledger_mechanism}")
 
     def step_presummed(self, params: np.ndarray, clipped_sum: np.ndarray, count: int) -> np.ndarray:
         """One Adam update from an accumulated clipped sum."""

@@ -135,6 +135,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--alerts-only",
+        action="store_true",
+        help=(
+            "restrict the 'report' output to the alert annotations "
+            "extracted from each run's ledger"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help=(
+            "sample the experiment with the SIGPROF profiler and write "
+            "collapsed stacks (flamegraph format) to PATH; with --chrome "
+            "on 'report', profiles can be merged via the API"
+        ),
+    )
+    parser.add_argument(
         "--scale",
         default="smoke",
         choices=("smoke", "ci", "paper"),
@@ -283,7 +301,13 @@ def run_one(
     return f"{notice}{fmt(result)}\n[{name} completed in {elapsed:.1f}s]"
 
 
-def run_report(path: str, *, fmt: str = "markdown", chrome: str | None = None) -> str:
+def run_report(
+    path: str,
+    *,
+    fmt: str = "markdown",
+    chrome: str | None = None,
+    alerts_only: bool = False,
+) -> str:
     """Render the report for one exported trace file; optionally write Chrome JSON.
 
     Merges every run bundle's span tree onto one per-run track when
@@ -293,7 +317,7 @@ def run_report(path: str, *, fmt: str = "markdown", chrome: str | None = None) -
     from repro.telemetry import Tracer, build_report, load_run_bundles, render_report
 
     bundles = load_run_bundles(path)
-    text = render_report(build_report(bundles), fmt=fmt)
+    text = render_report(build_report(bundles), fmt=fmt, alerts_only=alerts_only)
     if chrome is not None:
         merged = Tracer(granularity="phase")
         for run in sorted(bundles):
@@ -311,6 +335,10 @@ def main(argv=None) -> int:
         from repro.service.cli import main as service_main
 
         return service_main(argv)
+    if argv and argv[0] == "monitor":
+        from repro.telemetry.live.monitor import main as monitor_main
+
+        return monitor_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, (_, _, description) in sorted(EXPERIMENTS.items()):
@@ -320,7 +348,14 @@ def main(argv=None) -> int:
         if args.path is None:
             print("report requires a trace file path", file=sys.stderr)
             return 2
-        print(run_report(args.path, fmt=args.report_format, chrome=args.chrome))
+        print(
+            run_report(
+                args.path,
+                fmt=args.report_format,
+                chrome=args.chrome,
+                alerts_only=args.alerts_only,
+            )
+        )
         return 0
     if args.path is not None:
         print("only the 'report' subcommand takes a trace path", file=sys.stderr)
@@ -346,20 +381,30 @@ def main(argv=None) -> int:
             return 2
         set_num_threads(args.threads)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(
-            run_one(
-                name,
-                args.scale,
-                args.seed,
-                telemetry=args.telemetry,
-                checkpoint_dir=args.checkpoint_dir,
-                resume=args.resume,
-                workers=args.workers,
-                grad_mode=args.grad_mode,
+    profiler = None
+    if args.profile is not None:
+        from repro.telemetry.live.profiler import SamplingProfiler
+
+        profiler = SamplingProfiler().start()
+    try:
+        for name in names:
+            print(
+                run_one(
+                    name,
+                    args.scale,
+                    args.seed,
+                    telemetry=args.telemetry,
+                    checkpoint_dir=args.checkpoint_dir,
+                    resume=args.resume,
+                    workers=args.workers,
+                    grad_mode=args.grad_mode,
+                )
             )
-        )
-        print()
+            print()
+    finally:
+        if profiler is not None:
+            profiler.stop().save_collapsed(args.profile)
+            print(f"[profile: {profiler.sample_count} samples -> {args.profile}]")
     return 0
 
 

@@ -369,6 +369,12 @@ class _ParallelRunner:
         if self.done[index]:
             return
         self.attempts[index] += 1
+        # An instrumented job that dies mid-attempt takes its shipped
+        # telemetry with it (partial worker state is unreachable after a
+        # hang or crash).  Count the loss so merged metrics are honest
+        # about under-reporting instead of silent about it.
+        if getattr(self.fn, "ships_telemetry", False):
+            _count(self.telemetry, "runtime_shipback_lost")
         if self.attempts[index] >= self.max_attempts:
             # Last resort: run in-process.  Bit-identical to a worker run
             # (the job owns its random stream), and it turns "worker keeps

@@ -79,6 +79,12 @@ def instrument(fn, *, granularity: str = "phase", trace_memory: bool = False):
             tracer.close()
         return ShippedTelemetry(result, recorder.state_dict(), tracer.state_dict())
 
+    # Marker the pool uses to count telemetry lost to failed attempts
+    # (``runtime_shipback_lost``): a hung or crashed worker cannot ship
+    # its partial state back, so the loss is made explicit instead of
+    # silently under-reporting merged metrics.
+    shipped.ships_telemetry = True
+    shipped.__wrapped__ = fn
     return shipped
 
 

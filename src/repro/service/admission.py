@@ -26,6 +26,7 @@ the conservative direction for privacy.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.service.queue import JobSpec
@@ -82,8 +83,19 @@ class AdmissionController:
         chained into its ledger with the job id in ``meta`` — the spend is
         durable in the chain before the caller ever dispatches.  On
         refusal a non-spending annotation carrying the projection and the
-        budget is chained instead.
+        budget is chained instead.  Decision latency (lock wait included)
+        is recorded as the ``service_admission_seconds`` series.
         """
+        start = time.perf_counter()
+        try:
+            return self._admit(spec, job_id=job_id)
+        finally:
+            if self.telemetry is not None:
+                self.telemetry.record(
+                    "service_admission_seconds", time.perf_counter() - start
+                )
+
+    def _admit(self, spec: JobSpec, *, job_id: str) -> AdmissionDecision:
         tenant = self.registry.get(spec.tenant)
         with tenant.lock:
             spent = tenant.spent_epsilon()

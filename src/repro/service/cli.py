@@ -46,6 +46,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--once", action="store_true",
         help="drain the spool and queue, then exit instead of serving forever",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve live metrics on this port (0 = ephemeral; "
+        "Prometheus at /metrics, snapshots at /state.json)",
+    )
+    serve.add_argument(
+        "--alert-rules", default=None, metavar="FILE",
+        help="JSON file with a list of declarative alert rules "
+        "(see docs/observability.md) evaluated on top of the built-ins",
+    )
+    serve.add_argument(
+        "--alert-horizon", type=int, default=200, metavar="STEPS",
+        help="epsilon burn-rate projection horizon in state transitions",
+    )
+    serve.add_argument(
+        "--profile", default=None, metavar="FILE",
+        help="sample the serve loop with SIGPROF and write collapsed "
+        "stacks (flamegraph format) to FILE on exit",
+    )
 
     submit = sub.add_parser("submit", help="spool one job submission")
     submit.add_argument("--state-dir", required=True, metavar="DIR")
@@ -93,27 +112,55 @@ def _open_server(state_dir, **kwargs):
     return BudgetServer(state_dir, **kwargs)
 
 
+def _load_alert_rules(path):
+    import json
+
+    from repro.telemetry.live.health import rule_from_dict
+
+    with open(path, encoding="utf-8") as fh:
+        specs = json.load(fh)
+    return [rule_from_dict(spec) for spec in specs]
+
+
 def _cmd_serve(args) -> int:
+    alert_rules = _load_alert_rules(args.alert_rules) if args.alert_rules else None
     server = _open_server(
-        args.state_dir, workers=args.workers, batch_size=args.batch_size
+        args.state_dir,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        metrics_port=args.metrics_port,
+        alert_rules=alert_rules,
+        alert_horizon_steps=args.alert_horizon,
     )
-    if args.once:
-        done = server.run_until_idle()
-        print(f"[served {done} transitions; queue drained]")
+    if server.metrics_address is not None:
+        print(f"[metrics at {server.metrics_address}/metrics]", flush=True)
+    profiler = None
+    if args.profile:
+        from repro.telemetry.live.profiler import SamplingProfiler
+
+        profiler = SamplingProfiler().start()
+    try:
+        if args.once:
+            done = server.run_until_idle()
+            print(f"[served {done} transitions; queue drained]")
+            return 0
+        stop = threading.Event()
+
+        def request_drain(signum, frame):
+            print(f"[signal {signum}: draining]", flush=True)
+            stop.set()
+
+        signal.signal(signal.SIGTERM, request_drain)
+        signal.signal(signal.SIGINT, request_drain)
+        print(f"[serving from {args.state_dir}; workers={args.workers}]", flush=True)
+        server.serve(poll_interval=args.poll, stop=stop)
+        counts = server.queue.counts()
+        print(f"[drained; jobs: {counts}]")
         return 0
-    stop = threading.Event()
-
-    def request_drain(signum, frame):
-        print(f"[signal {signum}: draining]", flush=True)
-        stop.set()
-
-    signal.signal(signal.SIGTERM, request_drain)
-    signal.signal(signal.SIGINT, request_drain)
-    print(f"[serving from {args.state_dir}; workers={args.workers}]", flush=True)
-    server.serve(poll_interval=args.poll, stop=stop)
-    counts = server.queue.counts()
-    print(f"[drained; jobs: {counts}]")
-    return 0
+    finally:
+        if profiler is not None:
+            profiler.stop().save_collapsed(args.profile)
+            print(f"[profile: {profiler.sample_count} samples -> {args.profile}]")
 
 
 def _cmd_submit(args) -> int:

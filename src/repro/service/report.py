@@ -10,8 +10,29 @@ markdown or JSON for the ``repro tenants report`` CLI.
 from __future__ import annotations
 
 from repro.privacy.ledger import verify_ledger
+from repro.telemetry.report import alerts_from_ledger
 
-__all__ = ["build_budget_report"]
+__all__ = ["build_budget_report", "burn_rate"]
+
+#: Trailing ε-trajectory points the burn-rate trend is fitted over.
+BURN_RATE_WINDOW = 8
+
+
+def burn_rate(trajectory, *, window: int = BURN_RATE_WINDOW) -> float | None:
+    """Recent ε spend per accounted step from an ε trajectory.
+
+    ``trajectory`` is ``[(cumulative_steps, epsilon), ...]``; the rate is
+    the secant slope over the last ``window`` points — the same linear
+    projection the ``epsilon_burn_rate`` alert rule uses.  ``None`` when
+    fewer than two points exist.
+    """
+    tail = list(trajectory)[-window:]
+    if len(tail) < 2:
+        return None
+    (s0, e0), (s1, e1) = tail[0], tail[-1]
+    if s1 <= s0:
+        return None
+    return (float(e1) - float(e0)) / (float(s1) - float(s0))
 
 
 def _tenant_section(tenant, queue) -> dict:
@@ -31,6 +52,11 @@ def _tenant_section(tenant, queue) -> dict:
         for record in tenant.ledger.entries
         if record.is_annotation and record.mechanism == "annotation.refused"
     ]
+    trajectory = [
+        [int(steps), float(eps)] for steps, eps in tenant.ledger.epsilon_trajectory()
+    ]
+    rate = burn_rate(trajectory)
+    remaining = max(0.0, budget - spent)
     return {
         "epsilon_budget": budget,
         "delta": tenant.policy.delta,
@@ -38,11 +64,16 @@ def _tenant_section(tenant, queue) -> dict:
         # Replayed spend is the *audited* number: what the hash chain
         # composes to, not what mutable accountant state claims.
         "spent_epsilon": spent,
-        "remaining_epsilon": max(0.0, budget - spent),
+        "remaining_epsilon": remaining,
         "utilization": spent / budget if budget > 0 else 0.0,
+        "burn_rate": rate,
+        "steps_to_exhaustion": (
+            remaining / rate if rate is not None and rate > 0 else None
+        ),
         "dispatch_count": tenant.dispatch_count,
         "jobs": queue.tenant_counts(tenant.name),
         "refusals": refusals,
+        "alerts": alerts_from_ledger(tenant.ledger),
         "ledger": {
             "entries": len(tenant.ledger.entries),
             "head": tenant.ledger.head,
@@ -50,9 +81,7 @@ def _tenant_section(tenant, queue) -> dict:
             "verified": verification.ok,
             "verification": str(verification),
         },
-        "epsilon_trajectory": [
-            [int(steps), float(eps)] for steps, eps in tenant.ledger.epsilon_trajectory()
-        ],
+        "epsilon_trajectory": trajectory,
     }
 
 

@@ -36,6 +36,7 @@ import time
 
 import numpy as np
 
+from repro.privacy.ledger import ReleaseLedger
 from repro.runtime.jobs import Job
 from repro.runtime.scheduler import run_cells
 from repro.runtime.shipback import job_recorder
@@ -43,6 +44,9 @@ from repro.service.admission import AdmissionController, AdmissionDecision
 from repro.service.persist import ServiceStore
 from repro.service.queue import JobQueue, JobRecord, JobSpec
 from repro.service.tenants import TenantRegistry
+from repro.telemetry.live.exporter import MetricsExporter
+from repro.telemetry.live.health import AlertRule, HealthMonitor, alert_meta
+from repro.telemetry.live.registry import MetricsRegistry
 from repro.telemetry.recorder import MetricsRecorder
 
 __all__ = ["BudgetServer", "execute_job"]
@@ -118,6 +122,18 @@ class BudgetServer:
     runner:
         Job execution callable ``runner(Job) -> dict``; defaults to
         :func:`execute_job`.
+    metrics_port:
+        When not ``None``, start a live metrics endpoint
+        (:class:`~repro.telemetry.live.MetricsExporter`) on this port
+        (``0`` = ephemeral) serving Prometheus text at ``/metrics`` and
+        snapshots at ``/state.json`` / ``/alerts.json``.
+    alert_rules:
+        Extra :class:`~repro.telemetry.live.AlertRule` objects evaluated
+        each cycle, on top of the built-in per-tenant ε burn-rate rules.
+    alert_horizon_steps:
+        Burn-rate projection horizon, in state transitions: a tenant
+        alert fires when its spend trend would cross the budget within
+        this many transitions.
     """
 
     def __init__(
@@ -131,6 +147,10 @@ class BudgetServer:
         tracer=None,
         runner=None,
         ship_telemetry: bool = True,
+        metrics_port: int | None = None,
+        metrics_host: str = "127.0.0.1",
+        alert_rules=None,
+        alert_horizon_steps: int = 200,
     ):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -154,10 +174,36 @@ class BudgetServer:
         #: Monotonic state-transition counter (snapshot sequence).
         self.seq = 0
         self._stop = threading.Event()
+        #: Hash-chained home for server-scope (non-tenant) alert
+        #: annotations; tenant alerts go into the tenant's own ledger.
+        self.ops_ledger = ReleaseLedger(namespace="ops")
+        #: Live metric surface.  The server recorder mirrors into it, so
+        #: everything the runtime/backends/optimizers publish through
+        #: telemetry is scrapeable; service-state gauges come from the
+        #: collector below.
+        self.metrics = MetricsRegistry()
+        self.telemetry.bind_registry(self.metrics)
+        self.metrics.register_collector(self._collect_service_metrics)
+        from repro.backend import publish_metrics as _publish_backend
+
+        self.metrics.register_collector(_publish_backend)
+        self.alert_horizon_steps = int(alert_horizon_steps)
+        self._extra_alert_rules = list(alert_rules or ())
+        self.health = HealthMonitor(self.metrics, annotator=self._annotate_alert)
         if self.store is not None:
             state = self.store.load(telemetry=self.telemetry)
             if state is not None:
                 self._load_state(state)
+        self._refresh_alert_rules()
+        self.metrics_exporter = None
+        if metrics_port is not None:
+            self.metrics_exporter = MetricsExporter(
+                self.metrics,
+                port=metrics_port,
+                host=metrics_host,
+                monitor=self.health,
+                snapshot_extra=self._snapshot_extra,
+            ).start()
 
     # ------------------------------------------------------------ tenants
     def add_tenant(
@@ -174,6 +220,7 @@ class BudgetServer:
         )
         with self._state_lock:
             self._persist()
+        self._refresh_alert_rules()
         return tenant
 
     def set_tenant_budget(self, name: str, epsilon_budget: float):
@@ -181,6 +228,7 @@ class BudgetServer:
         tenant = self.registry.set_budget(name, epsilon_budget)
         with self._state_lock:
             self._persist()
+        self._refresh_alert_rules()
         self.recheck_pending()
         return tenant
 
@@ -296,10 +344,11 @@ class BudgetServer:
         return len(batch)
 
     def run_once(self) -> int:
-        """One server cycle: ingest, re-check pending, dispatch a batch."""
+        """One server cycle: ingest, re-check pending, dispatch, health."""
         work = self.ingest_spool()
         work += self.recheck_pending()
         work += self.dispatch_once()
+        self.evaluate_health()
         return work
 
     def run_until_idle(self) -> int:
@@ -342,6 +391,109 @@ class BudgetServer:
     def shutdown(self) -> None:
         """Ask a running :meth:`serve` loop to drain and exit."""
         self._stop.set()
+        if self.metrics_exporter is not None:
+            self.metrics_exporter.stop()
+            self.metrics_exporter = None
+
+    # ------------------------------------------------------------- health
+    @property
+    def metrics_address(self) -> str | None:
+        """Base URL of the live endpoint, or ``None`` when not exported."""
+        if self.metrics_exporter is None:
+            return None
+        return self.metrics_exporter.address
+
+    def _collect_service_metrics(self, registry) -> None:
+        """Registry collector: queue depths, per-tenant ε, phase times.
+
+        The ε gauges read each tenant's *live* accountant, which is
+        always replay-derived from its hash-chained ledger (construction
+        and restore both go through ``replay_accountant``), so a scrape
+        after a SIGKILL restart matches ``verify_ledger`` replay exactly.
+        """
+        registry.set_gauge("service_seq", float(self.seq), step=self.seq)
+        for status, count in sorted(self.queue.counts().items()):
+            registry.set_gauge(
+                "service_queue_depth",
+                float(count),
+                step=self.seq,
+                labels={"status": status},
+            )
+        for tenant in self.registry:
+            labels = {"tenant": tenant.name}
+            spent = tenant.spent_epsilon()
+            registry.set_gauge(
+                "service_tenant_epsilon_spent", spent, step=self.seq, labels=labels
+            )
+            registry.set_gauge(
+                "service_tenant_epsilon_remaining",
+                tenant.remaining_epsilon(),
+                step=self.seq,
+                labels=labels,
+            )
+            registry.set_gauge(
+                "service_tenant_epsilon_budget",
+                tenant.policy.epsilon_budget,
+                step=self.seq,
+                labels=labels,
+            )
+        for phase, seconds in self.telemetry.timers.items():
+            registry.set_gauge(
+                "service_phase_seconds", seconds, labels={"phase": phase}
+            )
+
+    def _snapshot_extra(self) -> dict:
+        """Service context appended to ``/state.json`` snapshots."""
+        return {"service": {"seq": int(self.seq), "jobs": self.queue.counts()}}
+
+    def _refresh_alert_rules(self) -> None:
+        """Rebuild the rule set: one ε burn-rate rule per tenant + extras.
+
+        Called whenever tenants or budgets change; budgets are captured
+        at refresh time, so a budget change re-derives its rule.
+        """
+        rules = [
+            AlertRule(
+                "epsilon_burn_rate",
+                labels={"tenant": tenant.name},
+                budget=tenant.policy.epsilon_budget,
+                horizon_steps=self.alert_horizon_steps,
+                min_samples=2,
+                severity="critical",
+                description="projected ε spend crosses the tenant budget "
+                f"within {self.alert_horizon_steps} transitions",
+            )
+            for tenant in self.registry
+        ]
+        rules.extend(self._extra_alert_rules)
+        self.health.set_rules(rules)
+
+    def _annotate_alert(self, verdict: dict) -> None:
+        """Chain one fired alert into the owning ledger and persist it.
+
+        Tenant-labelled alerts annotate the tenant's own ledger (under
+        its admission lock, with its live accountant, so the recorded ε
+        passes replay verification); everything else goes to the
+        server's ``ops`` ledger.  The snapshot taken right after is what
+        makes alerts survive a SIGKILL.
+        """
+        tenant_name = (verdict.get("labels") or {}).get("tenant")
+        meta = alert_meta(verdict)
+        if tenant_name is not None and tenant_name in self.registry:
+            tenant = self.registry.get(tenant_name)
+            with tenant.lock:
+                tenant.ledger.record_annotation(
+                    kind="alert", accountant=tenant.accountant, meta=meta
+                )
+        else:
+            self.ops_ledger.record_annotation(kind="alert", meta=meta)
+        self.telemetry.increment("service_alerts_annotated")
+        with self._state_lock:
+            self._persist()
+
+    def evaluate_health(self) -> list[dict]:
+        """Evaluate every alert rule once; returns newly-fired verdicts."""
+        return self.health.evaluate(step=self.seq)
 
     # -------------------------------------------------------------- state
     def verify(self, *, tol: float = 1e-9, strict: bool = True) -> dict:
@@ -357,12 +509,15 @@ class BudgetServer:
             "seq": int(self.seq),
             "registry": self.registry.state_dict(),
             "queue": self.queue.state_dict(),
+            "ops_ledger": self.ops_ledger.state_dict(),
         }
 
     def _load_state(self, state: dict) -> None:
         self.seq = int(state["seq"])
         self.registry.load_state_dict(state["registry"])
         self.queue.load_state_dict(state["queue"])
+        if "ops_ledger" in state:  # absent in pre-observability snapshots
+            self.ops_ledger.load_state_dict(state["ops_ledger"])
         # Jobs that were mid-flight when the process died re-run from the
         # queue (their ε is already committed — never spent twice).
         for record in self.queue.by_status("running"):

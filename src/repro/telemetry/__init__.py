@@ -8,6 +8,11 @@ fraction, noise-to-signal ratio, angular deviation, GeoDP's noise split)
 become first-class observable series, exportable to JSONL and assertable in
 tests.  Telemetry is strictly opt-in: nothing is recorded (and no overhead
 is paid) unless a :class:`MetricsRecorder` is passed in.
+
+:mod:`repro.telemetry.live` adds the *operational* layer on top: a
+scrapeable :class:`~repro.telemetry.live.MetricsRegistry` (bind one with
+``recorder.bind_registry``), DP health alerting, a sampling profiler,
+and the ``repro monitor`` CLI.
 """
 
 from repro.telemetry.diagnostics import (
@@ -23,6 +28,17 @@ from repro.telemetry.export import (
     load_run_bundles,
     load_trace,
     load_traces,
+)
+from repro.telemetry.live import (
+    AlertRule,
+    HealthMonitor,
+    JsonlTimeSeries,
+    MetricsExporter,
+    MetricsRegistry,
+    SamplingProfiler,
+    default_training_rules,
+    render_prometheus,
+    rule_from_dict,
 )
 from repro.telemetry.recorder import MetricsRecorder
 from repro.telemetry.report import (
@@ -55,4 +71,13 @@ __all__ = [
     "build_report",
     "render_budget_report",
     "render_report",
+    "MetricsRegistry",
+    "MetricsExporter",
+    "JsonlTimeSeries",
+    "render_prometheus",
+    "AlertRule",
+    "HealthMonitor",
+    "default_training_rules",
+    "rule_from_dict",
+    "SamplingProfiler",
 ]

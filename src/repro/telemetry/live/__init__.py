@@ -1,0 +1,48 @@
+"""Live operational observability: registry, exporters, health, profiler.
+
+See ``docs/observability.md`` ("Live operations") for the operator view:
+
+* :class:`MetricsRegistry` — thread-safe counters / windowed gauges /
+  fixed-bucket histograms every subsystem publishes into;
+* :func:`render_prometheus`, :class:`MetricsExporter`,
+  :class:`JsonlTimeSeries` — scrapeable endpoint and bounded headless
+  stream;
+* :class:`AlertRule`, :class:`HealthMonitor` — declarative DP-native
+  alerting annotated into the hash-chained release ledger;
+* :class:`SamplingProfiler` — SIGPROF sampling with collapsed-stack and
+  Chrome-trace output;
+* ``repro monitor`` (:mod:`repro.telemetry.live.monitor`) — live
+  terminal view over either transport.
+"""
+
+from repro.telemetry.live.exporter import (
+    JsonlTimeSeries,
+    MetricsExporter,
+    render_prometheus,
+)
+from repro.telemetry.live.health import (
+    AlertRule,
+    HealthMonitor,
+    default_training_rules,
+    rule_from_dict,
+)
+from repro.telemetry.live.profiler import SamplingProfiler
+from repro.telemetry.live.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    HISTOGRAM_SERIES,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "HISTOGRAM_SERIES",
+    "MetricsExporter",
+    "JsonlTimeSeries",
+    "render_prometheus",
+    "AlertRule",
+    "HealthMonitor",
+    "default_training_rules",
+    "rule_from_dict",
+    "SamplingProfiler",
+]

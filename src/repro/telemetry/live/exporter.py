@@ -1,0 +1,268 @@
+"""Exporters for the live metrics registry.
+
+Two transports cover the two operational modes:
+
+* :class:`MetricsExporter` — a stdlib :mod:`http.server` endpoint
+  serving the registry in Prometheus text exposition format 0.0.4 at
+  ``/metrics`` plus JSON snapshots at ``/state.json`` and
+  ``/alerts.json``.  Opt-in: constructed only when a port is given
+  (``BudgetServer(metrics_port=...)`` / ``--metrics-port``); ``port=0``
+  binds an ephemeral port (useful for tests).
+* :class:`JsonlTimeSeries` — a bounded-size JSONL appender for headless
+  runs with no scraper: each ``append`` writes one snapshot line and the
+  file is compacted down to its newest half whenever it exceeds
+  ``max_bytes``, so long-horizon runs cannot fill the disk.
+
+Rendering is split out as :func:`render_prometheus` so tests and the
+JSONL path can use it without a socket.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.telemetry.live.registry import MetricsRegistry
+from repro.utils.serialization import atomic_write_bytes
+
+__all__ = ["render_prometheus", "MetricsExporter", "JsonlTimeSeries"]
+
+#: HELP strings for well-known metric families; anything else gets a
+#: generic line (HELP is optional in the format but nice for operators).
+METRIC_HELP = {
+    "clipped_fraction": "Fraction of per-example gradients clipped this step.",
+    "noise_to_signal": "Injected noise norm over post-clip gradient norm.",
+    "angular_deviation": "Angle (radians) between noisy and clean gradient.",
+    "service_tenant_epsilon_spent": "Replay-derived cumulative epsilon per tenant.",
+    "service_tenant_epsilon_remaining": "Budget minus spent epsilon per tenant.",
+    "alert_firing": "1 while the named alert rule is firing, else 0.",
+}
+
+
+def _sanitize(name: str) -> str:
+    out = []
+    for i, ch in enumerate(name):
+        if ch.isascii() and (ch.isalpha() or ch == "_" or ch == ":" or (ch.isdigit() and i > 0)):
+            out.append(ch)
+        else:
+            out.append("_")
+    return "".join(out)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: dict[str, str], extra: str = "") -> str:
+    parts = [f'{_sanitize(k)}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format 0.0.4.
+
+    Collectors run first, so scrapes see live subsystem state.  Families
+    are emitted in sorted order with one ``# HELP``/``# TYPE`` header
+    each; histograms expand to cumulative ``_bucket`` series plus
+    ``_sum``/``_count``.
+    """
+    snapshot = registry.collect()
+    lines: list[str] = []
+    families: dict[str, tuple[str, list[str]]] = {}
+
+    def family(name: str, kind: str) -> list[str]:
+        entry = families.get(name)
+        if entry is None:
+            entry = families[name] = (kind, [])
+        return entry[1]
+
+    histogram_names = {_sanitize(e["name"]) for e in snapshot["histograms"]}
+
+    for entry in snapshot["counters"]:
+        name = _sanitize(entry["name"])
+        family(name, "counter").append(
+            f"{name}{_labels_text(entry['labels'])} {_format_value(entry['value'])}"
+        )
+    for entry in snapshot["gauges"]:
+        name = _sanitize(entry["name"])
+        if name in histogram_names:
+            # A series that feeds a histogram also keeps a last-value
+            # gauge; one Prometheus family cannot have two types, so the
+            # gauge view is exported under a ``_last`` suffix.
+            name += "_last"
+        family(name, "gauge").append(
+            f"{name}{_labels_text(entry['labels'])} {_format_value(entry['value'])}"
+        )
+    for entry in snapshot["histograms"]:
+        name = _sanitize(entry["name"])
+        rows = family(name, "histogram")
+        running = 0
+        for bound, count in zip(
+            list(entry["bounds"]) + [float("inf")], entry["bucket_counts"]
+        ):
+            running += int(count)
+            le = "+Inf" if bound == float("inf") else _format_value(bound)
+            labels = _labels_text(entry["labels"], 'le="' + le + '"')
+            rows.append(f"{name}_bucket{labels} {running}")
+        rows.append(
+            f"{name}_sum{_labels_text(entry['labels'])} {_format_value(entry['sum'])}"
+        )
+        rows.append(f"{name}_count{_labels_text(entry['labels'])} {int(entry['count'])}")
+
+    for name in sorted(families):
+        kind, rows = families[name]
+        help_text = METRIC_HELP.get(name, f"repro {kind} {name}.")
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(rows)
+    return "\n".join(lines) + "\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    exporter: "MetricsExporter"  # set on the subclass per server
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        exporter = self.exporter
+        try:
+            if self.path in ("/metrics", "/"):
+                body = render_prometheus(exporter.registry).encode()
+                self._send(200, "text/plain; version=0.0.4; charset=utf-8", body)
+            elif self.path == "/state.json":
+                body = json.dumps(exporter.snapshot()).encode()
+                self._send(200, "application/json", body)
+            elif self.path == "/alerts.json":
+                body = json.dumps(exporter.alerts()).encode()
+                self._send(200, "application/json", body)
+            else:
+                self._send(404, "text/plain", b"not found\n")
+        except BrokenPipeError:  # scraper went away mid-response
+            pass
+
+    def log_message(self, fmt, *args):  # silence per-request stderr noise
+        pass
+
+
+class MetricsExporter:
+    """Background HTTP endpoint serving one registry (and its alerts)."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        monitor=None,
+        snapshot_extra=None,
+    ):
+        self.registry = registry
+        self.monitor = monitor
+        self._snapshot_extra = snapshot_extra
+        handler = type("BoundHandler", (_Handler,), {"exporter": self})
+        self._server = ThreadingHTTPServer((host, int(port)), handler)
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def address(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def snapshot(self) -> dict:
+        payload = {"metrics": self.registry.collect()}
+        if self.monitor is not None:
+            payload["alerts"] = self.monitor.state()
+        if self._snapshot_extra is not None:
+            payload.update(self._snapshot_extra())
+        return payload
+
+    def alerts(self) -> dict:
+        if self.monitor is None:
+            return {"active": [], "counts": {}}
+        return self.monitor.state()
+
+    def start(self) -> "MetricsExporter":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-metrics-exporter",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()
+
+
+class JsonlTimeSeries:
+    """Bounded-size JSONL snapshot appender for headless runs.
+
+    Each :meth:`append` writes one compact JSON line.  When the file
+    grows past ``max_bytes`` it is atomically compacted to its newest
+    half, so the tail of the time series is always preserved and the
+    file size stays bounded.
+    """
+
+    def __init__(self, path, *, max_bytes: int = 4 * 2**20):
+        self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def append(self, snapshot: dict) -> None:
+        line = json.dumps(snapshot, separators=(",", ":")) + "\n"
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line)
+            if self.path.stat().st_size > self.max_bytes:
+                self._compact()
+
+    def _compact(self) -> None:
+        lines = self.path.read_text(encoding="utf-8").splitlines(keepends=True)
+        keep = lines[len(lines) // 2:]
+        atomic_write_bytes(self.path, "".join(keep).encode("utf-8"))
+
+    def tail(self, n: int = 1) -> list[dict]:
+        """The newest ``n`` snapshots (empty list if the file is absent)."""
+        if not self.path.exists():
+            return []
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        out = []
+        for line in lines[-n:]:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+        return out

@@ -1,0 +1,190 @@
+"""``repro monitor`` — live terminal view of a running server or run.
+
+Reads snapshots either from a :class:`~repro.telemetry.live.exporter.
+MetricsExporter` endpoint (``--endpoint http://host:port``, fetching
+``/state.json``) or from a :class:`JsonlTimeSeries` file written by a
+headless run (``--jsonl path``), and renders tenants, ε trajectories,
+phase times, and firing alerts.  ``--once`` prints a single frame (used
+by tests and for piping); otherwise the view refreshes every
+``--interval`` seconds until interrupted.
+
+Rendering is a pure function of the snapshot dict
+(:func:`render_monitor`), so the view is testable without sockets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+
+__all__ = ["render_monitor", "fetch_snapshot", "main"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values, width: int = 24) -> str:
+    values = list(values)[-width:]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK[0] * len(values)
+    span = hi - lo
+    return "".join(_SPARK[int((v - lo) / span * (len(_SPARK) - 1))] for v in values)
+
+
+def _gauge_map(snapshot: dict, name: str) -> dict[str, dict]:
+    """``label-value -> gauge entry`` for single-label gauge families."""
+    out = {}
+    for entry in snapshot.get("metrics", {}).get("gauges", ()):
+        if entry["name"] != name:
+            continue
+        labels = entry.get("labels", {})
+        key = next(iter(labels.values()), "")
+        out[key] = entry
+    return out
+
+
+def _counter_value(snapshot: dict, name: str) -> float | None:
+    for entry in snapshot.get("metrics", {}).get("counters", ()):
+        if entry["name"] == name and not entry.get("labels"):
+            return entry["value"]
+    return None
+
+
+def render_monitor(snapshot: dict, *, width: int = 72) -> str:
+    """One monitor frame (plain text) from a ``/state.json`` snapshot."""
+    lines: list[str] = []
+    rule = "─" * width
+    service = snapshot.get("service", {})
+    header = "repro monitor"
+    if service.get("seq") is not None:
+        header += f" · seq {service['seq']}"
+    counts = []
+    for name, label in (
+        ("service_jobs_admitted", "admitted"),
+        ("service_jobs_refused", "refused"),
+        ("service_jobs_done", "done"),
+    ):
+        value = _counter_value(snapshot, name)
+        if value is not None:
+            counts.append(f"{label} {value:g}")
+    if counts:
+        header += " · " + ", ".join(counts)
+    lines.append(header)
+    lines.append(rule)
+
+    spent = _gauge_map(snapshot, "service_tenant_epsilon_spent")
+    remaining = _gauge_map(snapshot, "service_tenant_epsilon_remaining")
+    if spent:
+        lines.append("tenants:")
+        lines.append(
+            f"  {'tenant':<14} {'ε spent':>10} {'ε left':>10}  trajectory"
+        )
+        for tenant in sorted(spent):
+            entry = spent[tenant]
+            left = remaining.get(tenant, {}).get("value")
+            left_text = f"{left:10.4f}" if left is not None else " " * 10
+            spark = _sparkline([v for _, v in entry.get("window", ())])
+            lines.append(
+                f"  {tenant:<14} {entry['value']:10.4f} {left_text}  {spark}"
+            )
+        lines.append(rule)
+
+    phases = _gauge_map(snapshot, "service_phase_seconds")
+    if phases:
+        lines.append("phase times (cumulative seconds):")
+        for phase in sorted(phases):
+            lines.append(f"  {phase:<24} {phases[phase]['value']:10.4f}")
+        lines.append(rule)
+
+    alerts = snapshot.get("alerts", {})
+    active = alerts.get("active", [])
+    if active:
+        lines.append(f"FIRING ALERTS ({len(active)}):")
+        for verdict in active:
+            value = verdict.get("value")
+            threshold = verdict.get("threshold")
+            detail = ""
+            if value is not None and threshold is not None:
+                detail = f"  value={value:.4g} threshold={threshold:.4g}"
+            if verdict.get("projected") is not None:
+                detail += f" projected={verdict['projected']:.4g}"
+            lines.append(f"  !! {verdict['rule']} [{verdict.get('severity', '?')}]{detail}")
+    else:
+        lines.append("alerts: none firing")
+    lines.append(rule)
+    return "\n".join(lines) + "\n"
+
+
+def fetch_snapshot(endpoint: str, timeout: float = 5.0) -> dict:
+    """GET ``<endpoint>/state.json`` and parse it."""
+    url = endpoint.rstrip("/") + "/state.json"
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _read_jsonl(path: str) -> dict:
+    from repro.telemetry.live.exporter import JsonlTimeSeries
+
+    snapshots = JsonlTimeSeries(path).tail(1)
+    if not snapshots:
+        raise FileNotFoundError(f"no snapshots in {path}")
+    return snapshots[0]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro monitor",
+        description="Live terminal view of a metrics endpoint or JSONL stream.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--endpoint",
+        help="metrics endpoint base URL (e.g. http://127.0.0.1:9464)",
+    )
+    source.add_argument(
+        "--jsonl", help="JSONL time-series file written by a headless run"
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period in seconds"
+    )
+    parser.add_argument(
+        "--once", action="store_true", help="print one frame and exit"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    while True:
+        try:
+            snapshot = (
+                fetch_snapshot(args.endpoint)
+                if args.endpoint
+                else _read_jsonl(args.jsonl)
+            )
+        except (OSError, ValueError) as exc:
+            print(f"monitor: cannot read snapshot: {exc}", file=sys.stderr)
+            if args.once:
+                return 1
+            time.sleep(args.interval)
+            continue
+        frame = render_monitor(snapshot)
+        if args.once:
+            sys.stdout.write(frame)
+            return 0
+        # Clear-and-home keeps the view stable without curses.
+        sys.stdout.write("\x1b[2J\x1b[H" + frame)
+        sys.stdout.flush()
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

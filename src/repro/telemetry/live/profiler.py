@@ -1,0 +1,209 @@
+"""Signal-based sampling profiler with flamegraph-compatible output.
+
+:class:`SamplingProfiler` installs a ``SIGPROF`` handler and arms an
+interval timer (:func:`signal.setitimer`) at a configurable frequency;
+each tick walks the interrupted frame's call stack and accumulates it
+into a folded-stack table.  Because sampling rides the OS timer there is
+no per-call instrumentation: steady-state overhead is the handler cost
+times the frequency, and an un-profiled run is untouched.
+
+Output formats:
+
+* :meth:`save_collapsed` — Brendan Gregg collapsed/folded format
+  (``frame;frame;frame count`` per line), directly consumable by
+  ``flamegraph.pl`` / ``inferno`` / speedscope;
+* :meth:`chrome_events` / :meth:`merge_into_chrome_trace` — trace-event
+  JSON that folds the samples into an existing
+  :meth:`repro.telemetry.Tracer.chrome_trace` payload, so one Perfetto
+  view shows spans and stacks together.
+
+Timer choice: ``timer="prof"`` (default) counts CPU time — ideal for the
+numeric hot path; ``timer="real"`` counts wall clock — use it to catch
+blocking I/O or lock waits.  Signals are delivered to the main thread
+only; attaching from a non-main thread raises at ``start()``.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from pathlib import Path
+
+from repro.utils.serialization import atomic_write_bytes
+
+__all__ = ["SamplingProfiler"]
+
+_TIMERS = {
+    "prof": (signal.ITIMER_PROF, signal.SIGPROF),
+    "real": (signal.ITIMER_REAL, signal.SIGALRM),
+}
+
+
+class SamplingProfiler:
+    """Collects folded call stacks from a periodic profiling signal."""
+
+    def __init__(
+        self,
+        hz: float = 97.0,
+        *,
+        timer: str = "prof",
+        max_depth: int = 64,
+        max_raw_samples: int = 20_000,
+        skip_frames: int = 1,
+    ):
+        if timer not in _TIMERS:
+            raise ValueError(f"timer must be one of {sorted(_TIMERS)}, got {timer!r}")
+        if hz <= 0:
+            raise ValueError("hz must be positive")
+        self.hz = float(hz)
+        self.timer = timer
+        self.max_depth = int(max_depth)
+        self.max_raw_samples = int(max_raw_samples)
+        #: Handler frames to drop from the top of each stack (the handler
+        #: itself); raise when wrapping the profiler in more layers.
+        self.skip_frames = int(skip_frames)
+        #: ``"frame;frame;..." -> count`` folded stacks (leaf last).
+        self.folded: dict[str, int] = {}
+        self.sample_count = 0
+        self.dropped = 0
+        #: Bounded ring of raw ``(t_seconds, (frame, ...))`` samples kept
+        #: for the Chrome-trace export.
+        self._raw: list[tuple[float, tuple[str, ...]]] = []
+        self._active = False
+        self._prev_handler = None
+        self._t0 = 0.0
+
+    # ------------------------------------------------------------- sampling
+    def _handle(self, signum, frame) -> None:
+        stack: list[str] = []
+        depth = 0
+        while frame is not None and depth < self.max_depth + self.skip_frames:
+            if depth >= self.skip_frames or frame.f_code.co_name != "_handle":
+                code = frame.f_code
+                stack.append(f"{code.co_name} ({code.co_filename}:{code.co_firstlineno})")
+            frame = frame.f_back
+            depth += 1
+        stack.reverse()
+        key = ";".join(stack) if stack else "<no stack>"
+        self.folded[key] = self.folded.get(key, 0) + 1
+        self.sample_count += 1
+        if len(self._raw) < self.max_raw_samples:
+            self._raw.append((time.perf_counter() - self._t0, tuple(stack)))
+        else:
+            self.dropped += 1
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "SamplingProfiler":
+        if self._active:
+            raise RuntimeError("profiler already running")
+        if threading.current_thread() is not threading.main_thread():
+            raise RuntimeError(
+                "SamplingProfiler must be started from the main thread "
+                "(signal delivery is main-thread only)"
+            )
+        itimer, signum = _TIMERS[self.timer]
+        self._t0 = time.perf_counter()
+        self._prev_handler = signal.signal(signum, self._handle)
+        signal.setitimer(itimer, 1.0 / self.hz, 1.0 / self.hz)
+        self._active = True
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if not self._active:
+            return self
+        itimer, signum = _TIMERS[self.timer]
+        signal.setitimer(itimer, 0.0)
+        signal.signal(signum, self._prev_handler or signal.SIG_DFL)
+        self._prev_handler = None
+        self._active = False
+        return self
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()
+
+    # -------------------------------------------------------------- outputs
+    def collapsed(self) -> str:
+        """Folded-stack text: ``frame;frame;frame count`` per line."""
+        lines = [f"{stack} {count}" for stack, count in sorted(self.folded.items())]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def save_collapsed(self, path) -> Path:
+        path = Path(path)
+        atomic_write_bytes(path, self.collapsed().encode("utf-8"))
+        return path
+
+    def chrome_events(self, *, pid: int = 0, tid: int = 9999) -> dict:
+        """Trace-event ``sample`` ("P") events plus a ``stackFrames`` table."""
+        frames: dict[tuple[str, ...], int] = {}
+        stack_frames: dict[str, dict] = {}
+
+        def frame_id(prefix: tuple[str, ...]) -> int:
+            fid = frames.get(prefix)
+            if fid is None:
+                fid = frames[prefix] = len(frames) + 1
+                entry = {"name": prefix[-1]}
+                if len(prefix) > 1:
+                    entry["parent"] = str(frame_id(prefix[:-1]))
+                stack_frames[str(fid)] = entry
+            return fid
+
+        events = [
+            {
+                "name": "sample",
+                "ph": "P",
+                "ts": round(t * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "sf": str(frame_id(stack)),
+            }
+            for t, stack in self._raw
+            if stack
+        ]
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"profiler ({self.timer}, {self.hz:g} Hz)"},
+            }
+        )
+        return {"traceEvents": events, "stackFrames": stack_frames}
+
+    def merge_into_chrome_trace(self, trace: dict) -> dict:
+        """Fold the samples into an existing Chrome-trace payload."""
+        extra = self.chrome_events()
+        merged = dict(trace)
+        merged["traceEvents"] = list(trace.get("traceEvents", ())) + extra["traceEvents"]
+        stack_frames = dict(trace.get("stackFrames", {}))
+        stack_frames.update(extra["stackFrames"])
+        merged["stackFrames"] = stack_frames
+        return merged
+
+    def summary(self) -> dict:
+        """Hot leaves and totals, JSON-safe (for reports/snapshots)."""
+        leaves: dict[str, int] = {}
+        for stack, count in self.folded.items():
+            leaf = stack.rsplit(";", 1)[-1]
+            leaves[leaf] = leaves.get(leaf, 0) + count
+        top = sorted(leaves.items(), key=lambda kv: (-kv[1], kv[0]))[:10]
+        return {
+            "samples": self.sample_count,
+            "dropped_raw": self.dropped,
+            "hz": self.hz,
+            "timer": self.timer,
+            "top_leaves": [
+                {"frame": frame, "samples": count} for frame, count in top
+            ],
+        }
+
+    def __repr__(self) -> str:
+        state = "running" if self._active else "stopped"
+        return (
+            f"SamplingProfiler({self.hz:g} Hz, timer={self.timer!r}, "
+            f"samples={self.sample_count}, {state})"
+        )

@@ -41,6 +41,36 @@ class MetricsRecorder:
         #: Closed per-iteration events, in order.
         self.events: list[StepTrace] = []
         self._open_step: StepTrace | None = None
+        #: Optional live :class:`~repro.telemetry.live.MetricsRegistry`
+        #: mirror (see :meth:`bind_registry`).
+        self._registry = None
+        #: Callables invoked with each closed :class:`StepTrace` (used by
+        #: :meth:`repro.telemetry.live.HealthMonitor.watch`).
+        self._end_step_hooks: list = []
+
+    # ------------------------------------------------------------- registry
+    def bind_registry(self, registry) -> None:
+        """Mirror this recorder into a live ``MetricsRegistry``.
+
+        Existing contents are replayed into the registry so binding after
+        a partial run (or a checkpoint restore) is safe; afterwards every
+        :meth:`record`, :meth:`increment`, and :meth:`merge_state` is
+        mirrored incrementally.  The registry is deliberately excluded
+        from :meth:`state_dict` — it is process-local scrape state, not
+        run telemetry.
+        """
+        self._registry = registry
+        if registry is None:
+            return
+        for name, points in self.series.items():
+            for step, value in points:
+                registry.observe_series(name, value, step=step)
+        for name, value in self.counters.items():
+            registry.inc(name, value)
+
+    def add_end_step_hook(self, hook) -> None:
+        """Call ``hook(step_trace)`` after every :meth:`end_step`."""
+        self._end_step_hooks.append(hook)
 
     # ------------------------------------------------------------- scalars
     def record(self, name: str, value, *, step: int | None = None) -> None:
@@ -59,6 +89,8 @@ class MetricsRecorder:
         if step is None:
             step = len(points)
         points.append((int(step), value))
+        if self._registry is not None:
+            self._registry.observe_series(name, value, step=int(step))
 
     def values(self, name: str) -> list[float]:
         """The values of series ``name`` (empty list if never recorded)."""
@@ -67,6 +99,8 @@ class MetricsRecorder:
     def increment(self, name: str, amount: float = 1) -> None:
         """Add ``amount`` to counter ``name`` (created at 0)."""
         self.counters[name] = self.counters.get(name, 0) + amount
+        if self._registry is not None:
+            self._registry.inc(name, amount)
 
     # -------------------------------------------------------------- timers
     @contextmanager
@@ -99,6 +133,8 @@ class MetricsRecorder:
             raise RuntimeError("no step is open; call start_step() first")
         step, self._open_step = self._open_step, None
         self.events.append(step)
+        for hook in self._end_step_hooks:
+            hook(step)
         return step
 
     # --------------------------------------------------------- checkpointing
@@ -129,6 +165,8 @@ class MetricsRecorder:
         self.timers = {k: float(v) for k, v in state["timers"].items()}
         self.events = [StepTrace.from_dict(payload) for payload in state["events"]]
         self._open_step = None
+        if self._registry is not None:
+            self.bind_registry(self._registry)
 
     # -------------------------------------------------------------- merging
     def merge_state(self, state: dict) -> None:
@@ -140,11 +178,15 @@ class MetricsRecorder:
         recorder is independent of worker count.
         """
         for name, points in state["series"].items():
-            self.series.setdefault(name, []).extend(
-                (int(s), float(v)) for s, v in points
-            )
+            series = self.series.setdefault(name, [])
+            for s, v in points:
+                series.append((int(s), float(v)))
+                if self._registry is not None:
+                    self._registry.observe_series(name, float(v), step=int(s))
         for name, value in state["counters"].items():
             self.counters[name] = self.counters.get(name, 0) + float(value)
+            if self._registry is not None:
+                self._registry.inc(name, float(value))
         for name, value in state["timers"].items():
             self.timers[name] = self.timers.get(name, 0.0) + float(value)
         self.events.extend(StepTrace.from_dict(payload) for payload in state["events"])

@@ -27,6 +27,7 @@ __all__ = [
     "build_report",
     "render_report",
     "render_budget_report",
+    "alerts_from_ledger",
 ]
 
 
@@ -119,6 +120,53 @@ def _ledger_section(ledger) -> dict | None:
     }
 
 
+def alerts_from_ledger(ledger) -> list[dict]:
+    """Alert annotations chained into a ledger, as JSON-safe dicts.
+
+    Fired :class:`~repro.telemetry.live.HealthMonitor` alerts are
+    recorded as non-spending ``annotation.alert`` entries, so they
+    survive export/restart with the rest of the chain and are extracted
+    here for the report's ``alerts`` section.
+    """
+    if ledger is None:
+        return []
+    alerts = []
+    for record in ledger.entries:
+        if record.mechanism != "annotation.alert":
+            continue
+        entry = {
+            "index": record.index,
+            "epsilon_at_alert": record.epsilon,
+            "namespace": record.namespace,
+        }
+        entry.update(record.meta)
+        alerts.append(entry)
+    return alerts
+
+
+def _render_alerts(alerts: list[dict]) -> list[str]:
+    lines = ["### Alerts", ""]
+    if not alerts:
+        lines.append("(no alerts fired)")
+        lines.append("")
+        return lines
+    lines.append("| alert | severity | value | threshold | epsilon at alert |")
+    lines.append("| --- | --- | ---: | ---: | ---: |")
+    for alert in alerts:
+        value = alert.get("value")
+        threshold = alert.get("threshold")
+        eps = alert.get("epsilon_at_alert")
+        lines.append(
+            f"| {alert.get('alert', '?')} "
+            f"| {alert.get('severity', '?')} "
+            f"| {'n/a' if value is None else format(value, '.6g')} "
+            f"| {'n/a' if threshold is None else format(threshold, '.6g')} "
+            f"| {'n/a' if eps is None else format(eps, '.6g')} |"
+        )
+    lines.append("")
+    return lines
+
+
 def _tracing_section(tracer) -> dict | None:
     """Phase-time breakdown + peak memory for one run bundle."""
     if tracer is None:
@@ -161,6 +209,7 @@ def build_report(bundles: dict) -> dict:
             "timers": {k: float(v) for k, v in sorted(recorder.timers.items())},
             "counters": {k: float(v) for k, v in sorted(recorder.counters.items())},
             "ledger": _ledger_section(bundle.ledger),
+            "alerts": alerts_from_ledger(bundle.ledger),
         }
     return {"runs": runs}
 
@@ -231,6 +280,9 @@ def _render_run(run: str, payload: dict) -> str:
                 lines.append(f"| {point[0]} | {point[1]:.6g} |")
         lines.append("")
 
+    if payload.get("alerts"):
+        lines.extend(_render_alerts(payload["alerts"]))
+
     if payload["counters"]:
         lines.append("### Counters")
         lines.append("")
@@ -255,6 +307,15 @@ def _render_tenant(name: str, payload: dict) -> str:
         f"({payload['utilization']:.1%} of budget, "
         f"{payload['remaining_epsilon']:.6g} remaining)"
     )
+    rate = payload.get("burn_rate")
+    if rate is not None:
+        exhaustion = payload.get("steps_to_exhaustion")
+        horizon = (
+            "budget not shrinking"
+            if exhaustion is None
+            else f"~{exhaustion:.0f} accounted steps to exhaustion"
+        )
+        lines.append(f"- burn rate: {rate:.6g} epsilon/step ({horizon})")
     lines.append(
         f"- ledger: {ledger['entries']} entries, head `{ledger['head'][:12]}...`, "
         f"verification **{status}** ({ledger['verification']})"
@@ -279,6 +340,8 @@ def _render_tenant(name: str, payload: dict) -> str:
                 f"| {'n/a' if at is None else format(at, '.6g')} |"
             )
         lines.append("")
+    if payload.get("alerts"):
+        lines.extend(_render_alerts(payload["alerts"]))
     return "\n".join(lines)
 
 
@@ -305,12 +368,32 @@ def render_budget_report(report: dict, *, fmt: str = "markdown") -> str:
     return "\n".join(sections).rstrip() + "\n"
 
 
-def render_report(report: dict, *, fmt: str = "markdown") -> str:
-    """Render a :func:`build_report` payload as markdown or JSON text."""
+def render_report(
+    report: dict, *, fmt: str = "markdown", alerts_only: bool = False
+) -> str:
+    """Render a :func:`build_report` payload as markdown or JSON text.
+
+    ``alerts_only`` restricts the output to each run's ``alerts``
+    section (the ``repro report --alerts-only`` surface).
+    """
+    if alerts_only:
+        report = {
+            "runs": {
+                run: {"alerts": payload.get("alerts", [])}
+                for run, payload in report["runs"].items()
+            }
+        }
     if fmt == "json":
         return json.dumps(report, indent=2, sort_keys=True)
     if fmt != "markdown":
         raise ValueError(f"fmt must be 'markdown' or 'json', got {fmt!r}")
+    if alerts_only:
+        sections = ["# Run report (alerts)", ""]
+        for run in sorted(report["runs"]):
+            sections.append(f"## Run `{run}`")
+            sections.append("")
+            sections.extend(_render_alerts(report["runs"][run]["alerts"]))
+        return "\n".join(sections).rstrip() + "\n"
     sections = ["# Run report", ""]
     for run in sorted(report["runs"]):
         sections.append(_render_run(run, report["runs"][run]))

@@ -13,8 +13,10 @@ from repro.runtime import (
     job_recorder,
     job_tracer,
     make_cells,
+    make_jobs,
     merge_shipped,
     run_cells,
+    run_jobs,
 )
 from repro.telemetry import MetricsRecorder, Tracer
 
@@ -90,6 +92,59 @@ class TestMergeShipped:
     def test_non_shipped_entries_pass_through(self):
         results = merge_shipped([1.5, None], recorder=MetricsRecorder())
         assert results == [1.5, None]
+
+
+class TestShipbackLoss:
+    def test_instrument_marks_wrapper(self):
+        wrapped = instrument(record_square)
+        assert wrapped.ships_telemetry is True
+        assert wrapped.__wrapped__ is record_square
+
+    def test_failed_attempt_counts_lost_shipback(self, tmp_path):
+        """A charged attempt of an instrumented job loses its worker-side
+        telemetry with the exception; the pool counts the loss instead of
+        silently dropping it."""
+        marker = tmp_path / "failed-once"
+
+        def flaky(job):
+            job_recorder().increment("jobs_seen")
+            if job.payload == 2 and not marker.exists():
+                marker.write_text("")
+                raise OSError("transient")
+            return float(job.payload)
+
+        recorder = MetricsRecorder()
+        shipped = run_jobs(
+            instrument(flaky),
+            make_jobs([1, 2, 3]),
+            workers=2,
+            backoff_base=0.001,
+            telemetry=recorder,
+        )
+        results = merge_shipped(shipped, recorder=recorder)
+        assert results == [1.0, 2.0, 3.0]
+        assert recorder.counters["runtime_retries"] == 1
+        assert recorder.counters["runtime_shipback_lost"] == 1
+        # The successful retry's telemetry still shipped: 3 jobs seen
+        # (the failed attempt's increment died with the exception).
+        assert recorder.counters["jobs_seen"] == 3
+
+    def test_uninstrumented_failures_do_not_count(self, tmp_path):
+        marker = tmp_path / "failed-once"
+
+        def flaky(job):
+            if not marker.exists():
+                marker.write_text("")
+                raise OSError("transient")
+            return float(job.payload)
+
+        recorder = MetricsRecorder()
+        run_jobs(
+            flaky, make_jobs([5]), workers=2, backoff_base=0.001,
+            telemetry=recorder,
+        )
+        assert recorder.counters["runtime_retries"] == 1
+        assert "runtime_shipback_lost" not in recorder.counters
 
 
 class TestWorkerInvariance:

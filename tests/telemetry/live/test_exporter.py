@@ -1,0 +1,201 @@
+"""Prometheus rendering + HTTP endpoint + bounded JSONL appender.
+
+Includes the tier-1 smoke: a 2-job :class:`BudgetServer` run scraped
+live through ``metrics_port``, with every line validated against the
+text exposition format 0.0.4 grammar.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.privacy.ledger import verify_ledger
+from repro.service import BudgetServer, JobSpec
+from repro.telemetry.live import (
+    JsonlTimeSeries,
+    MetricsExporter,
+    MetricsRegistry,
+    render_prometheus,
+)
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*"'
+_VALUE = r"(?:[+-]?Inf|NaN|[+-]?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)"
+SAMPLE_LINE = re.compile(
+    rf"^({_NAME})(?:\{{{_LABEL}(?:,{_LABEL})*\}})? {_VALUE}$"
+)
+
+
+def validate_prometheus(text: str) -> dict[str, str]:
+    """Validate exposition-format 0.0.4 text; returns ``{family: type}``.
+
+    Checks the line grammar, one ``# TYPE`` per family emitted before its
+    samples, sample names consistent with the declared family (histogram
+    ``_bucket``/``_sum``/``_count`` expansions included), and histogram
+    bucket monotonicity with ``le="+Inf"`` equal to ``_count``.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    types: dict[str, str] = {}
+    buckets: dict[str, list[int]] = {}
+    counts: dict[str, int] = {}
+    for line in text.splitlines():
+        assert line == line.strip(), f"stray whitespace: {line!r}"
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram"), line
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = SAMPLE_LINE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        name = match.group(1)
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) == "histogram":
+                family = base
+        assert family in types, f"sample {name!r} before its # TYPE"
+        if types[family] == "histogram" and name.endswith("_bucket"):
+            series = line.split("{", 1)[1]
+            value = int(float(line.rsplit(" ", 1)[1]))
+            buckets.setdefault(family + series.split("}")[0], []).append(value)
+            if 'le="+Inf"' in line:
+                counts.setdefault(family, value)
+    for key, seq in buckets.items():
+        assert seq == sorted(seq), f"non-monotone buckets for {key}: {seq}"
+    return types
+
+
+class TestRenderPrometheus:
+    def make_registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.inc("releases_gaussian", 3)
+        reg.inc("alerts_fired", labels={"rule": 'odd"name\\path'})
+        reg.set_gauge("loss", 0.25, step=4)
+        for step, value in enumerate((0.05, 0.4, 0.9, 2.0)):
+            reg.observe_series("clipped_fraction", value, step=step)
+        reg.observe_series("service_admission_seconds", 0.002, step=0)
+        return reg
+
+    def test_output_is_valid_exposition_format(self):
+        types = validate_prometheus(render_prometheus(self.make_registry()))
+        assert types["releases_gaussian"] == "counter"
+        assert types["loss"] == "gauge"
+        assert types["clipped_fraction"] == "histogram"
+
+    def test_gauge_histogram_collision_gets_last_suffix(self):
+        text = render_prometheus(self.make_registry())
+        # The series feeds a histogram; its last-value gauge view must
+        # not share the family name.
+        assert "\nclipped_fraction_last 2.0" in text
+        assert re.search(r"^# TYPE clipped_fraction histogram$", text, re.M)
+        assert re.search(r"^# TYPE clipped_fraction_last gauge$", text, re.M)
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_prometheus(self.make_registry())
+        rows = [l for l in text.splitlines() if l.startswith("clipped_fraction_bucket")]
+        values = [int(l.rsplit(" ", 1)[1]) for l in rows]
+        assert values == sorted(values)
+        assert 'le="+Inf"} 4' in rows[-1]
+        assert "clipped_fraction_count 4" in text
+
+    def test_label_escaping(self):
+        text = render_prometheus(self.make_registry())
+        assert r'rule="odd\"name\\path"' in text
+
+    def test_deterministic_output(self):
+        assert render_prometheus(self.make_registry()) == render_prometheus(
+            self.make_registry()
+        )
+
+
+class TestEndpointSmoke:
+    """Tier-1: scrape a live BudgetServer during a short run."""
+
+    def test_scrape_during_two_job_run(self):
+        server = BudgetServer(metrics_port=0)
+        try:
+            server.add_tenant("alice", epsilon_budget=50.0)
+            for i in range(2):
+                server.submit(
+                    JobSpec(
+                        tenant="alice", sigma=1.1, sample_rate=0.01,
+                        steps=100, dim=8, seed=i,
+                    ),
+                    job_id=f"a{i}",
+                )
+            server.run_until_idle()
+            base = server.metrics_address
+            assert base is not None
+            with urllib.request.urlopen(base + "/metrics", timeout=10) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"].startswith("text/plain")
+                text = resp.read().decode()
+            types = validate_prometheus(text)
+            assert types["service_tenant_epsilon_spent"] == "gauge"
+            assert types["service_queue_depth"] == "gauge"
+            # The scraped ε-spend gauge equals the audited ledger replay.
+            match = re.search(
+                r'^service_tenant_epsilon_spent\{tenant="alice"\} (\S+)$',
+                text,
+                re.M,
+            )
+            assert match is not None
+            tenant = server.registry.get("alice")
+            replayed = verify_ledger(
+                tenant.ledger, tenant.accountant, strict=False
+            ).replayed_epsilon
+            assert float(match.group(1)) == pytest.approx(replayed, abs=1e-9)
+
+            with urllib.request.urlopen(base + "/state.json", timeout=10) as resp:
+                state = json.load(resp)
+            assert state["service"]["jobs"]["done"] == 2
+            assert any(
+                g["name"] == "service_tenant_epsilon_spent"
+                for g in state["metrics"]["gauges"]
+            )
+            with urllib.request.urlopen(base + "/alerts.json", timeout=10) as resp:
+                alerts = json.load(resp)
+            assert alerts["active"] == []
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(base + "/nope", timeout=10)
+            assert err.value.code == 404
+        finally:
+            server.shutdown()
+
+    def test_exporter_standalone_context_manager(self):
+        reg = MetricsRegistry()
+        reg.inc("events", 5)
+        with MetricsExporter(reg, port=0) as exporter:
+            with urllib.request.urlopen(
+                exporter.address + "/metrics", timeout=10
+            ) as resp:
+                text = resp.read().decode()
+        assert "events 5.0" in text
+        validate_prometheus(text)
+
+
+class TestJsonlTimeSeries:
+    def test_append_and_tail(self, tmp_path):
+        ts = JsonlTimeSeries(tmp_path / "live.jsonl")
+        for i in range(5):
+            ts.append({"seq": i})
+        assert ts.tail(2) == [{"seq": 3}, {"seq": 4}]
+
+    def test_file_size_stays_bounded(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        ts = JsonlTimeSeries(path, max_bytes=2000)
+        for i in range(400):
+            ts.append({"seq": i, "pad": "x" * 40})
+        # Compaction keeps the newest half whenever the cap is crossed.
+        assert path.stat().st_size <= 2 * 2000
+        newest = ts.tail(1)[0]
+        assert newest["seq"] == 399

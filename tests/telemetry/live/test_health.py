@@ -1,0 +1,289 @@
+"""HealthMonitor + AlertRule: every built-in rule fires on a violating
+trace, a quiet trace fires nothing, edges are detected once, and fired
+alerts annotate the hash-chained ledger."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.privacy.accountant import RdpAccountant
+from repro.privacy.ledger import ReleaseLedger, verify_ledger
+from repro.telemetry import MetricsRecorder
+from repro.telemetry.live import (
+    AlertRule,
+    HealthMonitor,
+    MetricsRegistry,
+    default_training_rules,
+    rule_from_dict,
+)
+from repro.telemetry.live.health import alert_meta
+
+
+def quiet_registry() -> MetricsRegistry:
+    """A healthy-looking trace: low clip rate, modest noise, GeoDP
+    beating the right-angle baseline, stable ε, no runtime churn."""
+    reg = MetricsRegistry()
+    for step in range(20):
+        reg.observe_series("clipped_fraction", 0.2, step=step)
+        reg.observe_series("noise_to_signal", 0.8, step=step)
+        reg.observe_series("angular_deviation", 1.1, step=step)
+        reg.set_gauge(
+            "service_tenant_epsilon_spent",
+            0.5 + 0.0001 * step,
+            step=step,
+            labels={"tenant": "t"},
+        )
+    reg.inc("runtime_retries", 0)
+    reg.inc("backend_fallbacks", 0)
+    return reg
+
+
+class TestRuleConstruction:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown alert rule kind"):
+            AlertRule("nope", threshold=1.0)
+
+    def test_burn_rate_requires_budget(self):
+        with pytest.raises(ValueError, match="requires budget"):
+            AlertRule("epsilon_burn_rate")
+
+    def test_window_kind_requires_threshold(self):
+        with pytest.raises(ValueError, match="requires threshold"):
+            AlertRule("clip_saturation")
+
+    def test_auto_name_includes_labels(self):
+        rule = AlertRule(
+            "epsilon_burn_rate", budget=1.0, labels={"tenant": "acme"}
+        )
+        assert rule.name == "epsilon_burn_rate[tenant=acme]"
+
+    def test_dict_round_trip(self):
+        rule = AlertRule(
+            "noise_floor", threshold=4.0, window=8, severity="critical"
+        )
+        clone = rule_from_dict(rule.to_dict())
+        assert clone.to_dict() == rule.to_dict()
+
+    def test_default_training_rules_cover_builtins(self):
+        kinds = {r.kind for r in default_training_rules()}
+        assert kinds == {
+            "clip_saturation",
+            "noise_floor",
+            "angular_regression",
+            "retry_spike",
+            "fallback_storm",
+        }
+
+
+class TestBuiltinRulesFire:
+    """Each built-in rule on a trace violating exactly its invariant."""
+
+    def test_epsilon_burn_rate_fires_on_overspend_trajectory(self):
+        reg = MetricsRegistry()
+        for step in range(8):
+            reg.set_gauge(
+                "service_tenant_epsilon_spent",
+                0.1 * step,
+                step=step,
+                labels={"tenant": "t"},
+            )
+        rule = AlertRule(
+            "epsilon_burn_rate",
+            labels={"tenant": "t"},
+            budget=2.0,
+            horizon_steps=100,
+            min_samples=2,
+        )
+        verdict = rule.evaluate(reg, {})
+        # rate = 0.1/step; projected = 0.7 + 10.0 >> 2.0.
+        assert verdict["firing"]
+        assert verdict["burn_rate"] == pytest.approx(0.1)
+        assert verdict["projected"] > rule.budget
+
+    def test_epsilon_burn_rate_quiet_on_flat_spend(self):
+        reg = MetricsRegistry()
+        for step in range(8):
+            reg.set_gauge(
+                "service_tenant_epsilon_spent", 0.5, step=step,
+                labels={"tenant": "t"},
+            )
+        rule = AlertRule(
+            "epsilon_burn_rate", labels={"tenant": "t"}, budget=1.0,
+            min_samples=2,
+        )
+        assert not rule.evaluate(reg, {})["firing"]
+
+    def test_clip_saturation_fires(self):
+        reg = MetricsRegistry()
+        for step in range(8):
+            reg.observe_series("clipped_fraction", 0.99, step=step)
+        verdict = AlertRule("clip_saturation", threshold=0.95).evaluate(reg, {})
+        assert verdict["firing"]
+        assert verdict["value"] == pytest.approx(0.99)
+
+    def test_noise_floor_fires(self):
+        reg = MetricsRegistry()
+        for step in range(8):
+            reg.observe_series("noise_to_signal", 20.0, step=step)
+        assert AlertRule("noise_floor", threshold=8.0).evaluate(reg, {})["firing"]
+
+    def test_angular_regression_fires_past_baseline(self):
+        reg = MetricsRegistry()
+        for step in range(8):
+            reg.observe_series("angular_deviation", math.pi / 2 + 0.3, step=step)
+        rule = AlertRule("angular_regression", threshold=math.pi / 2)
+        assert rule.evaluate(reg, {})["firing"]
+
+    def test_retry_spike_fires_on_counter_delta(self):
+        reg = MetricsRegistry()
+        rule = AlertRule("retry_spike", threshold=4)
+        memory: dict = {}
+        reg.inc("runtime_retries", 1)
+        # First evaluation only establishes the baseline.
+        assert not rule.evaluate(reg, memory)["firing"]
+        reg.inc("runtime_retries", 10)
+        verdict = rule.evaluate(reg, memory)
+        assert verdict["firing"]
+        assert verdict["value"] == pytest.approx(10.0)
+
+    def test_fallback_storm_fires_on_any_fallback(self):
+        reg = MetricsRegistry()
+        rule = AlertRule("fallback_storm", threshold=0)
+        memory: dict = {}
+        rule.evaluate(reg, memory)
+        reg.inc("backend_fallbacks")
+        assert rule.evaluate(reg, memory)["firing"]
+
+    def test_min_samples_guards_short_windows(self):
+        reg = MetricsRegistry()
+        reg.observe_series("clipped_fraction", 1.0, step=0)
+        rule = AlertRule("clip_saturation", threshold=0.5, min_samples=4)
+        verdict = rule.evaluate(reg, {})
+        assert not verdict["firing"]
+        assert verdict["value"] is None
+
+
+class TestQuietTrace:
+    def test_no_builtin_rule_fires_on_healthy_trace(self):
+        reg = quiet_registry()
+        monitor = HealthMonitor(
+            reg,
+            default_training_rules()
+            + [
+                AlertRule(
+                    "epsilon_burn_rate",
+                    labels={"tenant": "t"},
+                    budget=10.0,
+                    min_samples=2,
+                )
+            ],
+        )
+        # Two evaluations so counter-delta rules get a real delta too.
+        assert monitor.evaluate(step=19) == []
+        assert monitor.evaluate(step=20) == []
+        assert monitor.firing() == []
+        assert monitor.fired == []
+
+
+class TestMonitorEdges:
+    def test_rising_edge_fires_once_and_recovers(self):
+        reg = MetricsRegistry()
+        monitor = HealthMonitor(
+            reg, [AlertRule("clip_saturation", threshold=0.5, window=4)]
+        )
+        for step in range(4):
+            reg.observe_series("clipped_fraction", 0.9, step=step)
+        assert len(monitor.evaluate(step=3)) == 1
+        assert len(monitor.evaluate(step=3)) == 0  # still firing, no re-fire
+        assert monitor.firing()[0]["rule"] == "clip_saturation"
+        for step in range(4, 8):
+            reg.observe_series("clipped_fraction", 0.1, step=step)
+        assert monitor.evaluate(step=7) == []
+        assert monitor.firing() == []
+        # Second excursion is a fresh edge.
+        for step in range(8, 12):
+            reg.observe_series("clipped_fraction", 0.9, step=step)
+        assert len(monitor.evaluate(step=11)) == 1
+        assert reg.counter("alerts_fired", {"rule": "clip_saturation"}).value == 2
+
+    def test_alert_firing_gauge_tracks_state(self):
+        reg = MetricsRegistry()
+        monitor = HealthMonitor(
+            reg, [AlertRule("clip_saturation", threshold=0.5, window=2, min_samples=2)]
+        )
+        for step in range(2):
+            reg.observe_series("clipped_fraction", 0.9, step=step)
+        monitor.evaluate(step=1)
+        assert reg.gauge("alert_firing", {"rule": "clip_saturation"}).value == 1.0
+        for step in range(2, 6):
+            reg.observe_series("clipped_fraction", 0.0, step=step)
+        monitor.evaluate(step=5)
+        assert reg.gauge("alert_firing", {"rule": "clip_saturation"}).value == 0.0
+
+    def test_set_rules_clears_stale_edge_state(self):
+        reg = MetricsRegistry()
+        monitor = HealthMonitor(
+            reg, [AlertRule("clip_saturation", threshold=0.5, window=2, min_samples=2)]
+        )
+        for step in range(2):
+            reg.observe_series("clipped_fraction", 0.9, step=step)
+        monitor.evaluate(step=1)
+        monitor.set_rules([])
+        assert monitor.firing() == []
+        assert monitor._was_firing == {}
+
+
+class TestLedgerAnnotation:
+    def test_fired_alert_lands_in_hash_chain(self):
+        reg = MetricsRegistry()
+        ledger = ReleaseLedger(namespace="test")
+        accountant = RdpAccountant()
+        monitor = HealthMonitor(
+            reg,
+            [AlertRule("noise_floor", threshold=1.0, window=2, min_samples=2)],
+            ledger=ledger,
+            accountant=accountant,
+        )
+        for step in range(2):
+            reg.observe_series("noise_to_signal", 5.0, step=step)
+        monitor.evaluate(step=1)
+        alerts = [e for e in ledger.entries if e.mechanism == "annotation.alert"]
+        assert len(alerts) == 1
+        assert alerts[0].meta["alert"] == "noise_floor"
+        assert alerts[0].meta["value"] == pytest.approx(5.0)
+        assert verify_ledger(ledger, accountant, strict=False).ok
+
+    def test_annotator_callback_takes_precedence(self):
+        reg = MetricsRegistry()
+        seen = []
+        monitor = HealthMonitor(
+            reg,
+            [AlertRule("noise_floor", threshold=1.0, window=2, min_samples=2)],
+            annotator=seen.append,
+        )
+        for step in range(2):
+            reg.observe_series("noise_to_signal", 5.0, step=step)
+        monitor.evaluate(step=1)
+        assert len(seen) == 1
+        meta = alert_meta(seen[0])
+        assert meta["alert"] == "noise_floor"
+        assert meta["severity"] == "warning"
+
+
+class TestWatchRecorder:
+    def test_watch_evaluates_per_closed_step(self):
+        reg = MetricsRegistry()
+        recorder = MetricsRecorder()
+        monitor = HealthMonitor(
+            reg,
+            [AlertRule("clip_saturation", threshold=0.5, window=2, min_samples=2)],
+        )
+        monitor.watch(recorder)
+        for step in range(3):
+            recorder.start_step(step)
+            recorder.record("clipped_fraction", 0.9)
+            recorder.end_step()
+        assert monitor.firing()
+        assert reg.counter("alerts_fired", {"rule": "clip_saturation"}).value == 1

@@ -1,0 +1,126 @@
+"""``repro monitor``: pure-frame rendering and both CLI source modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import BudgetServer, JobSpec
+from repro.telemetry.live import JsonlTimeSeries
+from repro.telemetry.live.monitor import main as monitor_main
+from repro.telemetry.live.monitor import render_monitor
+
+
+def snapshot_fixture() -> dict:
+    return {
+        "service": {"seq": 42, "jobs": {"done": 3}},
+        "metrics": {
+            "counters": [
+                {"name": "service_jobs_admitted", "labels": {}, "value": 4.0},
+                {"name": "service_jobs_done", "labels": {}, "value": 3.0},
+            ],
+            "gauges": [
+                {
+                    "name": "service_tenant_epsilon_spent",
+                    "labels": {"tenant": "alice"},
+                    "value": 1.25,
+                    "step": 42,
+                    "window": [[40, 1.0], [41, 1.1], [42, 1.25]],
+                },
+                {
+                    "name": "service_tenant_epsilon_remaining",
+                    "labels": {"tenant": "alice"},
+                    "value": 8.75,
+                    "step": 42,
+                    "window": [[42, 8.75]],
+                },
+                {
+                    "name": "service_phase_seconds",
+                    "labels": {"phase": "dispatch"},
+                    "value": 0.5,
+                    "step": 42,
+                    "window": [[42, 0.5]],
+                },
+            ],
+            "histograms": [],
+        },
+        "alerts": {"active": [], "fired_total": 0, "rules": []},
+    }
+
+
+class TestRenderMonitor:
+    def test_quiet_frame(self):
+        frame = render_monitor(snapshot_fixture())
+        assert "seq 42" in frame
+        assert "admitted 4" in frame and "done 3" in frame
+        assert "alice" in frame
+        assert "1.2500" in frame and "8.7500" in frame
+        assert "dispatch" in frame
+        assert "alerts: none firing" in frame
+
+    def test_firing_frame(self):
+        snapshot = snapshot_fixture()
+        snapshot["alerts"]["active"] = [
+            {
+                "rule": "epsilon_burn_rate[tenant=alice]",
+                "severity": "critical",
+                "value": 1.25,
+                "threshold": 2.0,
+                "projected": 3.4,
+            }
+        ]
+        frame = render_monitor(snapshot)
+        assert "FIRING ALERTS (1)" in frame
+        assert "epsilon_burn_rate[tenant=alice]" in frame
+        assert "critical" in frame
+        assert "projected=3.4" in frame
+
+    def test_empty_snapshot_renders(self):
+        frame = render_monitor({})
+        assert frame.startswith("repro monitor")
+        assert "alerts: none firing" in frame
+
+    def test_sparkline_tracks_trajectory(self):
+        frame = render_monitor(snapshot_fixture())
+        row = next(l for l in frame.splitlines() if "alice" in l)
+        assert any(ch in row for ch in "▁▂▃▄▅▆▇█")
+
+
+class TestCliSources:
+    def test_jsonl_once(self, tmp_path, capsys):
+        path = tmp_path / "live.jsonl"
+        JsonlTimeSeries(path).append(snapshot_fixture())
+        rc = monitor_main(["--jsonl", str(path), "--once"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "seq 42" in out
+
+    def test_jsonl_missing_file_fails_once(self, tmp_path, capsys):
+        rc = monitor_main(["--jsonl", str(tmp_path / "absent.jsonl"), "--once"])
+        assert rc == 1
+        assert "cannot read snapshot" in capsys.readouterr().err
+
+    def test_endpoint_once_against_live_server(self, capsys):
+        server = BudgetServer(metrics_port=0)
+        try:
+            server.add_tenant("alice", epsilon_budget=50.0)
+            server.submit(
+                JobSpec(
+                    tenant="alice", sigma=1.1, sample_rate=0.01,
+                    steps=100, dim=8, seed=0,
+                ),
+                job_id="a0",
+            )
+            server.run_until_idle()
+            rc = monitor_main(
+                ["--endpoint", server.metrics_address, "--once"]
+            )
+        finally:
+            server.shutdown()
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "alice" in out
+        assert "alerts: none firing" in out
+
+    def test_source_is_required(self, capsys):
+        with pytest.raises(SystemExit):
+            monitor_main(["--once"])

@@ -1,0 +1,127 @@
+"""SamplingProfiler: sampling a busy loop, folded output, Chrome-trace
+folding, and lifecycle guards."""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.telemetry.live import SamplingProfiler
+
+
+def _spin(seconds: float) -> float:
+    """Burn CPU (ITIMER_PROF only advances on CPU time)."""
+    deadline = time.process_time() + seconds
+    acc = 0.0
+    while time.process_time() < deadline:
+        acc += sum(i * i for i in range(200))
+    return acc
+
+
+class TestSampling:
+    def test_busy_loop_is_sampled(self):
+        profiler = SamplingProfiler(hz=250.0)
+        with profiler:
+            _spin(0.3)
+        # 0.3s CPU at 250 Hz nominal: demand a loose floor, not exactness.
+        assert profiler.sample_count >= 20
+        assert "_spin" in profiler.collapsed()
+
+    def test_collapsed_format(self, tmp_path):
+        profiler = SamplingProfiler(hz=250.0)
+        with profiler:
+            _spin(0.2)
+        out = tmp_path / "profile.folded"
+        profiler.save_collapsed(out)
+        text = out.read_text()
+        assert text
+        for line in text.splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert stack  # frame;frame;... — leaf last
+        total = sum(int(l.rsplit(" ", 1)[1]) for l in text.splitlines())
+        assert total == profiler.sample_count
+
+    def test_raw_ring_is_bounded(self):
+        profiler = SamplingProfiler(hz=997.0, max_raw_samples=10)
+        with profiler:
+            _spin(0.15)
+        assert len(profiler._raw) <= 10
+        if profiler.sample_count > 10:
+            assert profiler.dropped == profiler.sample_count - 10
+
+    def test_summary_reports_hot_leaves(self):
+        profiler = SamplingProfiler(hz=250.0)
+        with profiler:
+            _spin(0.2)
+        summary = profiler.summary()
+        assert summary["samples"] == profiler.sample_count
+        assert summary["timer"] == "prof"
+        assert summary["top_leaves"]
+        assert all({"frame", "samples"} <= set(e) for e in summary["top_leaves"])
+
+
+class TestChromeTrace:
+    def test_samples_fold_into_existing_trace(self):
+        profiler = SamplingProfiler(hz=250.0)
+        with profiler:
+            _spin(0.2)
+        base = {"traceEvents": [{"name": "step", "ph": "X", "ts": 0, "dur": 5}]}
+        merged = profiler.merge_into_chrome_trace(base)
+        assert base["traceEvents"][0] in merged["traceEvents"]
+        samples = [e for e in merged["traceEvents"] if e.get("ph") == "P"]
+        assert samples
+        frames = merged["stackFrames"]
+        for event in samples:
+            # Every sample's stack-frame id resolves, as does its parent chain.
+            sf = event["sf"]
+            seen = 0
+            while sf is not None:
+                assert sf in frames
+                sf = frames[sf].get("parent")
+                seen += 1
+                assert seen < 200
+        meta = [e for e in merged["traceEvents"] if e.get("ph") == "M"]
+        assert any("profiler" in e["args"]["name"] for e in meta)
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self):
+        profiler = SamplingProfiler(hz=50.0)
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_is_idempotent_and_restores_handler(self):
+        before = signal.getsignal(signal.SIGPROF)
+        profiler = SamplingProfiler(hz=50.0)
+        profiler.start()
+        profiler.stop()
+        profiler.stop()
+        assert signal.getsignal(signal.SIGPROF) == (before or signal.SIG_DFL)
+
+    def test_non_main_thread_start_raises(self):
+        errors = []
+
+        def try_start():
+            try:
+                SamplingProfiler(hz=50.0).start()
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        t = threading.Thread(target=try_start)
+        t.start()
+        t.join()
+        assert errors and "main thread" in errors[0]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError, match="timer"):
+            SamplingProfiler(timer="cpu")
+        with pytest.raises(ValueError, match="hz"):
+            SamplingProfiler(hz=0)

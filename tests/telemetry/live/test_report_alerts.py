@@ -1,0 +1,147 @@
+"""Alert surfacing in reports: alerts sections, ``--alerts-only``, and
+per-tenant burn-rate in the budget report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main, run_report
+from repro.privacy import RdpAccountant, ReleaseLedger
+from repro.service import BudgetServer, JobSpec, build_budget_report
+from repro.service.report import burn_rate
+from repro.telemetry import (
+    MetricsRecorder,
+    build_report,
+    export_trace,
+    load_run_bundles,
+    render_report,
+)
+from repro.telemetry.report import alerts_from_ledger
+
+
+def _export_with_alert(path):
+    """One exported run whose ledger carries a fired alert annotation."""
+    recorder = MetricsRecorder()
+    ledger = ReleaseLedger()
+    accountant = RdpAccountant()
+    for i in range(2):
+        recorder.start_step(i)
+        recorder.record("clipped_fraction", 0.99)
+        accountant.step(1.0, 0.1)
+        ledger.record_release(
+            mechanism="gaussian", sigma=1.0, sensitivity=0.1,
+            sample_rate=0.1, accountant=accountant,
+        )
+        recorder.end_step()
+    ledger.record_annotation(
+        kind="alert",
+        accountant=accountant,
+        meta={
+            "alert": "clip_saturation",
+            "kind": "clip_saturation",
+            "severity": "warning",
+            "value": 0.99,
+            "threshold": 0.95,
+        },
+    )
+    export_trace(path, recorder, run="demo", ledger=ledger)
+
+
+class TestAlertsFromLedger:
+    def test_extracts_alert_annotations(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _export_with_alert(path)
+        bundle = load_run_bundles(path)["demo"]
+        alerts = alerts_from_ledger(bundle.ledger)
+        assert len(alerts) == 1
+        assert alerts[0]["alert"] == "clip_saturation"
+        assert alerts[0]["value"] == pytest.approx(0.99)
+        # ε at the time the alert fired rides the annotation record.
+        assert alerts[0]["epsilon_at_alert"] > 0
+
+    def test_empty_for_quiet_ledger(self):
+        ledger = ReleaseLedger()
+        assert alerts_from_ledger(ledger) == []
+
+
+class TestReportAlertSections:
+    def test_markdown_report_includes_alerts_table(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _export_with_alert(path)
+        text = run_report(str(path))
+        assert "clip_saturation" in text
+        assert "| alert |" in text
+
+    def test_alerts_only_markdown(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _export_with_alert(path)
+        text = run_report(str(path), alerts_only=True)
+        assert "# Run report (alerts)" in text
+        assert "clip_saturation" in text
+        # Full-report sections are filtered out.
+        assert "Counters" not in text
+
+    def test_alerts_only_json(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _export_with_alert(path)
+        payload = json.loads(run_report(str(path), fmt="json", alerts_only=True))
+        assert list(payload["runs"]) == ["demo"]
+        run = payload["runs"]["demo"]
+        assert run["alerts"][0]["alert"] == "clip_saturation"
+        assert set(run) == {"alerts"}
+
+    def test_cli_flag(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        _export_with_alert(path)
+        assert main(["report", str(path), "--alerts-only"]) == 0
+        out = capsys.readouterr().out
+        assert "# Run report (alerts)" in out
+
+    def test_quiet_run_has_empty_alerts(self, tmp_path):
+        recorder = MetricsRecorder()
+        recorder.record("loss", 1.0)
+        path = tmp_path / "plain.jsonl"
+        export_trace(path, recorder, run="plain")
+        report = build_report(load_run_bundles(path))
+        assert report["runs"]["plain"]["alerts"] == []
+        text = render_report(report, alerts_only=True)
+        assert "# Run report (alerts)" in text
+
+
+class TestBurnRate:
+    def test_secant_slope(self):
+        trajectory = [(100, 1.0), (200, 1.5), (300, 2.0)]
+        assert burn_rate(trajectory) == pytest.approx(0.005)
+
+    def test_short_or_flat_trajectories(self):
+        assert burn_rate([]) is None
+        assert burn_rate([(100, 1.0)]) is None
+        assert burn_rate([(100, 1.0), (100, 2.0)]) is None
+
+    def test_windowing_uses_tail(self):
+        # Early slow spend, late fast spend: the window sees the tail.
+        trajectory = [(i * 100, 0.001 * i) for i in range(20)]
+        trajectory += [(2000 + i * 100, 0.019 + 0.1 * (i + 1)) for i in range(8)]
+        rate = burn_rate(trajectory, window=8)
+        assert rate == pytest.approx(0.001, rel=0.2)
+
+    def test_budget_report_carries_burn_rate(self):
+        server = BudgetServer()
+        server.add_tenant("alice", epsilon_budget=50.0)
+        for i in range(3):
+            server.submit(
+                JobSpec(
+                    tenant="alice", sigma=1.1, sample_rate=0.01,
+                    steps=100, dim=8, seed=i,
+                ),
+                job_id=f"a{i}",
+            )
+        server.run_until_idle()
+        report = build_budget_report(server)
+        section = report["tenants"]["alice"]
+        assert section["burn_rate"] is not None and section["burn_rate"] > 0
+        assert section["steps_to_exhaustion"] > 0
+        assert section["alerts"] == []
+        server.shutdown()

@@ -331,3 +331,55 @@ class TestDescribeEnv:
     def test_old_archives_yield_empty_context(self, compare_mod, tmp_path):
         path = _archive(tmp_path / "BENCH_0.json", BASE)
         assert compare_mod.describe_env(path) == ""
+
+
+def _live_section(overhead=0.01, evaluate_p95=0.001, render_p95=0.002):
+    return {
+        "overhead_fraction": overhead,
+        "evaluate_p95_seconds": evaluate_p95,
+        "render_p95_seconds": render_p95,
+        "benchmarks": {"prometheus_render_p95": {"seconds": render_p95}},
+    }
+
+
+class TestGateLive:
+    def test_cheap_live_layer_passes(self, compare_mod):
+        lines, failures = compare_mod.gate_live(_live_section())
+        assert failures == []
+        assert all("FAIL" not in line for line in lines)
+
+    def test_high_overhead_fails(self, compare_mod):
+        _, failures = compare_mod.gate_live(_live_section(overhead=0.2))
+        assert len(failures) == 1
+        assert "overhead" in failures[0]
+
+    def test_slow_scrape_fails(self, compare_mod):
+        _, failures = compare_mod.gate_live(_live_section(render_p95=0.5))
+        assert len(failures) == 1
+        assert "render" in failures[0]
+
+    def test_slow_evaluation_fails(self, compare_mod):
+        _, failures = compare_mod.gate_live(_live_section(evaluate_p95=0.5))
+        assert len(failures) == 1
+        assert "evaluation" in failures[0]
+
+    def test_missing_section_skips_gate(self, compare_mod):
+        lines, failures = compare_mod.gate_live(None)
+        assert failures == []
+        assert any("skipped" in line for line in lines)
+
+    def test_incomplete_section_skips_gate(self, compare_mod):
+        lines, failures = compare_mod.gate_live({"benchmarks": {}})
+        assert failures == []
+        assert any("skipped" in line for line in lines)
+
+    def test_gate_live_file(self, compare_mod, tmp_path):
+        path = tmp_path / "BENCH_0.json"
+        path.write_text(json.dumps({"benchmarks": BASE, "live": _live_section()}))
+        report, ok = compare_mod.gate_live_file(path)
+        assert ok and "PASS" in report
+        path.write_text(
+            json.dumps({"benchmarks": BASE, "live": _live_section(overhead=0.3)})
+        )
+        report, ok = compare_mod.gate_live_file(path)
+        assert not ok and "FAIL" in report

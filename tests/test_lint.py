@@ -70,6 +70,67 @@ def test_hot_path_module_list_is_current():
         assert (REPO_ROOT / relative).is_file(), f"{relative} missing"
 
 
+#: Timing-sensitive modules: interval measurements must use the
+#: monotonic ``time.perf_counter`` — bare ``time.time()`` is subject to
+#: NTP slews/wall-clock jumps and poisons latency metrics and benchmark
+#: ratios.  (``time.time()`` stays legal elsewhere, e.g. for timestamps
+#: in persisted records.)
+TIMING_SENSITIVE_MODULES = HOT_PATH_MODULES + (
+    "src/repro/runtime/pool.py",
+    "src/repro/service/admission.py",
+    "src/repro/service/server.py",
+    "src/repro/telemetry/recorder.py",
+    "src/repro/telemetry/tracing.py",
+    "src/repro/telemetry/live/registry.py",
+    "src/repro/telemetry/live/exporter.py",
+    "src/repro/telemetry/live/health.py",
+    "src/repro/telemetry/live/profiler.py",
+    "benchmarks/bench_live.py",
+    "benchmarks/bench_telemetry.py",
+)
+
+
+def _wall_clock_calls(source: str, filename: str) -> list[str]:
+    """``file:line`` for every bare ``time.time()`` call."""
+    violations = []
+    for node in ast.walk(ast.parse(source, filename=filename)):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        func = node.func
+        if (
+            func.attr == "time"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        ):
+            violations.append(f"{filename}:{node.lineno} time.time()")
+    return violations
+
+
+def test_timing_sensitive_modules_use_perf_counter():
+    violations = []
+    for relative in TIMING_SENSITIVE_MODULES:
+        path = REPO_ROOT / relative
+        violations.extend(_wall_clock_calls(path.read_text(), relative))
+    assert violations == [], (
+        "bare time.time() in a timing-sensitive module — use "
+        "time.perf_counter() for interval measurement:\n  "
+        + "\n  ".join(violations)
+    )
+
+
+def test_timing_sensitive_module_list_is_current():
+    for relative in TIMING_SENSITIVE_MODULES:
+        assert (REPO_ROOT / relative).is_file(), f"{relative} missing"
+
+
+def test_wall_clock_lint_detects_offender():
+    """The AST check actually catches the pattern it claims to."""
+    assert _wall_clock_calls("import time\nt0 = time.time()\n", "x.py") == [
+        "x.py:2 time.time()"
+    ]
+    assert _wall_clock_calls("import time\nt0 = time.perf_counter()\n", "x.py") == []
+
+
 def ruff_available() -> bool:
     return importlib.util.find_spec("ruff") is not None
 
